@@ -1,0 +1,125 @@
+//! Criterion microbenchmarks for the dense and scan kernels.
+//!
+//! Includes the **structured-multiply ablation** (Figure A3): advancing a
+//! companion product with the `[P, Q; I, 0]` structure exploited
+//! (`apply_left`, `8 M^3` flops) versus the dense `2M x 2M` product
+//! (`compose_after`, `16 M^3` flops) — the 2x flop saving DESIGN.md §2.5
+//! calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bt_ard::companion::{CompanionProduct, CompanionW};
+use bt_ard::pairs::AffinePair;
+use bt_blocktri::gen::ClusteredToeplitz;
+use bt_blocktri::BlockRowSource;
+use bt_dense::random::{rng, uniform};
+use bt_dense::{gemm, LuFactors, Mat, Trans};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &m in &[16usize, 32, 64, 128] {
+        let a = uniform(m, m, &mut rng(1));
+        let b = uniform(m, m, &mut rng(2));
+        let mut out = Mat::zeros(m, m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
+            bench.iter(|| {
+                gemm(
+                    1.0,
+                    black_box(&a),
+                    Trans::No,
+                    black_box(&b),
+                    Trans::No,
+                    0.0,
+                    &mut out,
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu");
+    for &m in &[16usize, 32, 64] {
+        let a = {
+            let mut a = uniform(m, m, &mut rng(3));
+            for k in 0..m {
+                let v = a.get(k, k);
+                a.set(k, k, v + 2.0 * m as f64);
+            }
+            a
+        };
+        group.bench_with_input(BenchmarkId::new("factor", m), &m, |bench, _| {
+            bench.iter(|| LuFactors::factor(black_box(&a)).unwrap())
+        });
+        let lu = LuFactors::factor(&a).unwrap();
+        let rhs = uniform(m, 8, &mut rng(4));
+        group.bench_with_input(BenchmarkId::new("solve_r8", m), &m, |bench, _| {
+            bench.iter(|| lu.solve(black_box(&rhs)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure A3: structured vs dense companion product update.
+fn bench_companion_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("companion_update");
+    for &m in &[8usize, 16, 32, 64] {
+        let src = ClusteredToeplitz::standard(4, m, 5);
+        let w = CompanionW::from_row(&src.row(1)).unwrap();
+        // A dense product representing W as a full CompanionProduct.
+        let w_dense = {
+            let mut p = CompanionProduct::identity(m);
+            p.apply_left(&w);
+            p
+        };
+        let base = {
+            let mut p = CompanionProduct::identity(m);
+            p.apply_left(&w);
+            p.apply_left(&w);
+            p
+        };
+        group.bench_with_input(BenchmarkId::new("structured_8m3", m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut p = base.clone();
+                p.apply_left(black_box(&w));
+                p
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dense_16m3", m), &m, |bench, _| {
+            bench.iter(|| base.compose_after(black_box(&w_dense)))
+        });
+    }
+    group.finish();
+}
+
+/// The fresh-vs-replay combine: the per-round work the acceleration removes.
+fn bench_affine_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("affine_combine");
+    for &m in &[16usize, 32, 64] {
+        let r = 4;
+        let outer = AffinePair {
+            mat: uniform(m, m, &mut rng(7)),
+            vec: uniform(m, r, &mut rng(8)),
+        };
+        let inner = AffinePair {
+            mat: uniform(m, m, &mut rng(9)),
+            vec: uniform(m, r, &mut rng(10)),
+        };
+        group.bench_with_input(BenchmarkId::new("fresh_m3", m), &m, |bench, _| {
+            bench.iter(|| AffinePair::compose(black_box(&outer), black_box(&inner)))
+        });
+        group.bench_with_input(BenchmarkId::new("replay_m2r", m), &m, |bench, _| {
+            bench.iter(|| outer.apply_to_vec(black_box(&inner.vec)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm, bench_lu, bench_companion_ablation, bench_affine_combine
+}
+criterion_main!(benches);

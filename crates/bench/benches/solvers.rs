@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the whole-solver paths: sequential baselines
+//! (Thomas, block cyclic reduction) and the distributed RD/ARD solvers,
+//! including the headline comparison — one RD solve vs one ARD replay on
+//! the same system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bt_ard::driver::{ard_solve_dist, rd_solve_dist, spike_solve_cfg, DriverConfig};
+use bt_blocktri::cyclic_reduction::cyclic_reduction_solve;
+use bt_blocktri::gen::{materialize, random_rhs, ClusteredToeplitz};
+use bt_blocktri::thomas::ThomasFactors;
+use bt_mpsim::CostModel;
+
+const ZERO: CostModel = CostModel {
+    latency_s: 0.0,
+    per_byte_s: 0.0,
+    flop_rate: f64::INFINITY,
+};
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential");
+    group.sample_size(20);
+    for &(n, m) in &[(128usize, 8usize), (128, 16)] {
+        let id = format!("n{n}_m{m}");
+        let t = materialize(&ClusteredToeplitz::standard(n, m, 1));
+        let y = random_rhs(n, m, 4, 2);
+        group.bench_with_input(BenchmarkId::new("thomas_factor", &id), &n, |b, _| {
+            b.iter(|| ThomasFactors::factor(black_box(&t)).unwrap())
+        });
+        let f = ThomasFactors::factor(&t).unwrap();
+        group.bench_with_input(BenchmarkId::new("thomas_solve_r4", &id), &n, |b, _| {
+            b.iter(|| f.solve(black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("cyclic_reduction", &id), &n, |b, _| {
+            b.iter(|| cyclic_reduction_solve(black_box(&t), black_box(&y)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_p4");
+    group.sample_size(10);
+    let (n, m, p, r) = (256usize, 16usize, 4usize, 4usize);
+    let src = ClusteredToeplitz::standard(n, m, 3);
+    let one_batch = vec![random_rhs(n, m, r, 5)];
+    let eight: Vec<_> = (0..8).map(|s| random_rhs(n, m, r, s)).collect();
+
+    group.bench_function("rd_one_batch", |b| {
+        b.iter(|| rd_solve_dist(p, ZERO, black_box(&src), black_box(&one_batch)).unwrap())
+    });
+    group.bench_function("ard_setup_plus_one", |b| {
+        b.iter(|| ard_solve_dist(p, ZERO, black_box(&src), black_box(&one_batch)).unwrap())
+    });
+    // The paper's workload: 8 batches with the same matrix.
+    group.bench_function("rd_eight_batches", |b| {
+        b.iter(|| rd_solve_dist(p, ZERO, black_box(&src), black_box(&eight)).unwrap())
+    });
+    group.bench_function("ard_eight_batches", |b| {
+        b.iter(|| ard_solve_dist(p, ZERO, black_box(&src), black_box(&eight)).unwrap())
+    });
+    let spike_cfg = DriverConfig::new(p).with_model(ZERO);
+    group.bench_function("spike_eight_batches", |b| {
+        b.iter(|| spike_solve_cfg(&spike_cfg, black_box(&src), black_box(&eight)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential, bench_distributed);
+criterion_main!(benches);

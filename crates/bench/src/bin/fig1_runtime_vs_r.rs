@@ -1,0 +1,77 @@
+//! **Figure 1** — total runtime vs number of right-hand sides `R`.
+//!
+//! Claim (paper abstract): classic recursive doubling re-pays the
+//! `O(M^3 (N/P + log P))` matrix work for every right-hand side, so its
+//! total time grows with slope ~`M^3`; the accelerated algorithm pays it
+//! once and each additional RHS costs only `O(M^2 (N/P + log P))`.
+//!
+//! Three curves: RD (one solve per RHS), ARD (setup + one replay per
+//! RHS), and ARD-batched (setup + a single `M x R` panel solve — the
+//! GEMM-friendly mode real applications use).
+//!
+//! ```text
+//! cargo run --release -p bt-bench --bin fig1_runtime_vs_r -- \
+//!     --n 512 --m 16 --p 8 --rs 1,2,4,8,16,32,64,128 [--csv out.csv]
+//! ```
+
+use bt_bench::{emit, fmt_secs, make_batches, run_ard, run_rd, Args, ExpConfig, GenKind, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ExpConfig::default_point();
+    cfg.n = args.get_usize("n", 512);
+    cfg.m = args.get_usize("m", 16);
+    cfg.p = args.get_usize("p", 8);
+    cfg.gen = GenKind::parse(args.get_str("gen").unwrap_or("clustered"));
+    let rs = args.get_usize_list("rs", &[1, 2, 4, 8, 16, 32, 64, 128]);
+
+    let mut table = Table::new(
+        &format!(
+            "Figure 1: total time vs R (N={}, M={}, P={}, gen={})",
+            cfg.n,
+            cfg.m,
+            cfg.p,
+            cfg.gen.name()
+        ),
+        &[
+            "R",
+            "rd_wall",
+            "ard_wall",
+            "ardbatch_wall",
+            "rd_model",
+            "ard_model",
+            "ardbatch_model",
+            "speedup_model",
+        ],
+    );
+
+    for &r_total in &rs {
+        // RD and ARD process R single-column right-hand sides.
+        cfg.r = 1;
+        let batches = make_batches(&cfg, r_total);
+        let rd = run_rd(&cfg, &batches, false);
+        let ard = run_ard(&cfg, &batches, false);
+        // ARD-batched: all R columns as one panel.
+        let mut bcfg = cfg;
+        bcfg.r = r_total;
+        let batched = make_batches(&bcfg, 1);
+        let ard_b = run_ard(&bcfg, &batched, false);
+
+        table.row(&[
+            r_total.to_string(),
+            fmt_secs(rd.wall),
+            fmt_secs(ard.wall),
+            fmt_secs(ard_b.wall),
+            fmt_secs(rd.modeled),
+            fmt_secs(ard.modeled),
+            fmt_secs(ard_b.modeled),
+            format!("{:.2}", rd.modeled / ard.modeled),
+        ]);
+    }
+    emit(&args, &table);
+    println!(
+        "Expected shape: rd_* grows linearly with slope ~M^3 work per RHS;\n\
+         ard_* has a one-time setup then slope ~M^2 per RHS; speedup_model\n\
+         approaches R/(1 + R/M) (abstract's O(R) improvement)."
+    );
+}

@@ -1,0 +1,61 @@
+//! **Figure 4** — runtime vs block-row count `N` at fixed `P`.
+//!
+//! Claim: with `P` fixed, the `N/P` local term dominates and both
+//! algorithms are linear in `N`; the gap between them (the amortized
+//! matrix work) also grows linearly in `N`.
+//!
+//! ```text
+//! cargo run --release -p bt-bench --bin fig4_runtime_vs_n -- \
+//!     --m 16 --p 8 --r 8 --ns 128,256,512,1024,2048 [--csv out.csv]
+//! ```
+
+use bt_bench::{emit, fmt_secs, make_batches, run_ard, run_rd, Args, ExpConfig, GenKind, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ExpConfig::default_point();
+    cfg.m = args.get_usize("m", 16);
+    cfg.p = args.get_usize("p", 8);
+    cfg.r = args.get_usize("r", 8);
+    cfg.gen = GenKind::parse(args.get_str("gen").unwrap_or("clustered"));
+    let nbatches = args.get_usize("batches", 4);
+    let ns = args.get_usize_list("ns", &[128, 256, 512, 1024, 2048]);
+
+    let mut table = Table::new(
+        &format!(
+            "Figure 4: runtime vs N (M={}, P={}, R={} x {} batches)",
+            cfg.m, cfg.p, cfg.r, nbatches
+        ),
+        &[
+            "N",
+            "rd_wall",
+            "ard_wall",
+            "rd_model",
+            "ard_model",
+            "rd_per_row_ns",
+            "ard_per_row_ns",
+        ],
+    );
+
+    for &n in &ns {
+        cfg.n = n;
+        let batches = make_batches(&cfg, nbatches);
+        let rd = run_rd(&cfg, &batches, false);
+        let ard = run_ard(&cfg, &batches, false);
+        table.row(&[
+            n.to_string(),
+            fmt_secs(rd.wall),
+            fmt_secs(ard.wall),
+            fmt_secs(rd.modeled),
+            fmt_secs(ard.modeled),
+            format!("{:.0}", rd.modeled / n as f64 * 1e9),
+            format!("{:.0}", ard.modeled / n as f64 * 1e9),
+        ]);
+    }
+    emit(&args, &table);
+    println!(
+        "Expected shape: both modeled times linear in N (per-row columns\n\
+         flat once N/P dominates the log P term); ARD stays below RD by the\n\
+         amortization factor."
+    );
+}

@@ -1,0 +1,78 @@
+//! **Figure 5** — runtime vs block order `M` (log-log slopes).
+//!
+//! Claim: classic recursive doubling's per-solve time scales as `M^3`
+//! (matrix-matrix work), while the accelerated per-solve time scales as
+//! `M^2` (matrix-panel work). On a log-log plot the two curves have
+//! slopes ~3 and ~2; the printed `slope` columns estimate them from
+//! consecutive sweep points.
+//!
+//! ```text
+//! cargo run --release -p bt-bench --bin fig5_runtime_vs_m -- \
+//!     --n 256 --p 4 --r 4 --ms 4,8,16,32,64 [--csv out.csv]
+//! ```
+
+use bt_bench::{emit, fmt_secs, make_batches, run_ard, run_rd, Args, ExpConfig, GenKind, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ExpConfig::default_point();
+    cfg.n = args.get_usize("n", 256);
+    cfg.p = args.get_usize("p", 4);
+    cfg.r = args.get_usize("r", 4);
+    cfg.gen = GenKind::parse(args.get_str("gen").unwrap_or("clustered"));
+    let nbatches = args.get_usize("batches", 3);
+    let ms = args.get_usize_list("ms", &[4, 8, 16, 32, 64]);
+
+    let mut table = Table::new(
+        &format!(
+            "Figure 5: per-solve time vs M (N={}, P={}, R={} x {} batches)",
+            cfg.n, cfg.p, cfg.r, nbatches
+        ),
+        &[
+            "M",
+            "rd_solve_model",
+            "ard_solve_model",
+            "rd_slope",
+            "ard_slope",
+            "rd_solve_wall",
+            "ard_solve_wall",
+        ],
+    );
+
+    let mut prev: Option<(usize, f64, f64)> = None;
+    for &m in &ms {
+        cfg.m = m;
+        let batches = make_batches(&cfg, nbatches);
+        let rd = run_rd(&cfg, &batches, false);
+        let ard = run_ard(&cfg, &batches, false);
+        // Per-batch solve time: for RD this includes the matrix work (it
+        // has no setup phase); for ARD it is the replay only.
+        let rd_solve = rd.solve_modeled_mean;
+        let ard_solve = ard.solve_modeled_mean;
+        let (rd_slope, ard_slope) = match prev {
+            None => ("-".to_string(), "-".to_string()),
+            Some((pm, prd, pard)) => {
+                let dm = (m as f64 / pm as f64).ln();
+                (
+                    format!("{:.2}", (rd_solve / prd).ln() / dm),
+                    format!("{:.2}", (ard_solve / pard).ln() / dm),
+                )
+            }
+        };
+        table.row(&[
+            m.to_string(),
+            fmt_secs(rd_solve),
+            fmt_secs(ard_solve),
+            rd_slope,
+            ard_slope,
+            fmt_secs(rd.solve_wall_mean),
+            fmt_secs(ard.solve_wall_mean),
+        ]);
+        prev = Some((m, rd_solve, ard_solve));
+    }
+    emit(&args, &table);
+    println!(
+        "Expected shape: rd_slope -> ~3 (M^3 matrix work each solve),\n\
+         ard_slope -> ~2 (M^2 R panel work each solve) as M grows."
+    );
+}

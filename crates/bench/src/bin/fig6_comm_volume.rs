@@ -1,0 +1,78 @@
+//! **Figure 6** — communication volume per rank vs `P`.
+//!
+//! Claim: every scan round of classic recursive doubling ships matrices
+//! (`O(M^2)` words for the affine scans plus `O(M^2)` for the companion
+//! scan), while an accelerated solve ships only `M x R` panels — the
+//! per-solve volume drops by a factor `~M/R` and both grow as `log P`.
+//!
+//! ```text
+//! cargo run --release -p bt-bench --bin fig6_comm_volume -- \
+//!     --n 1024 --m 32 --r 4 --ps 2,4,8,16,32,64 [--csv out.csv]
+//! ```
+
+use bt_ard::complexity::{ard_solve_bytes_per_rank, rd_solve_bytes_per_rank};
+use bt_bench::{emit, fmt_bytes, make_batches, run_ard, run_rd, Args, ExpConfig, GenKind, Table};
+use bt_mpsim::CostModel;
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ExpConfig::default_point();
+    cfg.n = args.get_usize("n", 1024);
+    cfg.m = args.get_usize("m", 32);
+    cfg.r = args.get_usize("r", 4);
+    cfg.gen = GenKind::parse(args.get_str("gen").unwrap_or("clustered"));
+    cfg.model = CostModel::zero();
+    let ps = args.get_usize_list("ps", &[2, 4, 8, 16, 32, 64]);
+
+    let mut table = Table::new(
+        &format!(
+            "Figure 6: bytes sent per rank (max) vs P (N={}, M={}, R={})",
+            cfg.n, cfg.m, cfg.r
+        ),
+        &[
+            "P",
+            "rd_per_solve",
+            "ard_setup",
+            "ard_per_solve",
+            "rd_model",
+            "ard_model",
+            "ratio",
+        ],
+    );
+
+    for &p in &ps {
+        if p > cfg.n {
+            continue;
+        }
+        cfg.p = p;
+        // Two batches let us difference per-solve traffic out of totals.
+        let b1 = make_batches(&cfg, 1);
+        let b2 = make_batches(&cfg, 2);
+        let rd1 = run_rd(&cfg, &b1, false);
+        let rd2 = run_rd(&cfg, &b2, false);
+        let ard1 = run_ard(&cfg, &b1, false);
+        let ard2 = run_ard(&cfg, &b2, false);
+        let per = p as u64;
+        // Average per rank (totals are across ranks).
+        let rd_solve = (rd2.bytes - rd1.bytes) / per;
+        let ard_solve = (ard2.bytes - ard1.bytes) / per;
+        let ard_setup = ard1.bytes / per - ard_solve;
+        let c = cfg.complexity();
+        table.row(&[
+            p.to_string(),
+            fmt_bytes(rd_solve),
+            fmt_bytes(ard_setup),
+            fmt_bytes(ard_solve),
+            fmt_bytes(rd_solve_bytes_per_rank(&c) as u64),
+            fmt_bytes(ard_solve_bytes_per_rank(&c) as u64),
+            format!("{:.1}", rd_solve as f64 / ard_solve as f64),
+        ]);
+    }
+    emit(&args, &table);
+    println!(
+        "Expected shape: all columns grow ~log P; ratio ~ (6 M^2 + 2 M R)/(2 M R)\n\
+         — i.e. ~3M/R for R << M (here ~{:.0}).",
+        (6.0 * (cfg.m * cfg.m) as f64 + 2.0 * (cfg.m * cfg.r) as f64)
+            / (2.0 * (cfg.m * cfg.r) as f64)
+    );
+}

@@ -1,0 +1,100 @@
+//! **Figure A1 (ablation, extension)** — exact-scan vs windowed boundary
+//! recovery.
+//!
+//! The windowed mode (not in the paper; DESIGN.md §8) replaces the
+//! Phase 1 cross-rank companion scan with a local warm-started recurrence
+//! over the `w` rows preceding each rank. This ablation sweeps `N` on a
+//! wide-spectrum system (Poisson) and reports, for both modes: setup
+//! time, setup communication, and accuracy — showing (a) where the exact
+//! scan's conditioning envelope ends and (b) what the window costs.
+//!
+//! ```text
+//! cargo run --release -p bt-bench --bin figa1_windowed_ablation -- \
+//!     --m 6 --p 8 --w 64 --ns 16,32,64,128,256,512 [--csv out.csv]
+//! ```
+
+use bt_ard::driver::{ard_solve_cfg, DriverConfig};
+use bt_ard::state::BoundaryMode;
+use bt_bench::{emit, fmt_bytes, fmt_secs, make_batches, Args, ExpConfig, GenKind, Table};
+use bt_blocktri::BlockTridiag;
+use bt_mpsim::CostModel;
+
+struct ModeResult {
+    setup_modeled: String,
+    setup_bytes: String,
+    residual: String,
+}
+
+fn run_mode(cfg: &ExpConfig, boundary: BoundaryMode) -> ModeResult {
+    let src = cfg.source();
+    let t = BlockTridiag::from_source(&src);
+    let batches = make_batches(cfg, 1);
+    let driver = DriverConfig::new(cfg.p)
+        .with_model(cfg.model)
+        .with_boundary(boundary);
+    match ard_solve_cfg(&driver, &src, &batches) {
+        Ok(out) => ModeResult {
+            setup_modeled: fmt_secs(out.timings.setup_modeled),
+            setup_bytes: fmt_bytes(out.stats.max_bytes_sent()),
+            residual: format!("{:.1e}", t.rel_residual(&out.x[0], &batches[0])),
+        },
+        Err(e) => ModeResult {
+            setup_modeled: "-".into(),
+            setup_bytes: "-".into(),
+            residual: format!("breakdown({})", e.row),
+        },
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let m = args.get_usize("m", 6);
+    let p = args.get_usize("p", 8);
+    let w = args.get_usize("w", 64);
+    let gen = GenKind::parse(args.get_str("gen").unwrap_or("poisson"));
+    let ns = args.get_usize_list("ns", &[16, 32, 64, 128, 256, 512]);
+
+    let mut table = Table::new(
+        &format!(
+            "Figure A1: exact-scan vs windowed({w}) boundary (gen={}, M={m}, P={p})",
+            gen.name()
+        ),
+        &[
+            "N",
+            "scan_setup",
+            "scan_bytes",
+            "scan_residual",
+            "win_setup",
+            "win_bytes",
+            "win_residual",
+        ],
+    );
+
+    for &n in &ns {
+        let mut cfg = ExpConfig::default_point();
+        cfg.n = n;
+        cfg.m = m;
+        cfg.p = p.min(n);
+        cfg.r = 2;
+        cfg.gen = gen;
+        cfg.model = CostModel::cluster();
+        let scan = run_mode(&cfg, BoundaryMode::ExactScan);
+        let win = run_mode(&cfg, BoundaryMode::Windowed(w));
+        table.row(&[
+            n.to_string(),
+            scan.setup_modeled,
+            scan.setup_bytes,
+            scan.residual,
+            win.setup_modeled,
+            win.setup_bytes,
+            win.residual,
+        ]);
+    }
+    emit(&args, &table);
+    println!(
+        "Expected shape: scan_residual degrades geometrically with N and\n\
+         eventually breaks down (prefix-product conditioning); win_residual\n\
+         stays ~1e-13 at every N, with strictly less setup communication\n\
+         (no Phase 1 scan) at the cost of O(w M^3) extra local work."
+    );
+}

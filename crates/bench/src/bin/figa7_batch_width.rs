@@ -1,0 +1,69 @@
+//! **Figure A7 (extension)** — how to batch a fixed pool of right-hand
+//! sides.
+//!
+//! The abstract's workload is `R ~ 10^2..10^4` right-hand sides. Given a
+//! fixed pool (default 256), should they be solved one at a time, in
+//! panels of 16, or all at once? Modeled time is nearly flat (flops are
+//! linear in width), but *wall-clock* favors wide panels: every
+//! `M x width` GEMM amortizes the `M x M` coefficient reads across
+//! `width` columns, and the scan latency is paid `pool/width` times.
+//!
+//! ```text
+//! cargo run --release -p bt-bench --bin figa7_batch_width -- \
+//!     --n 512 --m 16 --p 4 --pool 256 --widths 1,4,16,64,256 [--csv out.csv]
+//! ```
+
+use bt_bench::{emit, fmt_secs, make_batches, run_ard, Args, ExpConfig, GenKind, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ExpConfig::default_point();
+    cfg.n = args.get_usize("n", 512);
+    cfg.m = args.get_usize("m", 16);
+    cfg.p = args.get_usize("p", 4);
+    cfg.gen = GenKind::parse(args.get_str("gen").unwrap_or("clustered"));
+    let pool = args.get_usize("pool", 256);
+    let widths = args.get_usize_list("widths", &[1, 4, 16, 64, 256]);
+
+    let mut table = Table::new(
+        &format!(
+            "Figure A7: batching {pool} right-hand sides (N={}, M={}, P={})",
+            cfg.n, cfg.m, cfg.p
+        ),
+        &[
+            "width",
+            "batches",
+            "total_wall",
+            "total_model",
+            "wall_per_rhs",
+            "model_per_rhs",
+        ],
+    );
+
+    for &w in &widths {
+        if w > pool {
+            continue;
+        }
+        let nbatches = pool / w;
+        cfg.r = w;
+        let batches = make_batches(&cfg, nbatches);
+        let m = run_ard(&cfg, &batches, false);
+        table.row(&[
+            w.to_string(),
+            nbatches.to_string(),
+            fmt_secs(m.wall),
+            fmt_secs(m.modeled),
+            fmt_secs(m.wall / pool as f64),
+            fmt_secs(m.modeled / pool as f64),
+        ]);
+    }
+    emit(&args, &table);
+    println!(
+        "Expected shape: modeled per-RHS time shrinks mildly with width (the\n\
+         scan latency amortizes). Wall-clock per-RHS improves sharply from\n\
+         width 1 to moderate widths (panel GEMMs amortize coefficient-matrix\n\
+         traffic), then flattens — and can regress slightly — once panels\n\
+         outgrow cache: pick a moderate panel width (~4-32), not 1 and not\n\
+         necessarily the maximum."
+    );
+}

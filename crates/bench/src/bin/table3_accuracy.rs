@@ -1,0 +1,129 @@
+//! **Table III** — numerical accuracy across generators, sizes and
+//! solvers.
+//!
+//! Two claims are checked:
+//!
+//! 1. RD and ARD produce *identical* answers (same arithmetic), and on
+//!    systems with clustered block spectra they match Thomas and block
+//!    cyclic reduction to near machine precision at any `N`.
+//! 2. The prefix formulation's exact-scan boundary recovery degrades
+//!    geometrically with the per-row spectral spread of the transfer
+//!    products (DESIGN.md §7) — the known stability envelope of
+//!    prefix-computation solvers. Outside it, the windowed extension
+//!    (`BoundaryMode::Windowed`) restores full accuracy.
+//!
+//! Cells show worst relative residuals; `breakdown(i)` marks a singular
+//! boundary extraction at block row `i`.
+//!
+//! ```text
+//! cargo run --release -p bt-bench --bin table3_accuracy [--csv out.csv]
+//! ```
+
+use bt_ard::driver::{ard_solve_cfg, spike_solve_cfg, DriverConfig};
+use bt_ard::state::BoundaryMode;
+use bt_bench::{emit, make_batches, Args, ExpConfig, GenKind, Table};
+use bt_blocktri::cyclic_reduction::cyclic_reduction_solve;
+use bt_blocktri::thomas::thomas_solve;
+use bt_blocktri::BlockTridiag;
+use bt_mpsim::CostModel;
+
+fn residual_or_breakdown(
+    cfg: &ExpConfig,
+    boundary: BoundaryMode,
+    t: &BlockTridiag,
+    batches: &[bt_blocktri::BlockVec],
+) -> String {
+    let src = cfg.source();
+    let driver = DriverConfig::new(cfg.p)
+        .with_model(CostModel::zero())
+        .with_boundary(boundary);
+    match ard_solve_cfg(&driver, &src, batches) {
+        Ok(out) => {
+            let worst = batches
+                .iter()
+                .zip(&out.x)
+                .map(|(y, x)| t.rel_residual(x, y))
+                .fold(0.0f64, f64::max);
+            format!("{worst:.1e}")
+        }
+        Err(e) => format!("breakdown({})", e.row),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let p = args.get_usize("p", 8);
+    let m = args.get_usize("m", 6);
+    let ns = args.get_usize_list("ns", &[16, 32, 64, 128, 512, 2048]);
+    let gens = [
+        GenKind::Clustered,
+        GenKind::Poisson,
+        GenKind::ConvDiff,
+        GenKind::RandomDominant,
+    ];
+
+    let mut table = Table::new(
+        &format!("Table III: worst relative residuals (M={m}, P={p}, R=4)"),
+        &[
+            "gen",
+            "N",
+            "thomas",
+            "bcr",
+            "spike",
+            "ard_scan",
+            "ard_windowed",
+        ],
+    );
+
+    for gen in gens {
+        for &n in &ns {
+            let mut cfg = ExpConfig::default_point();
+            cfg.n = n;
+            cfg.m = m;
+            cfg.p = p.min(n);
+            cfg.r = 4;
+            cfg.gen = gen;
+            cfg.model = CostModel::zero();
+            let src = cfg.source();
+            let t = BlockTridiag::from_source(&src);
+            let batches = make_batches(&cfg, 1);
+
+            let th = match thomas_solve(&t, &batches[0]) {
+                Ok(x) => format!("{:.1e}", t.rel_residual(&x, &batches[0])),
+                Err(e) => format!("breakdown({})", e.row),
+            };
+            let bcr = match cyclic_reduction_solve(&t, &batches[0]) {
+                Ok(x) => format!("{:.1e}", t.rel_residual(&x, &batches[0])),
+                Err(e) => format!("breakdown({})", e.row),
+            };
+            let scan = residual_or_breakdown(&cfg, BoundaryMode::ExactScan, &t, &batches);
+            let windowed = residual_or_breakdown(&cfg, BoundaryMode::Windowed(64), &t, &batches);
+            let spike = {
+                let src = cfg.source();
+                let driver = DriverConfig::new(cfg.p).with_model(CostModel::zero());
+                match spike_solve_cfg(&driver, &src, &batches) {
+                    Ok(out) => format!("{:.1e}", t.rel_residual(&out.x[0], &batches[0])),
+                    Err(e) => format!("breakdown({})", e.row),
+                }
+            };
+
+            table.row(&[
+                gen.name().into(),
+                n.to_string(),
+                th,
+                bcr,
+                spike,
+                scan,
+                windowed,
+            ]);
+        }
+    }
+    emit(&args, &table);
+    println!(
+        "Expected shape: thomas/bcr/spike ~1e-14 everywhere (no prefix\n\
+         products); ard_scan ~1e-12 on clustered spectra at every N,\n\
+         degrading (then breaking down) with N on poisson/convdiff/random —\n\
+         the documented envelope of prefix methods; ard_windowed ~1e-12\n\
+         everywhere (the extension)."
+    );
+}

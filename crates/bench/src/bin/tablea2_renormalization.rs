@@ -1,0 +1,91 @@
+//! **Table A2 (ablation)** — why the companion scan renormalizes.
+//!
+//! The homogeneous companion states grow geometrically (`|U_i| ~ |Z|^i`
+//! for block iterates `Z` of norm > 1). This ablation advances the state
+//! with and without the scalar renormalization and reports the row at
+//! which the raw recurrence overflows `f64` — versus the renormalized
+//! recurrence, which stays in `[0, 1]` forever (the ratio `U V^{-1}` is
+//! scale-invariant, so accuracy is unaffected).
+//!
+//! ```text
+//! cargo run --release -p bt-bench --bin tablea2_renormalization -- \
+//!     --m 4 --n 4096 [--csv out.csv]
+//! ```
+
+use bt_ard::companion::{CompanionState, CompanionW};
+use bt_bench::{emit, Args, Table};
+use bt_blocktri::gen::ClusteredToeplitz;
+use bt_blocktri::BlockTridiag;
+use bt_dense::{gemm, Mat, Trans};
+
+/// Raw (non-renormalized) state advance; returns the first row at which
+/// an entry stops being finite, if any.
+fn raw_overflow_row(t: &BlockTridiag) -> Option<usize> {
+    let row0 = t.row(0);
+    let c_lu = bt_dense::LuFactors::factor(&row0.c).unwrap();
+    let mut u = c_lu.solve(&row0.b);
+    let mut v = Mat::identity(t.m());
+    for i in 1..t.n() - 1 {
+        let w = CompanionW::from_row(t.row(i)).unwrap();
+        let mut new_u = Mat::zeros(t.m(), t.m());
+        gemm(1.0, &w.p, Trans::No, &u, Trans::No, 0.0, &mut new_u);
+        gemm(1.0, &w.q, Trans::No, &v, Trans::No, 1.0, &mut new_u);
+        v = u;
+        u = new_u;
+        if !u.all_finite() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Renormalized advance: returns (max entry magnitude seen, diag of the
+/// final extracted block) to show it stays healthy.
+fn renormalized_health(t: &BlockTridiag) -> (f64, f64) {
+    let mut state = CompanionState::initial(t.row(0)).unwrap();
+    let mut max_seen = 0.0f64;
+    for i in 1..t.n() - 1 {
+        let w = CompanionW::from_row(t.row(i)).unwrap();
+        state.advance(&w);
+        max_seen = max_seen.max(state.u.max_abs()).max(state.v.max_abs());
+    }
+    let d = state.extract_diag(&t.row(t.n() - 2).c).unwrap();
+    (max_seen, d[(0, 0)])
+}
+
+fn main() {
+    let args = Args::from_env();
+    let m = args.get_usize("m", 4);
+    let n = args.get_usize("n", 4096);
+    let ds = [4.0, 8.0, 16.0, 64.0];
+
+    let mut table = Table::new(
+        &format!("Table A2: renormalization ablation (N={n}, M={m}, clustered)"),
+        &[
+            "diag_weight",
+            "raw_overflow_row",
+            "renorm_max_entry",
+            "renorm_final_d00",
+        ],
+    );
+
+    for &d in &ds {
+        let src = ClusteredToeplitz::new(n, m, d, 1e-4, 1);
+        let t = BlockTridiag::from_source(&src);
+        let overflow =
+            raw_overflow_row(&t).map_or("never (N too small)".to_string(), |r| r.to_string());
+        let (max_seen, d00) = renormalized_health(&t);
+        table.row(&[
+            format!("{d}"),
+            overflow,
+            format!("{max_seen:.3}"),
+            format!("{d00:.3}"),
+        ]);
+    }
+    emit(&args, &table);
+    println!(
+        "Expected shape: raw recurrence overflows around row ~710/log10(d)\n\
+         (|U| ~ d^i exceeding 1e308); the renormalized state never exceeds\n\
+         1.0 and still extracts the correct diagonal (d00 ~ diag weight)."
+    );
+}

@@ -1,0 +1,158 @@
+//! Minimal `--key value` argument parsing for the experiment binaries.
+//!
+//! Every experiment accepts overrides for its sweep parameters
+//! (`--n`, `--m`, `--p`, `--r`, ...) plus `--csv <path>` for machine
+//! readable output. No external CLI crate is used (DESIGN.md §6 keeps the
+//! dependency set minimal).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed input (a `--key` without
+    /// a value, or a bare token).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream (used by tests).
+    pub fn parse(tokens: impl Iterator<Item = String>) -> Self {
+        let mut values = BTreeMap::new();
+        let mut tokens = tokens.peekable();
+        while let Some(tok) = tokens.next() {
+            let key = tok
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --key, got '{tok}'"))
+                .to_string();
+            let val = tokens
+                .next()
+                .unwrap_or_else(|| panic!("missing value for --{key}"));
+            values.insert(key, val);
+        }
+        Self { values }
+    }
+
+    /// Returns the raw string value of `key`, if present.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Parses `key` as a `usize`, with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is present but unparsable.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        match self.values.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{key} expects an integer, got '{v}'")),
+        }
+    }
+
+    /// Parses `key` as an `f64`, with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is present but unparsable.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        match self.values.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{key} expects a number, got '{v}'")),
+        }
+    }
+
+    /// Parses `key` as a comma-separated list of `usize`, with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is present but unparsable.
+    pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.values.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|tok| {
+                    tok.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{key} expects integers, got '{tok}'"))
+                })
+                .collect(),
+        }
+    }
+
+    /// The `--csv` output path, if requested.
+    pub fn csv_path(&self) -> Option<std::path::PathBuf> {
+        self.get_str("csv").map(std::path::PathBuf::from)
+    }
+}
+
+/// Prints the table and also writes CSV when `--csv` was given.
+pub fn emit(args: &Args, table: &crate::table::Table) {
+    table.print();
+    if let Some(path) = args.csv_path() {
+        table
+            .write_csv(&path)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("(csv written to {})", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_keys_and_defaults() {
+        let a = args("--n 512 --m 32 --rho 1.5 --ps 1,2,4");
+        assert_eq!(a.get_usize("n", 0), 512);
+        assert_eq!(a.get_usize("m", 0), 32);
+        assert_eq!(a.get_usize("p", 8), 8);
+        assert!((a.get_f64("rho", 0.0) - 1.5).abs() < 1e-15);
+        assert_eq!(a.get_usize_list("ps", &[9]), vec![1, 2, 4]);
+        assert_eq!(a.get_usize_list("qs", &[9]), vec![9]);
+        assert_eq!(a.get_str("missing"), None);
+    }
+
+    #[test]
+    fn csv_path_parsed() {
+        let a = args("--csv out/fig1.csv");
+        assert_eq!(a.csv_path().unwrap().to_str().unwrap(), "out/fig1.csv");
+        assert!(args("--n 1").csv_path().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected --key")]
+    fn bare_token_rejected() {
+        let _ = args("n 512");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value")]
+    fn missing_value_rejected() {
+        let _ = args("--n");
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_rejected() {
+        let a = args("--n abc");
+        let _ = a.get_usize("n", 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Sequential block cyclic reduction (BCR).
+//!
+//! The odd/even elimination scheme of the BCYCLIC solver family — the
+//! related-work baseline the paper's lineage compares against. At each
+//! level the odd-indexed rows of the current reduced system are
+//! eliminated, halving the system until one block row remains; back
+//! substitution then recovers the eliminated rows level by level.
+//!
+//! Work is `O(N M^3)` like Thomas (with a ~2.7x constant), but the
+//! elimination tree has depth `log2 N`, which is what makes the scheme
+//! parallelizable; here we provide the sequential form for accuracy
+//! cross-checks and baseline comparisons (Table III).
+
+use crate::matrix::{BlockTridiag, BlockVec};
+use crate::thomas::FactorError;
+use bt_dense::{gemm, LuFactors, Mat, Trans};
+
+/// Solves `T X = Y` by block cyclic reduction.
+///
+/// Requires the diagonal blocks of every reduced level to be invertible
+/// (guaranteed for block diagonally dominant and SPD systems). `Y` may
+/// carry any number of columns.
+///
+/// # Errors
+///
+/// [`FactorError`] if a diagonal block of some reduced level is singular;
+/// the reported row is the index in the *original* numbering.
+pub fn cyclic_reduction_solve(t: &BlockTridiag, y: &BlockVec) -> Result<BlockVec, FactorError> {
+    assert_eq!(y.n(), t.n(), "rhs block count mismatch");
+    assert_eq!(y.m(), t.m(), "rhs block order mismatch");
+    let n = t.n();
+    let m = t.m();
+    let r = y.r();
+
+    // Working copies of the coefficients and RHS; `idx[k]` maps position k
+    // of the current reduced system to the original row index.
+    let mut a: Vec<Mat> = (0..n).map(|i| t.row(i).a.clone()).collect();
+    let mut b: Vec<Mat> = (0..n).map(|i| t.row(i).b.clone()).collect();
+    let mut c: Vec<Mat> = (0..n).map(|i| t.row(i).c.clone()).collect();
+    let mut rhs: Vec<Mat> = y.blocks.clone();
+    let mut idx: Vec<usize> = (0..n).collect();
+
+    // Stack of eliminated levels for back substitution. Each record keeps,
+    // for every odd position of that level: the original row index, its
+    // factored diagonal, its a/c blocks and its RHS at elimination time,
+    // plus the original indices of its even neighbours.
+    struct Eliminated {
+        orig: usize,
+        d: LuFactors,
+        a: Mat,
+        c: Mat,
+        rhs: Mat,
+        left: Option<usize>,
+        right: Option<usize>,
+    }
+    let mut levels: Vec<Vec<Eliminated>> = Vec::new();
+
+    while idx.len() > 1 {
+        let len = idx.len();
+        let mut elim = Vec::with_capacity(len / 2);
+
+        // Factor the diagonals of the odd positions (the ones eliminated).
+        let odd_factors: Vec<LuFactors> = (1..len)
+            .step_by(2)
+            .map(|k| {
+                LuFactors::factor(&b[k]).map_err(|source| FactorError {
+                    row: idx[k],
+                    source,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Fold each odd row into its even neighbours.
+        let mut new_a = Vec::with_capacity(len / 2 + 1);
+        let mut new_b = Vec::with_capacity(len / 2 + 1);
+        let mut new_c = Vec::with_capacity(len / 2 + 1);
+        let mut new_rhs = Vec::with_capacity(len / 2 + 1);
+        let mut new_idx = Vec::with_capacity(len / 2 + 1);
+
+        for k in (0..len).step_by(2) {
+            let mut bb = b[k].clone();
+            let mut aa = if k == 0 {
+                Mat::zeros(m, m)
+            } else {
+                a[k].clone()
+            };
+            let mut cc = if k + 1 >= len {
+                Mat::zeros(m, m)
+            } else {
+                c[k].clone()
+            };
+            let mut yy = rhs[k].clone();
+
+            // Left odd neighbour k-1: row k gains  -C_{k-1}-elimination.
+            if k >= 1 {
+                let d = &odd_factors[(k - 1) / 2];
+                // E = A_k * B_{k-1}^{-1}  (right division)
+                let e = d.solve_transposed_system(&a[k]);
+                // B_k -= E * C_{k-1}; A_k = -E * A_{k-1}; y_k -= E * y_{k-1}
+                gemm(-1.0, &e, Trans::No, &c[k - 1], Trans::No, 1.0, &mut bb);
+                let mut ea = Mat::zeros(m, m);
+                gemm(-1.0, &e, Trans::No, &a[k - 1], Trans::No, 0.0, &mut ea);
+                aa = ea;
+                gemm(-1.0, &e, Trans::No, &rhs[k - 1], Trans::No, 1.0, &mut yy);
+            }
+            // Right odd neighbour k+1 (odd position k+1 is the (k/2)-th
+            // odd row of this level).
+            if k + 1 < len {
+                let d = &odd_factors[k / 2];
+                // F = C_k * B_{k+1}^{-1}
+                let fmat = d.solve_transposed_system(&c[k]);
+                gemm(-1.0, &fmat, Trans::No, &a[k + 1], Trans::No, 1.0, &mut bb);
+                let mut fc = Mat::zeros(m, m);
+                if k + 2 < len {
+                    gemm(-1.0, &fmat, Trans::No, &c[k + 1], Trans::No, 0.0, &mut fc);
+                }
+                cc = fc;
+                gemm(-1.0, &fmat, Trans::No, &rhs[k + 1], Trans::No, 1.0, &mut yy);
+            }
+
+            new_a.push(aa);
+            new_b.push(bb);
+            new_c.push(cc);
+            new_rhs.push(yy);
+            new_idx.push(idx[k]);
+        }
+
+        // Record the eliminated odd rows for back substitution.
+        for (j, k) in (1..len).step_by(2).enumerate() {
+            elim.push(Eliminated {
+                orig: idx[k],
+                d: odd_factors[j].clone(),
+                a: a[k].clone(),
+                c: c[k].clone(),
+                rhs: rhs[k].clone(),
+                left: Some(idx[k - 1]),
+                right: if k + 1 < len { Some(idx[k + 1]) } else { None },
+            });
+        }
+
+        a = new_a;
+        b = new_b;
+        c = new_c;
+        rhs = new_rhs;
+        idx = new_idx;
+        levels.push(elim);
+    }
+
+    // Solve the final 1x1 block system.
+    let mut x = BlockVec::zeros(n, m, r);
+    let d = LuFactors::factor(&b[0]).map_err(|source| FactorError {
+        row: idx[0],
+        source,
+    })?;
+    x.blocks[idx[0]] = d.solve(&rhs[0]);
+
+    // Back substitution, reversing the elimination order.
+    for elim in levels.into_iter().rev() {
+        for e in elim {
+            let mut rr = e.rhs.clone();
+            if let Some(l) = e.left {
+                gemm(-1.0, &e.a, Trans::No, &x.blocks[l], Trans::No, 1.0, &mut rr);
+            }
+            if let Some(rt) = e.right {
+                gemm(
+                    -1.0,
+                    &e.c,
+                    Trans::No,
+                    &x.blocks[rt],
+                    Trans::No,
+                    1.0,
+                    &mut rr,
+                );
+            }
+            e.d.solve_in_place(&mut rr);
+            x.blocks[e.orig] = rr;
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{materialize, random_rhs, ConvectionDiffusion, Poisson2D, RandomDominant};
+    use crate::thomas::thomas_solve;
+
+    #[test]
+    fn matches_thomas_on_random_dominant() {
+        for n in [1, 2, 3, 4, 5, 8, 13, 16, 31] {
+            let t = materialize(&RandomDominant::new(n, 3, 1.3, n as u64));
+            let y = random_rhs(n, 3, 2, 5);
+            let x_cr = cyclic_reduction_solve(&t, &y).unwrap();
+            let x_th = thomas_solve(&t, &y).unwrap();
+            assert!(
+                x_cr.rel_diff(&x_th) < 1e-9,
+                "n={n}: diff {}",
+                x_cr.rel_diff(&x_th)
+            );
+        }
+    }
+
+    #[test]
+    fn residual_small_on_poisson() {
+        let t = materialize(&Poisson2D::new(64, 6));
+        let y = random_rhs(64, 6, 3, 8);
+        let x = cyclic_reduction_solve(&t, &y).unwrap();
+        assert!(t.rel_residual(&x, &y) < 1e-11);
+    }
+
+    #[test]
+    fn handles_nonsymmetric_systems() {
+        let t = materialize(&ConvectionDiffusion::new(33, 4, 0.6));
+        let y = random_rhs(33, 4, 2, 2);
+        let x = cyclic_reduction_solve(&t, &y).unwrap();
+        assert!(t.rel_residual(&x, &y) < 1e-11);
+    }
+
+    #[test]
+    fn multi_rhs_panel() {
+        let t = materialize(&RandomDominant::new(17, 2, 1.5, 3));
+        let y = random_rhs(17, 2, 7, 1);
+        let x = cyclic_reduction_solve(&t, &y).unwrap();
+        assert!(t.rel_residual(&x, &y) < 1e-12);
+    }
+}

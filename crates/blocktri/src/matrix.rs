@@ -1,0 +1,487 @@
+//! Block tridiagonal matrix and block vector types.
+//!
+//! A [`BlockTridiag`] with `N` block rows of order `M` represents
+//!
+//! ```text
+//! | B_0  C_0                     |
+//! | A_1  B_1  C_1                |
+//! |      A_2  B_2  C_2           |
+//! |            ...               |
+//! |            A_{N-1}  B_{N-1}  |
+//! ```
+//!
+//! Right-hand sides and solutions are [`BlockVec`]s: `N` stacked `M x R`
+//! panels, where `R` is the number of simultaneous right-hand sides — the
+//! quantity the accelerated recursive doubling algorithm amortizes over.
+
+use bt_dense::{gemm, Mat, Trans};
+
+/// One block row `(A_i, B_i, C_i)`. `A_0` and `C_{N-1}` are zero blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockRow {
+    /// Subdiagonal block (couples to row `i - 1`).
+    pub a: Mat,
+    /// Diagonal block.
+    pub b: Mat,
+    /// Superdiagonal block (couples to row `i + 1`).
+    pub c: Mat,
+}
+
+impl BlockRow {
+    /// Builds a row, checking all three blocks are `m x m`.
+    pub fn new(a: Mat, b: Mat, c: Mat) -> Self {
+        let m = b.rows();
+        assert!(b.is_square(), "diagonal block must be square");
+        assert_eq!(a.shape(), (m, m), "subdiagonal block shape mismatch");
+        assert_eq!(c.shape(), (m, m), "superdiagonal block shape mismatch");
+        Self { a, b, c }
+    }
+
+    /// Block order `M`.
+    pub fn order(&self) -> usize {
+        self.b.rows()
+    }
+}
+
+/// A source of block rows that any rank can sample independently.
+///
+/// Generators implement this so distributed solvers materialize only
+/// their local row range; `row(i)` must be deterministic in `i`.
+pub trait BlockRowSource {
+    /// Number of block rows `N`.
+    fn n(&self) -> usize;
+    /// Block order `M`.
+    fn m(&self) -> usize;
+    /// The `i`-th block row. Implementations must return zero `a` for
+    /// `i == 0` and zero `c` for `i == n() - 1`.
+    fn row(&self, i: usize) -> BlockRow;
+}
+
+impl<S: BlockRowSource + ?Sized> BlockRowSource for Box<S> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn m(&self) -> usize {
+        (**self).m()
+    }
+    fn row(&self, i: usize) -> BlockRow {
+        (**self).row(i)
+    }
+}
+
+impl<S: BlockRowSource + ?Sized> BlockRowSource for &S {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn m(&self) -> usize {
+        (**self).m()
+    }
+    fn row(&self, i: usize) -> BlockRow {
+        (**self).row(i)
+    }
+}
+
+/// Owned block tridiagonal matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockTridiag {
+    n: usize,
+    m: usize,
+    rows: Vec<BlockRow>,
+}
+
+impl BlockTridiag {
+    /// Builds a matrix from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty, block orders are inconsistent, or the
+    /// boundary blocks (`A_0`, `C_{N-1}`) are not zero.
+    pub fn new(rows: Vec<BlockRow>) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one block row");
+        let m = rows[0].order();
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.order(), m, "row {i} has inconsistent block order");
+        }
+        assert_eq!(rows[0].a.max_abs(), 0.0, "A_0 must be zero");
+        assert_eq!(
+            rows[rows.len() - 1].c.max_abs(),
+            0.0,
+            "C_{{N-1}} must be zero"
+        );
+        Self {
+            n: rows.len(),
+            m,
+            rows,
+        }
+    }
+
+    /// Materializes all rows of `src`.
+    pub fn from_source(src: &dyn BlockRowSource) -> Self {
+        let rows = (0..src.n()).map(|i| src.row(i)).collect();
+        Self::new(rows)
+    }
+
+    /// Number of block rows `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Block order `M`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Total scalar dimension `N * M`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n * self.m
+    }
+
+    /// The `i`-th block row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &BlockRow {
+        &self.rows[i]
+    }
+
+    /// Iterator over block rows in order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &BlockRow> {
+        self.rows.iter()
+    }
+
+    /// Matrix-panel product `Y = T X` where `X` has one `M x R` panel per
+    /// block row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn apply(&self, x: &BlockVec) -> BlockVec {
+        assert_eq!(x.n(), self.n, "apply: block count mismatch");
+        assert_eq!(x.m(), self.m, "apply: block order mismatch");
+        let r = x.r();
+        let mut out = BlockVec::zeros(self.n, self.m, r);
+        for i in 0..self.n {
+            let yi = &mut out.blocks[i];
+            gemm(
+                1.0,
+                &self.rows[i].b,
+                Trans::No,
+                &x.blocks[i],
+                Trans::No,
+                0.0,
+                yi,
+            );
+            if i > 0 {
+                gemm(
+                    1.0,
+                    &self.rows[i].a,
+                    Trans::No,
+                    &x.blocks[i - 1],
+                    Trans::No,
+                    1.0,
+                    yi,
+                );
+            }
+            if i + 1 < self.n {
+                gemm(
+                    1.0,
+                    &self.rows[i].c,
+                    Trans::No,
+                    &x.blocks[i + 1],
+                    Trans::No,
+                    1.0,
+                    yi,
+                );
+            }
+        }
+        out
+    }
+
+    /// Relative residual `||T x - y||_F / ||y||_F`.
+    pub fn rel_residual(&self, x: &BlockVec, y: &BlockVec) -> f64 {
+        let mut r = self.apply(x);
+        r.sub_assign(y);
+        let denom = y.fro_norm().max(f64::MIN_POSITIVE.sqrt());
+        r.fro_norm() / denom
+    }
+
+    /// Expands to a dense `(N*M) x (N*M)` matrix. Only sensible for small
+    /// systems (tests, examples).
+    pub fn to_dense(&self) -> Mat {
+        let d = self.dim();
+        let m = self.m;
+        let mut out = Mat::zeros(d, d);
+        for i in 0..self.n {
+            out.set_block(i * m, i * m, &self.rows[i].b);
+            if i > 0 {
+                out.set_block(i * m, (i - 1) * m, &self.rows[i].a);
+            }
+            if i + 1 < self.n {
+                out.set_block(i * m, (i + 1) * m, &self.rows[i].c);
+            }
+        }
+        out
+    }
+
+    /// True if every row is *block row diagonally dominant*:
+    /// `||B_i^{-1}||^{-1} > ||A_i|| + ||C_i||` in the infinity norm
+    /// (a sufficient condition for the block LU recurrences of all the
+    /// solvers in this suite to be well defined).
+    pub fn is_block_diag_dominant(&self) -> bool {
+        use bt_dense::{inf_norm, invert};
+        self.rows.iter().all(|row| {
+            let binv = match invert(&row.b) {
+                Ok(v) => v,
+                Err(_) => return false,
+            };
+            let lower = 1.0 / inf_norm(&binv);
+            lower > inf_norm(&row.a) + inf_norm(&row.c)
+        })
+    }
+}
+
+/// `N` stacked `M x R` panels: a block vector with `R` simultaneous
+/// columns (right-hand sides or solutions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockVec {
+    m: usize,
+    r: usize,
+    /// One `M x R` panel per block row.
+    pub blocks: Vec<Mat>,
+}
+
+impl BlockVec {
+    /// All-zero block vector with `n` panels of shape `m x r`.
+    pub fn zeros(n: usize, m: usize, r: usize) -> Self {
+        Self {
+            m,
+            r,
+            blocks: (0..n).map(|_| Mat::zeros(m, r)).collect(),
+        }
+    }
+
+    /// Builds from explicit panels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if panels are empty or inconsistently shaped.
+    pub fn from_blocks(blocks: Vec<Mat>) -> Self {
+        assert!(
+            !blocks.is_empty(),
+            "block vector must have at least one panel"
+        );
+        let (m, r) = blocks[0].shape();
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(b.shape(), (m, r), "panel {i} shape mismatch");
+        }
+        Self { m, r, blocks }
+    }
+
+    /// Builds from a dense `(N*M) x R` matrix by slicing into panels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense.rows()` is not a multiple of `m`.
+    pub fn from_dense(dense: &Mat, m: usize) -> Self {
+        assert_eq!(
+            dense.rows() % m,
+            0,
+            "dense rows not a multiple of block order"
+        );
+        let n = dense.rows() / m;
+        let blocks = (0..n)
+            .map(|i| dense.block(i * m, 0, m, dense.cols()))
+            .collect();
+        Self {
+            m,
+            r: dense.cols(),
+            blocks,
+        }
+    }
+
+    /// Flattens to a dense `(N*M) x R` matrix.
+    pub fn to_dense(&self) -> Mat {
+        let mut out = Mat::zeros(self.n() * self.m, self.r);
+        for (i, b) in self.blocks.iter().enumerate() {
+            out.set_block(i * self.m, 0, b);
+        }
+        out
+    }
+
+    /// Number of panels `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Panel row count `M`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of columns `R` (right-hand sides).
+    #[inline]
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Extracts column `j` as a new single-column block vector.
+    pub fn column(&self, j: usize) -> BlockVec {
+        assert!(j < self.r, "column {j} out of range {}", self.r);
+        BlockVec {
+            m: self.m,
+            r: 1,
+            blocks: self.blocks.iter().map(|b| b.columns(j, 1)).collect(),
+        }
+    }
+
+    /// In-place element-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub_assign(&mut self, other: &BlockVec) {
+        assert_eq!(self.n(), other.n(), "block count mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            a.sub_assign(b);
+        }
+    }
+
+    /// Frobenius norm over all panels.
+    pub fn fro_norm(&self) -> f64 {
+        self.blocks
+            .iter()
+            .map(|b| b.as_slice().iter().map(|v| v * v).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.blocks.iter().map(Mat::max_abs).fold(0.0, f64::max)
+    }
+
+    /// True if every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.blocks.iter().all(Mat::all_finite)
+    }
+
+    /// `||self - other||_F / max(||other||_F, floor)`.
+    pub fn rel_diff(&self, other: &BlockVec) -> f64 {
+        let mut d = self.clone();
+        d.sub_assign(other);
+        d.fro_norm() / other.fro_norm().max(f64::MIN_POSITIVE.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_dense::matmul;
+
+    fn tiny_system() -> BlockTridiag {
+        let z = Mat::zeros(2, 2);
+        let b0 = Mat::from_rows(&[&[4.0, 1.0], &[0.0, 5.0]]);
+        let c0 = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let a1 = Mat::from_rows(&[&[0.5, 0.0], &[0.0, 0.5]]);
+        let b1 = Mat::from_rows(&[&[6.0, 1.0], &[1.0, 6.0]]);
+        BlockTridiag::new(vec![
+            BlockRow::new(z.clone(), b0, c0),
+            BlockRow::new(a1, b1, z),
+        ])
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let t = tiny_system();
+        assert_eq!(t.n(), 2);
+        assert_eq!(t.m(), 2);
+        assert_eq!(t.dim(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "A_0 must be zero")]
+    fn nonzero_a0_rejected() {
+        let one = Mat::identity(2);
+        let _ = BlockTridiag::new(vec![BlockRow::new(
+            one.clone(),
+            one.clone(),
+            Mat::zeros(2, 2),
+        )]);
+    }
+
+    #[test]
+    fn apply_matches_dense() {
+        let t = tiny_system();
+        let x = BlockVec::from_blocks(vec![
+            Mat::from_rows(&[&[1.0], &[2.0]]),
+            Mat::from_rows(&[&[3.0], &[4.0]]),
+        ]);
+        let y = t.apply(&x);
+        let dense_y = matmul(&t.to_dense(), &x.to_dense());
+        assert!(y.to_dense().sub(&dense_y).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn apply_multi_rhs_panels() {
+        let t = tiny_system();
+        let x = BlockVec::from_dense(&Mat::from_fn(4, 3, |i, j| (i + j) as f64), 2);
+        let y = t.apply(&x);
+        assert_eq!(y.r(), 3);
+        let dense_y = matmul(&t.to_dense(), &x.to_dense());
+        assert!(y.to_dense().sub(&dense_y).max_abs() < 1e-13);
+    }
+
+    #[test]
+    fn residual_zero_for_exact_solution() {
+        let t = tiny_system();
+        let x = BlockVec::from_dense(&Mat::from_fn(4, 1, |i, _| i as f64 + 1.0), 2);
+        let y = t.apply(&x);
+        assert!(t.rel_residual(&x, &y) < 1e-15);
+    }
+
+    #[test]
+    fn block_vec_dense_roundtrip() {
+        let d = Mat::from_fn(6, 2, |i, j| (10 * i + j) as f64);
+        let bv = BlockVec::from_dense(&d, 3);
+        assert_eq!(bv.n(), 2);
+        assert_eq!(bv.m(), 3);
+        assert_eq!(bv.to_dense(), d);
+    }
+
+    #[test]
+    fn block_vec_column_extract() {
+        let d = Mat::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let bv = BlockVec::from_dense(&d, 2);
+        let c1 = bv.column(1);
+        assert_eq!(c1.r(), 1);
+        assert_eq!(c1.to_dense(), d.columns(1, 1));
+    }
+
+    #[test]
+    fn block_vec_norms() {
+        let bv = BlockVec::from_blocks(vec![Mat::from_rows(&[&[3.0]]), Mat::from_rows(&[&[4.0]])]);
+        assert!((bv.fro_norm() - 5.0).abs() < 1e-15);
+        assert_eq!(bv.max_abs(), 4.0);
+        assert!(bv.all_finite());
+    }
+
+    #[test]
+    fn dominance_check() {
+        let t = tiny_system();
+        assert!(t.is_block_diag_dominant());
+        // A clearly non-dominant system: huge off-diagonal.
+        let z = Mat::zeros(1, 1);
+        let t2 = BlockTridiag::new(vec![
+            BlockRow::new(
+                z.clone(),
+                Mat::from_rows(&[&[1.0]]),
+                Mat::from_rows(&[&[100.0]]),
+            ),
+            BlockRow::new(Mat::from_rows(&[&[100.0]]), Mat::from_rows(&[&[1.0]]), z),
+        ]);
+        assert!(!t2.is_block_diag_dominant());
+    }
+}

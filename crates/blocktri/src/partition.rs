@@ -1,0 +1,137 @@
+//! Contiguous row partitioning of `N` block rows over `P` ranks.
+//!
+//! The distributed solvers assign each rank a contiguous range of block
+//! rows; earlier ranks get the extra rows when `N % P != 0`, matching the
+//! standard MPI block distribution.
+
+use std::ops::Range;
+
+/// A contiguous partition of `n` rows over `p` ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowPartition {
+    n: usize,
+    p: usize,
+}
+
+impl RowPartition {
+    /// Creates the partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(p > 0, "partition over zero ranks");
+        Self { n, p }
+    }
+
+    /// Total row count.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rank count.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Row range owned by `rank`. Ranges are contiguous, ordered by rank,
+    /// and their lengths differ by at most one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= p`.
+    pub fn range(&self, rank: usize) -> Range<usize> {
+        assert!(rank < self.p, "rank {rank} out of {}", self.p);
+        let base = self.n / self.p;
+        let rem = self.n % self.p;
+        let start = rank * base + rank.min(rem);
+        let len = base + usize::from(rank < rem);
+        start..start + len
+    }
+
+    /// Number of rows owned by `rank`.
+    pub fn len(&self, rank: usize) -> usize {
+        self.range(rank).len()
+    }
+
+    /// True if `rank` owns no rows (only possible when `p > n`).
+    pub fn is_empty(&self, rank: usize) -> bool {
+        self.len(rank) == 0
+    }
+
+    /// The rank owning global row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn owner(&self, i: usize) -> usize {
+        assert!(i < self.n, "row {i} out of {}", self.n);
+        let base = self.n / self.p;
+        let rem = self.n % self.p;
+        let big = (base + 1) * rem; // rows held by the first `rem` ranks
+        if i < big {
+            i / (base + 1)
+        } else {
+            rem + (i - big) / base.max(1)
+        }
+    }
+
+    /// Largest number of rows owned by any rank (`ceil(n / p)`).
+    pub fn max_len(&self) -> usize {
+        self.n.div_ceil(self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_and_are_disjoint() {
+        for (n, p) in [(10, 3), (7, 7), (16, 4), (5, 8), (1, 1), (100, 13), (0, 4)] {
+            let part = RowPartition::new(n, p);
+            let mut covered = 0;
+            for r in 0..p {
+                let range = part.range(r);
+                assert_eq!(range.start, covered, "n={n} p={p} rank={r}");
+                covered = range.end;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let part = RowPartition::new(10, 3);
+        let lens: Vec<_> = (0..3).map(|r| part.len(r)).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+        assert_eq!(part.max_len(), 4);
+    }
+
+    #[test]
+    fn owner_inverts_range() {
+        for (n, p) in [(10, 3), (16, 4), (5, 8), (23, 6), (64, 64)] {
+            let part = RowPartition::new(n, p);
+            for i in 0..n {
+                let o = part.owner(i);
+                assert!(part.range(o).contains(&i), "n={n} p={p} row={i} owner={o}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ranks_when_p_exceeds_n() {
+        let part = RowPartition::new(3, 5);
+        assert_eq!(part.len(0), 1);
+        assert_eq!(part.len(3), 0);
+        assert!(part.is_empty(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 3 out of 3")]
+    fn rank_out_of_range_panics() {
+        let _ = RowPartition::new(10, 3).range(3);
+    }
+}

@@ -1,0 +1,247 @@
+//! Symmetric positive definite block Thomas: the Cholesky-based variant.
+//!
+//! For SPD block tridiagonal systems (`B_i` symmetric, `C_i = A_{i+1}^T`,
+//! positive definite overall), every block LU diagonal
+//! `D_i = B_i - A_i D_{i-1}^{-1} A_i^T` is itself SPD (a Schur
+//! complement), so Cholesky replaces LU throughout — half the
+//! factorization flops and guaranteed breakdown-free for genuinely SPD
+//! input. Poisson-class discretizations (the [`crate::gen::Poisson2D`]
+//! generator) are the canonical use.
+
+use crate::matrix::{BlockTridiag, BlockVec};
+use crate::thomas::FactorError;
+use bt_dense::{gemm, CholFactors, Mat, Trans};
+
+/// Checks the structural symmetry `C_i = A_{i+1}^T` and `B_i = B_i^T`
+/// up to a relative tolerance.
+pub fn is_symmetric(t: &BlockTridiag, rel_tol: f64) -> bool {
+    let scale = (0..t.n())
+        .map(|i| t.row(i).b.max_abs())
+        .fold(0.0, f64::max)
+        .max(1e-300);
+    for i in 0..t.n() {
+        let row = t.row(i);
+        if row.b.sub(&row.b.transpose()).max_abs() > rel_tol * scale {
+            return false;
+        }
+        if i + 1 < t.n() {
+            let next_a = &t.row(i + 1).a;
+            if row.c.sub(&next_a.transpose()).max_abs() > rel_tol * scale {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Cholesky-based block LU factorization of an SPD block tridiagonal
+/// matrix, with the same factor-once / solve-many API as
+/// [`crate::thomas::ThomasFactors`].
+#[derive(Debug, Clone)]
+pub struct SpdThomasFactors {
+    n: usize,
+    m: usize,
+    d_chol: Vec<CholFactors>,
+    /// `L_i = A_i D_{i-1}^{-1}` for `i >= 1` (index 0 unused).
+    l: Vec<Mat>,
+    /// Superdiagonal blocks for back substitution.
+    c: Vec<Mat>,
+}
+
+impl SpdThomasFactors {
+    /// Factors an SPD block tridiagonal matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError`] if a Schur complement is not positive definite —
+    /// either the matrix is not SPD or it is numerically indefinite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not structurally symmetric
+    /// (`C_i != A_{i+1}^T` or `B_i` nonsymmetric).
+    pub fn factor(t: &BlockTridiag) -> Result<Self, FactorError> {
+        assert!(
+            is_symmetric(t, 1e-12),
+            "SPD factorization requires a symmetric block tridiagonal matrix"
+        );
+        let n = t.n();
+        let m = t.m();
+        let mut d_chol: Vec<CholFactors> = Vec::with_capacity(n);
+        let mut l: Vec<Mat> = Vec::with_capacity(n);
+        let mut c: Vec<Mat> = Vec::with_capacity(n);
+
+        for i in 0..n {
+            let row = t.row(i);
+            c.push(row.c.clone());
+            let d = if i == 0 {
+                l.push(Mat::zeros(0, 0));
+                row.b.clone()
+            } else {
+                let li = d_chol[i - 1].solve_transposed_system(&row.a);
+                let mut d = row.b.clone();
+                gemm(-1.0, &li, Trans::No, &c[i - 1], Trans::No, 1.0, &mut d);
+                l.push(li);
+                d
+            };
+            let ch = CholFactors::factor(&d).map_err(|source| FactorError { row: i, source })?;
+            d_chol.push(ch);
+        }
+        Ok(Self { n, m, d_chol, l, c })
+    }
+
+    /// Number of block rows.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Block order.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// `log(det T)` — the sum of the Schur complement log-determinants.
+    /// Useful for Gaussian process / determinant computations on SPD
+    /// block tridiagonal precision matrices.
+    pub fn log_det(&self) -> f64 {
+        self.d_chol.iter().map(CholFactors::log_det).sum()
+    }
+
+    /// Solves `T X = Y` for a panel of right-hand sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn solve(&self, y: &BlockVec) -> BlockVec {
+        assert_eq!(y.n(), self.n, "rhs block count mismatch");
+        assert_eq!(y.m(), self.m, "rhs block order mismatch");
+        let r = y.r();
+
+        let mut z: Vec<Mat> = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let mut zi = y.blocks[i].clone();
+            if i > 0 {
+                gemm(
+                    -1.0,
+                    &self.l[i],
+                    Trans::No,
+                    &z[i - 1],
+                    Trans::No,
+                    1.0,
+                    &mut zi,
+                );
+            }
+            z.push(zi);
+        }
+        let mut x = BlockVec::zeros(self.n, self.m, r);
+        for i in (0..self.n).rev() {
+            let mut rhs = z[i].clone();
+            if i + 1 < self.n {
+                gemm(
+                    -1.0,
+                    &self.c[i],
+                    Trans::No,
+                    &x.blocks[i + 1],
+                    Trans::No,
+                    1.0,
+                    &mut rhs,
+                );
+            }
+            self.d_chol[i].solve_in_place(&mut rhs);
+            x.blocks[i] = rhs;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{materialize, random_rhs, ConvectionDiffusion, Poisson2D};
+    use crate::thomas::ThomasFactors;
+
+    #[test]
+    fn poisson_is_symmetric() {
+        let t = materialize(&Poisson2D::new(12, 5));
+        assert!(is_symmetric(&t, 1e-14));
+    }
+
+    #[test]
+    fn convection_diffusion_is_not() {
+        let t = materialize(&ConvectionDiffusion::new(8, 4, 0.5));
+        assert!(!is_symmetric(&t, 1e-12));
+    }
+
+    #[test]
+    fn matches_lu_thomas_on_poisson() {
+        let t = materialize(&Poisson2D::new(40, 6));
+        let y = random_rhs(40, 6, 3, 2);
+        let x_spd = SpdThomasFactors::factor(&t).unwrap().solve(&y);
+        let x_lu = ThomasFactors::factor(&t).unwrap().solve(&y);
+        assert!(x_spd.rel_diff(&x_lu) < 1e-12);
+        assert!(t.rel_residual(&x_spd, &y) < 1e-13);
+    }
+
+    #[test]
+    fn factor_once_solve_many() {
+        let t = materialize(&Poisson2D::new(24, 4));
+        let f = SpdThomasFactors::factor(&t).unwrap();
+        for seed in 0..3 {
+            let y = random_rhs(24, 4, 2, seed);
+            assert!(t.rel_residual(&f.solve(&y), &y) < 1e-13);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_dense() {
+        let t = materialize(&Poisson2D::new(6, 3));
+        let f = SpdThomasFactors::factor(&t).unwrap();
+        let dense_det = bt_dense::LuFactors::factor(&t.to_dense()).unwrap().det();
+        assert!((f.log_det() - dense_det.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a symmetric")]
+    fn rejects_nonsymmetric() {
+        let t = materialize(&ConvectionDiffusion::new(6, 3, 0.5));
+        let _ = SpdThomasFactors::factor(&t);
+    }
+
+    #[test]
+    fn rejects_indefinite_symmetric() {
+        use crate::matrix::BlockRow;
+        // Symmetric but indefinite: B = [[0,1],[1,0]].
+        let z = Mat::zeros(2, 2);
+        let b = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let t = BlockTridiag::new(vec![BlockRow::new(z.clone(), b, z)]);
+        let err = SpdThomasFactors::factor(&t).unwrap_err();
+        assert_eq!(err.row, 0);
+    }
+}
+
+#[cfg(test)]
+mod indefinite_tests {
+    use super::*;
+    use crate::gen::{materialize, random_rhs, Helmholtz2D};
+    use crate::thomas::thomas_solve;
+
+    #[test]
+    fn spd_solver_rejects_indefinite_helmholtz() {
+        // Symmetric but indefinite (shift pushes eigenvalues negative):
+        // Cholesky must fail with a clear error, not return garbage.
+        let t = materialize(&Helmholtz2D::new(24, 6, 3.2));
+        let err = SpdThomasFactors::factor(&t).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("block row"), "{msg}");
+    }
+
+    #[test]
+    fn lu_thomas_still_solves_mildly_indefinite() {
+        // The general (LU) path handles indefiniteness as long as no D_i
+        // is exactly singular.
+        let t = materialize(&Helmholtz2D::new(24, 6, 3.2));
+        let y = random_rhs(24, 6, 2, 1);
+        let x = thomas_solve(&t, &y).unwrap();
+        assert!(t.rel_residual(&x, &y) < 1e-9);
+    }
+}

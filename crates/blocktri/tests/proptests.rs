@@ -1,0 +1,99 @@
+//! Property-based tests for the block tridiagonal types, generators and
+//! sequential solvers.
+
+use bt_blocktri::cyclic_reduction::cyclic_reduction_solve;
+use bt_blocktri::gen::{materialize, random_rhs, ClusteredToeplitz, RandomDominant};
+use bt_blocktri::thomas::{thomas_solve, ThomasFactors};
+use bt_blocktri::{BlockRowSource, BlockVec, RowPartition};
+use bt_dense::{matmul, solve as dense_solve};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn thomas_matches_dense(
+        (n, m, seed) in (1usize..12, 1usize..5, 0u64..500),
+        r in 1usize..4,
+    ) {
+        let t = materialize(&RandomDominant::new(n, m, 1.5, seed));
+        let y = random_rhs(n, m, r, seed + 1);
+        let x = thomas_solve(&t, &y).unwrap();
+        let xd = dense_solve(&t.to_dense(), &y.to_dense()).unwrap();
+        let diff = x.to_dense().sub(&xd).max_abs();
+        prop_assert!(diff < 1e-8, "diff {diff} (n={n} m={m})");
+    }
+
+    #[test]
+    fn cyclic_reduction_matches_thomas(
+        (n, m, seed) in (1usize..24, 1usize..5, 0u64..500),
+    ) {
+        let t = materialize(&ClusteredToeplitz::standard(n, m, seed));
+        let y = random_rhs(n, m, 2, seed + 2);
+        let x_cr = cyclic_reduction_solve(&t, &y).unwrap();
+        let x_th = thomas_solve(&t, &y).unwrap();
+        prop_assert!(x_cr.rel_diff(&x_th) < 1e-10);
+    }
+
+    #[test]
+    fn apply_matches_dense_multiply(
+        (n, m, seed) in (1usize..10, 1usize..5, 0u64..500),
+    ) {
+        let t = materialize(&RandomDominant::new(n, m, 1.2, seed));
+        let x = random_rhs(n, m, 3, seed + 3);
+        let y = t.apply(&x);
+        let yd = matmul(&t.to_dense(), &x.to_dense());
+        prop_assert!(y.to_dense().sub(&yd).max_abs() < 1e-11);
+    }
+
+    #[test]
+    fn solve_then_apply_roundtrips(
+        (n, m, seed) in (2usize..20, 1usize..4, 0u64..500),
+    ) {
+        let t = materialize(&ClusteredToeplitz::standard(n, m, seed));
+        let y = random_rhs(n, m, 2, seed + 4);
+        let f = ThomasFactors::factor(&t).unwrap();
+        let x = f.solve(&y);
+        prop_assert!(t.rel_residual(&x, &y) < 1e-11);
+        // And the reverse: apply then solve recovers the input.
+        let z = t.apply(&x);
+        let x2 = f.solve(&z);
+        prop_assert!(x2.rel_diff(&x) < 1e-10);
+    }
+
+    #[test]
+    fn generators_row_determinism(
+        (n, m, seed, i) in (2usize..50, 1usize..6, 0u64..1000, 0usize..50),
+    ) {
+        let i = i % n;
+        let g = RandomDominant::new(n, m, 1.3, seed);
+        prop_assert_eq!(g.row(i), g.row(i));
+        let g2 = ClusteredToeplitz::standard(n, m, seed);
+        prop_assert_eq!(g2.row(i), g2.row(i));
+    }
+
+    #[test]
+    fn partition_covers_exactly((n, p) in (0usize..200, 1usize..40)) {
+        let part = RowPartition::new(n, p);
+        let mut seen = vec![false; n];
+        for rank in 0..p {
+            for i in part.range(rank) {
+                prop_assert!(!seen[i], "row {i} owned twice");
+                seen[i] = true;
+                prop_assert_eq!(part.owner(i), rank);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|v| v));
+    }
+
+    #[test]
+    fn block_vec_dense_roundtrip(
+        (n, m, r, seed) in (1usize..12, 1usize..6, 1usize..5, 0u64..500),
+    ) {
+        let bv = random_rhs(n, m, r, seed);
+        let rebuilt = BlockVec::from_dense(&bv.to_dense(), m);
+        prop_assert_eq!(&rebuilt, &bv);
+        // Norms agree with the dense view.
+        prop_assert!((bv.fro_norm() - bt_dense::fro_norm(&bv.to_dense())).abs() < 1e-12);
+    }
+}

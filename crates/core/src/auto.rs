@@ -1,0 +1,246 @@
+//! Automatic strategy selection: solve with the paper's algorithm when
+//! it is safe, escalate when it is not.
+//!
+//! The exact-scan prefix method is the cheapest per solve but has a
+//! conditioning envelope (DESIGN.md §7); the windowed mode is exact for
+//! contracting systems; amortized parallel cyclic reduction works for
+//! anything with invertible level diagonals. [`auto_solve`] chains them:
+//!
+//! 1. run the accelerated exact scan; accept if the measured boundary
+//!    condition estimate says full precision
+//!    ([`ArdRankFactors::boundary_condition`](crate::state::ArdRankFactors::boundary_condition)
+//!    below [`COND_ACCEPT`]);
+//! 2. otherwise (degraded, broken down, or singular superdiagonals) run
+//!    the windowed mode and *verify* its residual against the
+//!    materialized matrix;
+//! 3. otherwise fall back to parallel cyclic reduction.
+//!
+//! The returned [`AutoOutcome`] reports which strategy won and why, so
+//! callers can pin it for subsequent batches.
+
+use bt_blocktri::{BlockRowSource, BlockTridiag, BlockVec, FactorError};
+use bt_mpsim::CostModel;
+
+use crate::driver::{ard_solve_cfg, pcr_solve_cfg, DistOutcome, DriverConfig};
+use crate::state::BoundaryMode;
+
+/// Boundary condition estimates below this accept the exact scan
+/// (extraction error ~ `eps * cond` stays below ~1e-8).
+pub const COND_ACCEPT: f64 = 1e8;
+
+/// Residual threshold for accepting the windowed mode's verification.
+pub const RESIDUAL_ACCEPT: f64 = 1e-9;
+
+/// Window length used by the escalation step.
+pub const WINDOW: usize = 64;
+
+/// Which strategy [`auto_solve`] ended up using.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Chosen {
+    /// The paper's exact-scan accelerated algorithm, at full precision.
+    ExactScan {
+        /// Measured boundary condition estimate.
+        boundary_condition: f64,
+    },
+    /// Windowed boundary recovery (verified by residual).
+    Windowed {
+        /// Why the exact scan was rejected.
+        reason: String,
+        /// Verified relative residual of the first batch.
+        residual: f64,
+    },
+    /// Parallel cyclic reduction (the robust fallback).
+    Pcr {
+        /// Why the windowed mode was rejected.
+        reason: String,
+    },
+}
+
+/// Result of an automatic solve.
+#[derive(Debug)]
+pub struct AutoOutcome {
+    /// The winning strategy and its evidence.
+    pub chosen: Chosen,
+    /// The solve outcome (solutions, stats, timings).
+    pub outcome: DistOutcome,
+}
+
+/// Solves `batches` with the cheapest strategy that is numerically safe
+/// for this system. See the module docs for the escalation ladder.
+///
+/// # Errors
+///
+/// [`FactorError`] if even parallel cyclic reduction breaks down (a
+/// singular level diagonal).
+///
+/// # Panics
+///
+/// Panics if `batches` is empty, shapes are inconsistent, or `N < P`.
+pub fn auto_solve<S: BlockRowSource + Sync>(
+    p: usize,
+    model: CostModel,
+    src: &S,
+    batches: &[BlockVec],
+) -> Result<AutoOutcome, FactorError> {
+    // 1. Exact scan.
+    let exact_cfg = DriverConfig::new(p).with_model(model);
+    let exact_reject = match ard_solve_cfg(&exact_cfg, src, batches) {
+        Ok(outcome) if outcome.boundary_condition < COND_ACCEPT => {
+            return Ok(AutoOutcome {
+                chosen: Chosen::ExactScan {
+                    boundary_condition: outcome.boundary_condition,
+                },
+                outcome,
+            });
+        }
+        Ok(outcome) => format!(
+            "boundary condition estimate {:.1e} exceeds {COND_ACCEPT:.0e}",
+            outcome.boundary_condition
+        ),
+        Err(e) => format!("exact scan broke down at block row {}", e.row),
+    };
+
+    // 2. Windowed, verified against the materialized matrix.
+    let win_cfg = DriverConfig::new(p)
+        .with_model(model)
+        .with_boundary(BoundaryMode::Windowed(WINDOW));
+    let win_reject = match ard_solve_cfg(&win_cfg, src, batches) {
+        Ok(outcome) => {
+            let t = BlockTridiag::from_source(src);
+            let residual = batches
+                .iter()
+                .zip(&outcome.x)
+                .map(|(y, x)| t.rel_residual(x, y))
+                .fold(0.0f64, f64::max);
+            if residual < RESIDUAL_ACCEPT {
+                return Ok(AutoOutcome {
+                    chosen: Chosen::Windowed {
+                        reason: exact_reject,
+                        residual,
+                    },
+                    outcome,
+                });
+            }
+            format!("windowed residual {residual:.1e} exceeds {RESIDUAL_ACCEPT:.0e}")
+        }
+        Err(e) => format!("windowed mode broke down at block row {}", e.row),
+    };
+
+    // 3. Parallel cyclic reduction.
+    let pcr_cfg = DriverConfig::new(p).with_model(model);
+    let outcome = pcr_solve_cfg(&pcr_cfg, src, batches)?;
+    Ok(AutoOutcome {
+        chosen: Chosen::Pcr {
+            reason: format!("{exact_reject}; {win_reject}"),
+        },
+        outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_blocktri::gen::{materialize, random_rhs, ClusteredToeplitz, Poisson2D};
+    use bt_blocktri::BlockRow;
+    use bt_dense::Mat;
+
+    const ZERO: CostModel = CostModel {
+        latency_s: 0.0,
+        per_byte_s: 0.0,
+        flop_rate: f64::INFINITY,
+    };
+
+    #[test]
+    fn clustered_uses_exact_scan() {
+        let src = ClusteredToeplitz::standard(256, 4, 1);
+        let batches = vec![random_rhs(256, 4, 2, 2)];
+        let auto = auto_solve(4, ZERO, &src, &batches).unwrap();
+        match &auto.chosen {
+            Chosen::ExactScan { boundary_condition } => {
+                assert!(*boundary_condition < 1e6, "cond {boundary_condition}");
+            }
+            other => panic!("expected exact scan, got {other:?}"),
+        }
+        let t = materialize(&src);
+        assert!(t.rel_residual(&auto.outcome.x[0], &batches[0]) < 1e-11);
+    }
+
+    #[test]
+    fn wide_spectrum_escalates_to_windowed() {
+        // Poisson at N=200 is far beyond the exact-scan envelope but
+        // diagonally-dominant-contracting, so windowed wins.
+        let src = Poisson2D::new(200, 6);
+        let batches = vec![random_rhs(200, 6, 2, 3)];
+        let auto = auto_solve(8, ZERO, &src, &batches).unwrap();
+        match &auto.chosen {
+            Chosen::Windowed { residual, reason } => {
+                assert!(*residual < 1e-12, "residual {residual}");
+                assert!(
+                    reason.contains("condition") || reason.contains("broke down"),
+                    "{reason}"
+                );
+            }
+            other => panic!("expected windowed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gray_zone_poisson_rejected_by_diagnostic() {
+        // N=32 Poisson does NOT break down — it silently degrades
+        // (Table III: residual ~1e-3). The conditioning diagnostic must
+        // catch it and escalate, protecting the caller from a bad answer.
+        let src = Poisson2D::new(32, 6);
+        let batches = vec![random_rhs(32, 6, 2, 5)];
+        let auto = auto_solve(8, ZERO, &src, &batches).unwrap();
+        assert!(
+            !matches!(auto.chosen, Chosen::ExactScan { .. }),
+            "diagnostic must reject the degraded exact scan: {:?}",
+            auto.chosen
+        );
+        let t = materialize(&src);
+        assert!(t.rel_residual(&auto.outcome.x[0], &batches[0]) < 1e-11);
+    }
+
+    #[test]
+    fn singular_superdiagonal_falls_through_to_pcr() {
+        // A zero C_i makes the companion form impossible (exact scan
+        // fails). The windowed mode doesn't need C^{-1} and usually
+        // succeeds — so force it to fail too by making the system
+        // non-contracting? Simpler: check the ladder reaches a correct
+        // answer regardless of which rung wins, and that the exact scan
+        // was rejected.
+        struct BadC;
+        impl BlockRowSource for BadC {
+            fn n(&self) -> usize {
+                12
+            }
+            fn m(&self) -> usize {
+                2
+            }
+            fn row(&self, i: usize) -> BlockRow {
+                let z = Mat::zeros(2, 2);
+                let b = Mat::from_diag(&[8.0, 8.0]);
+                let a = if i == 0 {
+                    z.clone()
+                } else {
+                    Mat::identity(2).scaled(-1.0)
+                };
+                let c = if i + 1 == 12 || i == 3 {
+                    Mat::zeros(2, 2) // singular superdiagonal at row 3
+                } else {
+                    Mat::identity(2).scaled(-1.0)
+                };
+                BlockRow::new(a, b, c)
+            }
+        }
+        let batches = vec![random_rhs(12, 2, 1, 0)];
+        let auto = auto_solve(4, ZERO, &BadC, &batches).unwrap();
+        assert!(
+            !matches!(auto.chosen, Chosen::ExactScan { .. }),
+            "exact scan cannot work with singular C: {:?}",
+            auto.chosen
+        );
+        let t = BlockTridiag::from_source(&BadC);
+        assert!(t.rel_residual(&auto.outcome.x[0], &batches[0]) < 1e-11);
+    }
+}

@@ -1,0 +1,474 @@
+//! Whole-run drivers: launch an SPMD world, scatter the system, run the
+//! solvers, gather solutions and per-phase timings.
+//!
+//! These are the entry points the examples, tests and the experiment
+//! harness use. For embedding in an existing SPMD program, use the
+//! rank-level API ([`crate::state`]) directly.
+
+use std::time::{Duration, Instant};
+
+use bt_blocktri::{BlockRowSource, BlockVec, FactorError, RowPartition};
+use bt_dense::Mat;
+use bt_mpsim::{run_spmd, Comm, CostModel, WorldStats};
+
+use crate::pcr::PcrRankFactors;
+use crate::spike::SpikeRankFactors;
+use crate::state::{ArdRankFactors, BoundaryMode, RankSystem};
+
+/// Per-phase timing of one run, aggregated over ranks (maximum).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimings {
+    /// Wall-clock time of setup (zero for classic RD, which has none).
+    pub setup_wall: Duration,
+    /// Modeled (virtual) time of setup.
+    pub setup_modeled: f64,
+    /// Wall-clock time of each solve batch.
+    pub solve_wall: Vec<Duration>,
+    /// Modeled time of each solve batch.
+    pub solve_modeled: Vec<f64>,
+}
+
+impl PhaseTimings {
+    /// Total wall time (setup plus all solves).
+    pub fn total_wall(&self) -> Duration {
+        self.setup_wall + self.solve_wall.iter().sum::<Duration>()
+    }
+
+    /// Total modeled time (setup plus all solves).
+    pub fn total_modeled(&self) -> f64 {
+        self.setup_modeled + self.solve_modeled.iter().sum::<f64>()
+    }
+}
+
+/// Result of a distributed solve over one or more right-hand-side batches.
+#[derive(Debug)]
+pub struct DistOutcome {
+    /// One solution block vector per input batch.
+    pub x: Vec<BlockVec>,
+    /// Communication/computation counters, per rank.
+    pub stats: WorldStats,
+    /// Max-over-ranks per-phase timings.
+    pub timings: PhaseTimings,
+    /// Peak per-rank stored factor bytes (0 for classic RD).
+    pub factor_bytes: u64,
+    /// Worst boundary-extraction condition estimate (ARD exact-scan runs
+    /// only; 1.0 otherwise). See `ArdRankFactors::boundary_condition`.
+    pub boundary_condition: f64,
+}
+
+/// Per-rank raw output carried back from the SPMD closure.
+struct RankOutput {
+    lo: usize,
+    boundary_condition: f64,
+    x_local: Vec<Vec<Mat>>, // [batch][local row]
+    setup_wall: Duration,
+    setup_vt: f64,
+    solve_wall: Vec<Duration>,
+    solve_vt: Vec<f64>,
+    factor_bytes: u64,
+}
+
+fn assemble(
+    n: usize,
+    m: usize,
+    batches: usize,
+    outputs: &[Result<RankOutput, FactorError>],
+) -> Result<(Vec<BlockVec>, PhaseTimings, u64, f64), FactorError> {
+    // Surface the first error (all ranks agree on it).
+    for out in outputs {
+        if let Err(e) = out {
+            return Err(e.clone());
+        }
+    }
+    let outputs: Vec<&RankOutput> = outputs
+        .iter()
+        .map(|o| o.as_ref().expect("checked above"))
+        .collect();
+
+    let r = outputs[0]
+        .x_local
+        .first()
+        .and_then(|b| b.first())
+        .map_or(0, Mat::cols);
+    let mut xs = vec![BlockVec::zeros(n, m, r); batches];
+    for out in &outputs {
+        for (bi, panels) in out.x_local.iter().enumerate() {
+            for (k, panel) in panels.iter().enumerate() {
+                xs[bi].blocks[out.lo + k] = panel.clone();
+            }
+        }
+    }
+
+    let mut t = PhaseTimings {
+        setup_wall: Duration::ZERO,
+        setup_modeled: 0.0,
+        solve_wall: vec![Duration::ZERO; batches],
+        solve_modeled: vec![0.0; batches],
+    };
+    let mut factor_bytes = 0u64;
+    let mut boundary_condition = 1.0f64;
+    for out in &outputs {
+        t.setup_wall = t.setup_wall.max(out.setup_wall);
+        t.setup_modeled = t.setup_modeled.max(out.setup_vt);
+        for bi in 0..batches {
+            t.solve_wall[bi] = t.solve_wall[bi].max(out.solve_wall[bi]);
+            t.solve_modeled[bi] = t.solve_modeled[bi].max(out.solve_vt[bi]);
+        }
+        factor_bytes = factor_bytes.max(out.factor_bytes);
+        boundary_condition = boundary_condition.max(out.boundary_condition);
+    }
+    Ok((xs, t, factor_bytes, boundary_condition))
+}
+
+/// Extracts rank `rank`'s local panels of a global block vector.
+fn local_panels(part: &RowPartition, rank: usize, y: &BlockVec) -> Vec<Mat> {
+    part.range(rank).map(|i| y.blocks[i].clone()).collect()
+}
+
+/// Solves every batch with **classic recursive doubling**: all
+/// matrix-dependent work is redone per batch —
+/// `O(M^3 (N/P + log P))` each.
+///
+/// # Errors
+///
+/// [`FactorError`] if a block diagonal is singular.
+///
+/// # Panics
+///
+/// Panics if `batches` is empty, shapes are inconsistent, or `N < P`.
+pub fn rd_solve_dist<S: BlockRowSource + Sync>(
+    p: usize,
+    model: CostModel,
+    src: &S,
+    batches: &[BlockVec],
+) -> Result<DistOutcome, FactorError> {
+    run_driver(p, model, src, batches, Mode::ClassicRd)
+}
+
+/// Solves every batch with the **accelerated recursive doubling**
+/// algorithm: one `O(M^3 (N/P + log P))` setup, then
+/// `O(M^2 R (N/P + log P))` per batch.
+///
+/// # Errors
+///
+/// [`FactorError`] if a block diagonal is singular.
+///
+/// # Panics
+///
+/// Panics if `batches` is empty, shapes are inconsistent, or `N < P`.
+pub fn ard_solve_dist<S: BlockRowSource + Sync>(
+    p: usize,
+    model: CostModel,
+    src: &S,
+    batches: &[BlockVec],
+) -> Result<DistOutcome, FactorError> {
+    run_driver(p, model, src, batches, Mode::Accelerated)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    ClassicRd,
+    Accelerated,
+    Spike,
+    Pcr,
+}
+
+/// Full driver configuration; the `*_solve_dist` helpers use
+/// [`BoundaryMode::ExactScan`] (the paper's algorithm).
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// World size (ranks).
+    pub p: usize,
+    /// Cost model for the virtual-time engine.
+    pub model: CostModel,
+    /// Phase 1 boundary recovery mode.
+    pub boundary: BoundaryMode,
+    /// Memory-lean accelerated solves: shed the per-row prefix matrices
+    /// after setup and use the boundary-recurrence replay
+    /// ([`ArdRankFactors::solve_replay_lean`]). Same flop count and
+    /// message pattern, ~40% less stored factor memory. Ignored by the
+    /// classic-RD driver.
+    pub lean: bool,
+}
+
+impl DriverConfig {
+    /// Default configuration: cluster cost model, exact-scan boundary.
+    pub fn new(p: usize) -> Self {
+        Self {
+            p,
+            model: CostModel::cluster(),
+            boundary: BoundaryMode::ExactScan,
+            lean: false,
+        }
+    }
+
+    /// Sets the cost model.
+    pub fn with_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the boundary mode.
+    pub fn with_boundary(mut self, boundary: BoundaryMode) -> Self {
+        self.boundary = boundary;
+        self
+    }
+
+    /// Enables memory-lean accelerated solves.
+    pub fn with_lean(mut self) -> Self {
+        self.lean = true;
+        self
+    }
+}
+
+/// SPIKE-style partitioned solver under an explicit [`DriverConfig`]
+/// (the stability-oriented parallel baseline; `boundary`/`lean` are
+/// ignored).
+///
+/// # Errors
+///
+/// [`FactorError`] if a local pivot block or the reduced system is
+/// singular.
+pub fn spike_solve_cfg<S: BlockRowSource + Sync>(
+    cfg: &DriverConfig,
+    src: &S,
+    batches: &[BlockVec],
+) -> Result<DistOutcome, FactorError> {
+    run_driver_cfg(cfg, src, batches, Mode::Spike)
+}
+
+/// Amortized parallel cyclic reduction under an explicit
+/// [`DriverConfig`] (the BCYCLIC-style comparator; `boundary`/`lean` are
+/// ignored).
+///
+/// # Errors
+///
+/// [`FactorError`] if a diagonal block is singular at some elimination
+/// level.
+pub fn pcr_solve_cfg<S: BlockRowSource + Sync>(
+    cfg: &DriverConfig,
+    src: &S,
+    batches: &[BlockVec],
+) -> Result<DistOutcome, FactorError> {
+    run_driver_cfg(cfg, src, batches, Mode::Pcr)
+}
+
+/// Classic recursive doubling under an explicit [`DriverConfig`].
+///
+/// # Errors
+///
+/// [`FactorError`] if a block diagonal (or, in exact-scan mode, a
+/// superdiagonal block) is singular.
+pub fn rd_solve_cfg<S: BlockRowSource + Sync>(
+    cfg: &DriverConfig,
+    src: &S,
+    batches: &[BlockVec],
+) -> Result<DistOutcome, FactorError> {
+    run_driver_cfg(cfg, src, batches, Mode::ClassicRd)
+}
+
+/// Accelerated recursive doubling under an explicit [`DriverConfig`].
+///
+/// # Errors
+///
+/// [`FactorError`] if a block diagonal (or, in exact-scan mode, a
+/// superdiagonal block) is singular.
+pub fn ard_solve_cfg<S: BlockRowSource + Sync>(
+    cfg: &DriverConfig,
+    src: &S,
+    batches: &[BlockVec],
+) -> Result<DistOutcome, FactorError> {
+    run_driver_cfg(cfg, src, batches, Mode::Accelerated)
+}
+
+fn run_driver<S: BlockRowSource + Sync>(
+    p: usize,
+    model: CostModel,
+    src: &S,
+    batches: &[BlockVec],
+    mode: Mode,
+) -> Result<DistOutcome, FactorError> {
+    let cfg = DriverConfig::new(p).with_model(model);
+    run_driver_cfg(&cfg, src, batches, mode)
+}
+
+fn run_driver_cfg<S: BlockRowSource + Sync>(
+    cfg: &DriverConfig,
+    src: &S,
+    batches: &[BlockVec],
+    mode: Mode,
+) -> Result<DistOutcome, FactorError> {
+    let p = cfg.p;
+    let model = cfg.model;
+    let n = src.n();
+    let m = src.m();
+    assert!(
+        !batches.is_empty(),
+        "need at least one right-hand-side batch"
+    );
+    assert!(
+        n >= p,
+        "need at least one block row per rank (N={n}, P={p})"
+    );
+    for (bi, y) in batches.iter().enumerate() {
+        assert_eq!(y.n(), n, "batch {bi}: block count mismatch");
+        assert_eq!(y.m(), m, "batch {bi}: block order mismatch");
+        assert!(
+            y.r() >= 1,
+            "batch {bi}: needs at least one right-hand-side column"
+        );
+    }
+    let part = RowPartition::new(n, p);
+
+    let spmd = run_spmd(
+        p,
+        model,
+        |comm: &mut Comm| -> Result<RankOutput, FactorError> {
+            let rank = comm.rank();
+            let sys = match cfg.boundary {
+                BoundaryMode::ExactScan => RankSystem::from_source(src, p, rank),
+                BoundaryMode::Windowed(w) => RankSystem::from_source_windowed(src, p, rank, w),
+            };
+            let y_locals: Vec<Vec<Mat>> = batches
+                .iter()
+                .map(|y| local_panels(&part, rank, y))
+                .collect();
+
+            let mut out = RankOutput {
+                lo: sys.lo,
+                boundary_condition: 1.0,
+                x_local: Vec::with_capacity(batches.len()),
+                setup_wall: Duration::ZERO,
+                setup_vt: 0.0,
+                solve_wall: Vec::with_capacity(batches.len()),
+                solve_vt: Vec::with_capacity(batches.len()),
+                factor_bytes: 0,
+            };
+
+            match mode {
+                Mode::Accelerated => {
+                    comm.barrier();
+                    let vt0 = comm.virtual_time();
+                    let t0 = Instant::now();
+                    let mut factors = ArdRankFactors::setup_with(comm, &sys, true, cfg.boundary)?;
+                    if cfg.lean {
+                        factors.shed_prefixes();
+                    }
+                    comm.barrier();
+                    out.setup_wall = t0.elapsed();
+                    out.setup_vt = comm.virtual_time() - vt0;
+                    out.factor_bytes = factors.storage_bytes();
+                    out.boundary_condition = factors.boundary_condition();
+                    for y_local in &y_locals {
+                        let vt0 = comm.virtual_time();
+                        let t0 = Instant::now();
+                        let x = if cfg.lean {
+                            factors.solve_replay_lean(comm, y_local)
+                        } else {
+                            factors.solve_replay(comm, y_local)
+                        };
+                        comm.barrier();
+                        out.solve_wall.push(t0.elapsed());
+                        out.solve_vt.push(comm.virtual_time() - vt0);
+                        out.x_local.push(x);
+                    }
+                }
+                Mode::Pcr => {
+                    comm.barrier();
+                    let vt0 = comm.virtual_time();
+                    let t0 = Instant::now();
+                    let factors = PcrRankFactors::setup(comm, &sys)?;
+                    comm.barrier();
+                    out.setup_wall = t0.elapsed();
+                    out.setup_vt = comm.virtual_time() - vt0;
+                    out.factor_bytes = factors.storage_bytes();
+                    for y_local in &y_locals {
+                        let vt0 = comm.virtual_time();
+                        let t0 = Instant::now();
+                        let x = factors.solve(comm, y_local);
+                        comm.barrier();
+                        out.solve_wall.push(t0.elapsed());
+                        out.solve_vt.push(comm.virtual_time() - vt0);
+                        out.x_local.push(x);
+                    }
+                }
+                Mode::Spike => {
+                    comm.barrier();
+                    let vt0 = comm.virtual_time();
+                    let t0 = Instant::now();
+                    let factors = SpikeRankFactors::setup(comm, &sys)?;
+                    comm.barrier();
+                    out.setup_wall = t0.elapsed();
+                    out.setup_vt = comm.virtual_time() - vt0;
+                    out.factor_bytes = factors.storage_bytes();
+                    for y_local in &y_locals {
+                        let vt0 = comm.virtual_time();
+                        let t0 = Instant::now();
+                        let x = factors.solve(comm, y_local);
+                        comm.barrier();
+                        out.solve_wall.push(t0.elapsed());
+                        out.solve_vt.push(comm.virtual_time() - vt0);
+                        out.x_local.push(x);
+                    }
+                }
+                Mode::ClassicRd => {
+                    comm.barrier();
+                    for y_local in &y_locals {
+                        let vt0 = comm.virtual_time();
+                        let t0 = Instant::now();
+                        let factors = ArdRankFactors::setup_with(comm, &sys, false, cfg.boundary)?;
+                        let x = factors.solve_fresh(comm, y_local);
+                        comm.barrier();
+                        out.solve_wall.push(t0.elapsed());
+                        out.solve_vt.push(comm.virtual_time() - vt0);
+                        out.x_local.push(x);
+                    }
+                }
+            }
+            Ok(out)
+        },
+    );
+
+    let (x, timings, factor_bytes, boundary_condition) =
+        assemble(n, m, batches.len(), &spmd.results)?;
+    Ok(DistOutcome {
+        x,
+        stats: spmd.stats,
+        timings,
+        factor_bytes,
+        boundary_condition,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_blocktri::gen::{random_rhs, RandomDominant};
+
+    #[test]
+    fn timings_total_adds_phases() {
+        let t = PhaseTimings {
+            setup_wall: Duration::from_millis(5),
+            setup_modeled: 1.0,
+            solve_wall: vec![Duration::from_millis(2), Duration::from_millis(3)],
+            solve_modeled: vec![0.25, 0.5],
+        };
+        assert_eq!(t.total_wall(), Duration::from_millis(10));
+        assert!((t.total_modeled() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block row per rank")]
+    fn too_many_ranks_rejected() {
+        let src = RandomDominant::new(2, 2, 1.5, 0);
+        let y = random_rhs(2, 2, 1, 0);
+        let _ = ard_solve_dist(4, CostModel::zero(), &src, &[y]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one right-hand-side batch")]
+    fn empty_batches_rejected() {
+        let src = RandomDominant::new(4, 2, 1.5, 0);
+        let _ = ard_solve_dist(2, CostModel::zero(), &src, &[]);
+    }
+}

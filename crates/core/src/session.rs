@@ -1,0 +1,299 @@
+//! Persistent solve sessions: factor once, solve whenever.
+//!
+//! The drivers in [`crate::driver`] run setup and all solves inside one
+//! SPMD world, which requires every right-hand side to be known up
+//! front. Real applications (implicit time steppers, optimizers) produce
+//! right-hand sides one at a time, often *computed from previous
+//! solutions*. An [`ArdSession`] holds the per-rank factor state between
+//! calls: `create` runs the collective setup once, and each
+//! [`ArdSession::solve`] launches a fresh SPMD world that reuses the
+//! stored factors — `O(M^2 R (N/P + log P))` per call, no matrix work
+//! ever again.
+//!
+//! The factors are plain `Send` data, so this is entirely safe Rust; the
+//! per-call cost beyond the solve itself is the world's thread spawn
+//! (tens of microseconds per rank).
+
+use bt_blocktri::{BlockRowSource, BlockVec, FactorError, RowPartition};
+use bt_dense::Mat;
+use bt_mpsim::{run_spmd, CostModel};
+use parking_lot::Mutex;
+
+use crate::state::{ArdRankFactors, BoundaryMode, RankSystem};
+
+/// A reusable accelerated-solver session.
+///
+/// # Examples
+///
+/// ```
+/// use bt_ard::session::ArdSession;
+/// use bt_blocktri::gen::{materialize, random_rhs, ClusteredToeplitz};
+/// use bt_mpsim::CostModel;
+///
+/// let src = ClusteredToeplitz::standard(48, 4, 1);
+/// let session = ArdSession::create(4, CostModel::cluster(), &src).unwrap();
+///
+/// // Right-hand sides arrive one at a time; each solve reuses the
+/// // factors computed in `create`.
+/// let t = materialize(&src);
+/// let mut y = random_rhs(48, 4, 2, 9);
+/// for _ in 0..3 {
+///     let x = session.solve(&y).unwrap();
+///     assert!(t.rel_residual(&x, &y) < 1e-10);
+///     y = x; // feed the solution back in (a crude time stepper)
+/// }
+/// ```
+pub struct ArdSession {
+    p: usize,
+    n: usize,
+    m: usize,
+    model: CostModel,
+    part: RowPartition,
+    /// Per-rank factors and system slices, handed out to worlds on each
+    /// solve and returned afterwards.
+    state: Mutex<Vec<(RankSystem, ArdRankFactors)>>,
+}
+
+impl ArdSession {
+    /// Runs the collective setup on `p` ranks and captures the factors.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError`] if setup breaks down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.n() < p`.
+    pub fn create<S: BlockRowSource + Sync>(
+        p: usize,
+        model: CostModel,
+        src: &S,
+    ) -> Result<Self, FactorError> {
+        Self::create_with(p, model, BoundaryMode::ExactScan, src)
+    }
+
+    /// [`ArdSession::create`] with an explicit Phase 1 boundary mode.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError`] if setup breaks down.
+    pub fn create_with<S: BlockRowSource + Sync>(
+        p: usize,
+        model: CostModel,
+        boundary: BoundaryMode,
+        src: &S,
+    ) -> Result<Self, FactorError> {
+        let n = src.n();
+        let m = src.m();
+        assert!(
+            n >= p,
+            "need at least one block row per rank (N={n}, P={p})"
+        );
+        let out = run_spmd(
+            p,
+            model,
+            |comm| -> Result<(RankSystem, ArdRankFactors), FactorError> {
+                let sys = match boundary {
+                    BoundaryMode::ExactScan => RankSystem::from_source(src, p, comm.rank()),
+                    BoundaryMode::Windowed(w) => {
+                        RankSystem::from_source_windowed(src, p, comm.rank(), w)
+                    }
+                };
+                let factors = ArdRankFactors::setup_with(comm, &sys, true, boundary)?;
+                Ok((sys, factors))
+            },
+        );
+        let state: Vec<(RankSystem, ArdRankFactors)> =
+            out.results.into_iter().collect::<Result<_, _>>()?;
+        Ok(Self {
+            p,
+            n,
+            m,
+            model,
+            part: RowPartition::new(n, p),
+            state: Mutex::new(state),
+        })
+    }
+
+    /// World size.
+    pub fn ranks(&self) -> usize {
+        self.p
+    }
+
+    /// Total stored factor bytes across ranks.
+    pub fn factor_bytes(&self) -> u64 {
+        self.state
+            .lock()
+            .iter()
+            .map(|(_, f)| f.storage_bytes())
+            .sum()
+    }
+
+    /// Solves one right-hand-side batch with the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today (the factorization already succeeded); the
+    /// `Result` is kept for API stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn solve(&self, y: &BlockVec) -> Result<BlockVec, FactorError> {
+        Ok(self.solve_inner(y, 0, 0.0)?.0)
+    }
+
+    /// Solves with up to `max_sweeps` iterative-refinement sweeps
+    /// (stopping at relative residual `tol`); returns the solution and
+    /// the residual history (empty when `max_sweeps == 0`).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; kept for API stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn solve_refined(
+        &self,
+        y: &BlockVec,
+        max_sweeps: usize,
+        tol: f64,
+    ) -> Result<(BlockVec, Vec<f64>), FactorError> {
+        self.solve_inner(y, max_sweeps, tol)
+    }
+
+    fn solve_inner(
+        &self,
+        y: &BlockVec,
+        max_sweeps: usize,
+        tol: f64,
+    ) -> Result<(BlockVec, Vec<f64>), FactorError> {
+        assert_eq!(y.n(), self.n, "rhs block count mismatch");
+        assert_eq!(y.m(), self.m, "rhs block order mismatch");
+        let mut guard = self.state.lock();
+        // Move the per-rank state into the world and take it back after.
+        let state: Vec<(RankSystem, ArdRankFactors)> = std::mem::take(&mut *guard);
+        let state_slots: Vec<Mutex<Option<(RankSystem, ArdRankFactors)>>> =
+            state.into_iter().map(|s| Mutex::new(Some(s))).collect();
+
+        let part = &self.part;
+        let out = run_spmd(self.p, self.model, |comm| {
+            let (sys, factors) = state_slots[comm.rank()]
+                .lock()
+                .take()
+                .expect("state present");
+            let y_local: Vec<Mat> = part
+                .range(comm.rank())
+                .map(|i| y.blocks[i].clone())
+                .collect();
+            let (x_local, history) = if max_sweeps == 0 {
+                (factors.solve_replay(comm, &y_local), Vec::new())
+            } else {
+                let refined = factors.solve_replay_refined(comm, &sys, &y_local, max_sweeps, tol);
+                (refined.x_local, refined.history)
+            };
+            *state_slots[comm.rank()].lock() = Some((sys, factors));
+            (x_local, history)
+        });
+
+        // Return the state to the session.
+        *guard = state_slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("state returned"))
+            .collect();
+
+        let mut x = BlockVec::zeros(self.n, self.m, y.r());
+        let mut history = Vec::new();
+        for (rank, (panels, h)) in out.results.into_iter().enumerate() {
+            let lo = self.part.range(rank).start;
+            for (k, panel) in panels.into_iter().enumerate() {
+                x.blocks[lo + k] = panel;
+            }
+            history = h;
+        }
+        Ok((x, history))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_blocktri::gen::{materialize, random_rhs, ClusteredToeplitz, Poisson2D};
+    use bt_mpsim::CostModel;
+
+    const ZERO: CostModel = CostModel {
+        latency_s: 0.0,
+        per_byte_s: 0.0,
+        flop_rate: f64::INFINITY,
+    };
+
+    #[test]
+    fn session_solves_many_batches() {
+        let src = ClusteredToeplitz::standard(60, 4, 2);
+        let t = materialize(&src);
+        let session = ArdSession::create(4, ZERO, &src).unwrap();
+        assert_eq!(session.ranks(), 4);
+        assert!(session.factor_bytes() > 0);
+        for seed in 0..5 {
+            let y = random_rhs(60, 4, 3, seed);
+            let x = session.solve(&y).unwrap();
+            assert!(t.rel_residual(&x, &y) < 1e-11, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn session_matches_driver() {
+        let src = ClusteredToeplitz::standard(40, 3, 7);
+        let y = vec![random_rhs(40, 3, 2, 1)];
+        let driver = crate::driver::ard_solve_dist(4, ZERO, &src, &y).unwrap();
+        let session = ArdSession::create(4, ZERO, &src).unwrap();
+        let x = session.solve(&y[0]).unwrap();
+        assert!(x.rel_diff(&driver.x[0]) < 1e-13);
+    }
+
+    #[test]
+    fn session_feedback_loop() {
+        // Solutions feed back as right-hand sides — impossible with the
+        // batch drivers, natural with a session.
+        let src = ClusteredToeplitz::standard(32, 3, 4);
+        let t = materialize(&src);
+        let session = ArdSession::create(3, ZERO, &src).unwrap();
+        let mut y = random_rhs(32, 3, 1, 0);
+        for step in 0..4 {
+            let x = session.solve(&y).unwrap();
+            assert!(t.rel_residual(&x, &y) < 1e-11, "step {step}");
+            y = x;
+        }
+    }
+
+    #[test]
+    fn session_refinement() {
+        let src = Poisson2D::new(28, 5);
+        let t = materialize(&src);
+        let session = ArdSession::create(4, ZERO, &src).unwrap();
+        let y = random_rhs(28, 5, 2, 3);
+        let (x, history) = session.solve_refined(&y, 6, 1e-13).unwrap();
+        assert!(t.rel_residual(&x, &y) < 1e-12);
+        assert!(!history.is_empty());
+    }
+
+    #[test]
+    fn windowed_session() {
+        let src = Poisson2D::new(200, 4);
+        let t = materialize(&src);
+        let session = ArdSession::create_with(4, ZERO, BoundaryMode::Windowed(64), &src).unwrap();
+        let y = random_rhs(200, 4, 2, 8);
+        let x = session.solve(&y).unwrap();
+        assert!(t.rel_residual(&x, &y) < 1e-11);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs block count mismatch")]
+    fn shape_mismatch_rejected() {
+        let src = ClusteredToeplitz::standard(16, 3, 1);
+        let session = ArdSession::create(2, ZERO, &src).unwrap();
+        let bad = random_rhs(8, 3, 1, 0);
+        let _ = session.solve(&bad);
+    }
+}

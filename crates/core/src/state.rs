@@ -1,0 +1,896 @@
+//! Rank-level solver state: the setup/solve split at the heart of the
+//! accelerated recursive doubling algorithm.
+//!
+//! [`RankSystem`] holds a rank's contiguous slice of the block
+//! tridiagonal matrix. [`ArdRankFactors::setup`] runs all
+//! matrix-dependent work — Phase 1 (block diagonals via the companion
+//! scan) plus the matrix components of the Phase 2/3 affine scans — in
+//! `O(M^3 (N/P + log P))` time. Each subsequent
+//! [`ArdRankFactors::solve_replay`] handles an `R`-column right-hand-side
+//! batch in `O(M^2 R (N/P + log P))` time, exchanging only `M x R`
+//! panels.
+//!
+//! Classic recursive doubling is the same machinery without reuse:
+//! [`rd_solve_rank`] rebuilds the factors and runs the fresh-scan solve
+//! for every call, which is what makes it `O(R)` slower over `R`
+//! right-hand sides.
+
+use bt_blocktri::{BlockRow, BlockRowSource, FactorError, RowPartition};
+use bt_dense::{gemm, gemm_flops, lu_flops, lu_solve_flops, LuFactors, Mat, Trans};
+use bt_mpsim::Comm;
+
+use crate::companion::{CompanionProduct, CompanionState, CompanionW};
+use crate::pairs::AffinePair;
+use crate::scans::{
+    affine_exscan_fresh, affine_exscan_replay, companion_exscan, Direction, ScanTrace,
+};
+
+/// Tag bases for the point-to-point scans (each scan uses `base + step`).
+mod tags {
+    pub const PHASE1: u64 = 0;
+    pub const FWD_SETUP: u64 = 64;
+    pub const BWD_SETUP: u64 = 128;
+    pub const FWD_SOLVE: u64 = 192;
+    pub const BWD_SOLVE: u64 = 256;
+}
+
+/// How a rank recovers its boundary block diagonal `D_{lo-1}` in Phase 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryMode {
+    /// The paper's algorithm: a cross-rank recursive-doubling scan of
+    /// companion-matrix products, exact in `O(M^3 log P)` communication.
+    /// Accuracy depends on the conditioning of the accumulated products,
+    /// which grows with the per-row spectral spread of the transfer
+    /// matrices (DESIGN.md §7).
+    ExactScan,
+    /// Windowed recovery (extension, not in the paper): run the plain
+    /// block-LU diagonal recurrence over the `w` rows preceding `lo`,
+    /// warm-started from `D = B_{lo-w}`. For contracting systems
+    /// (diagonally dominant / SPD), the warm-start error decays
+    /// geometrically, so a window of a few dozen rows reproduces
+    /// `D_{lo-1}` to machine precision — with **zero** Phase 1
+    /// communication and `O(M^3 (N/P + w))` work. The rank system must be
+    /// built with [`RankSystem::from_source_windowed`].
+    Windowed(usize),
+}
+
+/// A rank's slice of the global system.
+#[derive(Debug, Clone)]
+pub struct RankSystem {
+    /// Global block-row count.
+    pub n: usize,
+    /// Block order.
+    pub m: usize,
+    /// Owned global row range start (inclusive).
+    pub lo: usize,
+    /// Owned global row range end (exclusive).
+    pub hi: usize,
+    /// Owned rows, `rows[k]` = global row `lo + k`.
+    pub rows: Vec<BlockRow>,
+    /// `C_{lo-1}` — the left neighbour's superdiagonal block (zeros when
+    /// `lo == 0`), needed by the boundary-diagonal extraction and the
+    /// first local `D` update.
+    pub c_prev: Mat,
+    /// Global row 0, seeding the companion state
+    /// `S_0 = [C_0^{-1} B_0; I]` on every rank.
+    pub row0: BlockRow,
+    /// Rows `lo - w .. lo` for [`BoundaryMode::Windowed`] (empty unless
+    /// built by [`RankSystem::from_source_windowed`]).
+    pub window_rows: Vec<BlockRow>,
+}
+
+impl RankSystem {
+    /// Materializes rank `rank`-of-`p`'s slice of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < p` (every rank must own at least one block row) or
+    /// `rank >= p`.
+    pub fn from_source(src: &dyn BlockRowSource, p: usize, rank: usize) -> Self {
+        let n = src.n();
+        let m = src.m();
+        assert!(
+            n >= p,
+            "need at least one block row per rank (N={n}, P={p})"
+        );
+        let part = RowPartition::new(n, p);
+        let range = part.range(rank);
+        let (lo, hi) = (range.start, range.end);
+        let rows: Vec<BlockRow> = (lo..hi).map(|i| src.row(i)).collect();
+        let c_prev = if lo == 0 {
+            Mat::zeros(m, m)
+        } else {
+            src.row(lo - 1).c.clone()
+        };
+        let row0 = if lo == 0 { rows[0].clone() } else { src.row(0) };
+        Self {
+            n,
+            m,
+            lo,
+            hi,
+            rows,
+            c_prev,
+            row0,
+            window_rows: Vec::new(),
+        }
+    }
+
+    /// Like [`RankSystem::from_source`], additionally materializing the
+    /// `min(w, lo)` rows preceding the owned range for
+    /// [`BoundaryMode::Windowed`] boundary recovery.
+    pub fn from_source_windowed(src: &dyn BlockRowSource, p: usize, rank: usize, w: usize) -> Self {
+        let mut sys = Self::from_source(src, p, rank);
+        let w = w.min(sys.lo);
+        sys.window_rows = (sys.lo - w..sys.lo).map(|i| src.row(i)).collect();
+        sys
+    }
+
+    /// Number of owned rows.
+    pub fn local_len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// The superdiagonal block of global row `i - 1`, for owned `i`.
+    fn c_before(&self, i: usize) -> &Mat {
+        debug_assert!(i >= self.lo && i < self.hi);
+        if i == self.lo {
+            &self.c_prev
+        } else {
+            &self.rows[i - self.lo - 1].c
+        }
+    }
+}
+
+/// Matrix-dependent state produced by setup and reused across solves.
+#[derive(Debug)]
+pub struct ArdRankFactors {
+    /// Owned range and sizes (copied from the [`RankSystem`]).
+    pub n: usize,
+    /// Block order.
+    pub m: usize,
+    /// First owned global row.
+    pub lo: usize,
+    /// One past the last owned global row.
+    pub hi: usize,
+    /// LU of `D_i` for each owned row.
+    d_lu: Vec<LuFactors>,
+    /// `F_i = -A_i D_{i-1}^{-1}` for each owned row (`F_0 = 0`).
+    f: Vec<Mat>,
+    /// `G_i = -D_i^{-1} C_i` for each owned row (`G_{N-1} = 0`).
+    g: Vec<Mat>,
+    /// Forward local prefix matrices `F_i F_{i-1} ... F_lo`.
+    fwd_prefix: Vec<Mat>,
+    /// Backward local prefix matrices `G_i G_{i+1} ... G_{hi-1}`.
+    bwd_prefix: Vec<Mat>,
+    /// Recorded cross-rank scan matrices (empty when built for classic
+    /// recursive doubling, which re-scans fresh every solve).
+    fwd_trace: ScanTrace,
+    /// Backward counterpart of `fwd_trace`.
+    bwd_trace: ScanTrace,
+    /// Whether traces were recorded (accelerated mode).
+    recorded: bool,
+    /// Worst boundary-extraction 1-norm condition estimate across ranks
+    /// (1.0 for windowed mode / single-rank worlds).
+    boundary_cond: f64,
+}
+
+impl ArdRankFactors {
+    /// Runs the full matrix-dependent setup: Phase 1 and the matrix
+    /// components of the Phase 2/3 scans. Collective: every rank must
+    /// call it together.
+    ///
+    /// `record_traces = true` (the accelerated algorithm) additionally
+    /// records the cross-rank scan matrices so later solves can replay
+    /// them; `false` builds the transient state classic recursive
+    /// doubling computes per solve.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError`] — on **every** rank (failure is agreed upon
+    /// collectively, so no rank deadlocks) — if some block diagonal `D_i`
+    /// is singular.
+    pub fn setup(
+        comm: &mut Comm,
+        sys: &RankSystem,
+        record_traces: bool,
+    ) -> Result<Self, FactorError> {
+        Self::setup_with(comm, sys, record_traces, BoundaryMode::ExactScan)
+    }
+
+    /// [`ArdRankFactors::setup`] with an explicit Phase 1 boundary mode.
+    /// All ranks must pass the same `mode`.
+    pub fn setup_with(
+        comm: &mut Comm,
+        sys: &RankSystem,
+        record_traces: bool,
+        mode: BoundaryMode,
+    ) -> Result<Self, FactorError> {
+        let m = sys.m;
+        let nl = sys.local_len();
+
+        // ---- Phase 1a: local companion product total. -------------------
+        // Rank p contributes the product of W_i over i in
+        // [max(lo, 1), hi - 1]; the last rank's contribution is never
+        // consumed by the exclusive scan (and would need the undefined
+        // C_{N-1}^{-1}), so it stays the identity. Failures here (singular
+        // C_i) are deferred until after the collective phases so no peer
+        // deadlocks mid-scan.
+        let mut pending_err: Option<FactorError> = None;
+        let mut total = CompanionProduct::identity(m);
+        let scanning = mode == BoundaryMode::ExactScan;
+        if scanning && comm.rank() + 1 < comm.size() {
+            for i in sys.lo.max(1)..sys.hi {
+                let row = &sys.rows[i - sys.lo];
+                match CompanionW::from_row(row) {
+                    Ok(w) => {
+                        comm.compute(CompanionW::build_flops(m));
+                        total.apply_left(&w);
+                        comm.compute(CompanionProduct::apply_left_flops(m));
+                    }
+                    Err(source) => {
+                        pending_err = Some(FactorError { row: i, source });
+                        total = CompanionProduct::identity(m);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // ---- Phase 1b: cross-rank exclusive scan of the products. -------
+        // Windowed mode needs no Phase 1 communication at all.
+        let excl = if scanning {
+            companion_exscan(comm, tags::PHASE1, total)
+        } else {
+            None
+        };
+
+        // ---- Phase 1c/1d: boundary diagonal and local factor pass. ------
+        let local = match pending_err {
+            Some(e) => Err(e),
+            None => Self::local_factor_pass(comm, sys, excl.as_ref(), mode),
+        };
+
+        // ---- Coordinated error check: all ranks agree before the next
+        // collective phase, so a singular diagonal cannot deadlock peers
+        // blocked in a scan. -------------------------------------------
+        let my_err: u64 = match &local {
+            Ok(_) => u64::MAX,
+            Err(e) => e.row as u64,
+        };
+        let first_err = comm.allreduce(my_err, |a, b| (*a).min(*b));
+        if first_err != u64::MAX {
+            return Err(match local {
+                Err(e) if e.row as u64 == first_err => e,
+                _ => FactorError {
+                    row: first_err as usize,
+                    source: bt_dense::SingularError {
+                        step: 0,
+                        pivot: 0.0,
+                    },
+                },
+            });
+        }
+        let (d_lu, f, g, my_cond) = local.expect("checked above");
+        // Agree on the worst boundary-extraction conditioning: the suite's
+        // self-diagnostic for the prefix method's accuracy envelope.
+        let boundary_cond = comm.allreduce(
+            if my_cond.is_finite() {
+                my_cond
+            } else {
+                f64::MAX
+            },
+            |a, b| a.max(*b),
+        );
+
+        // ---- Phase 2/3 matrix components: local prefixes + scans. -------
+        let mut fwd_prefix: Vec<Mat> = Vec::with_capacity(nl);
+        for k in 0..nl {
+            let pfx = if k == 0 {
+                f[0].clone()
+            } else {
+                let mut p = Mat::zeros(m, m);
+                gemm(
+                    1.0,
+                    &f[k],
+                    Trans::No,
+                    &fwd_prefix[k - 1],
+                    Trans::No,
+                    0.0,
+                    &mut p,
+                );
+                comm.compute(gemm_flops(m, m, m));
+                p
+            };
+            fwd_prefix.push(pfx);
+        }
+        let mut bwd_prefix: Vec<Mat> = vec![Mat::zeros(0, 0); nl];
+        for k in (0..nl).rev() {
+            bwd_prefix[k] = if k == nl - 1 {
+                g[nl - 1].clone()
+            } else {
+                let mut p = Mat::zeros(m, m);
+                gemm(
+                    1.0,
+                    &g[k],
+                    Trans::No,
+                    &bwd_prefix[k + 1],
+                    Trans::No,
+                    0.0,
+                    &mut p,
+                );
+                comm.compute(gemm_flops(m, m, m));
+                p
+            };
+        }
+
+        let mut fwd_trace = ScanTrace::default();
+        let mut bwd_trace = ScanTrace::default();
+        if record_traces {
+            // Zero-width vectors: the scans run their full matrix work and
+            // message pattern while carrying no right-hand-side data.
+            let fwd_total = AffinePair {
+                mat: fwd_prefix[nl - 1].clone(),
+                vec: Mat::zeros(m, 0),
+            };
+            let _ = affine_exscan_fresh(
+                comm,
+                Direction::Forward,
+                tags::FWD_SETUP,
+                fwd_total,
+                Some(&mut fwd_trace),
+            );
+            let bwd_total = AffinePair {
+                mat: bwd_prefix[0].clone(),
+                vec: Mat::zeros(m, 0),
+            };
+            let _ = affine_exscan_fresh(
+                comm,
+                Direction::Backward,
+                tags::BWD_SETUP,
+                bwd_total,
+                Some(&mut bwd_trace),
+            );
+        }
+
+        Ok(Self {
+            n: sys.n,
+            m,
+            lo: sys.lo,
+            hi: sys.hi,
+            d_lu,
+            f,
+            g,
+            fwd_prefix,
+            bwd_prefix,
+            fwd_trace,
+            bwd_trace,
+            recorded: record_traces,
+            boundary_cond,
+        })
+    }
+
+    /// Worst 1-norm condition estimate of the Phase 1 boundary
+    /// extraction across all ranks (identical on every rank).
+    ///
+    /// The extraction's relative error is roughly
+    /// `machine_eps * boundary_condition()`, so values approaching
+    /// `1/eps ~ 1e16` predict the accuracy degradation (and eventual
+    /// breakdown) quantified in Table III; values near 1 mean the exact
+    /// scan is operating at full precision. Windowed-mode factors report
+    /// 1.0 (no extraction).
+    pub fn boundary_condition(&self) -> f64 {
+        self.boundary_cond
+    }
+
+    /// Phase 1c/1d: recover the boundary diagonal `D_{lo-1}` from the
+    /// scanned companion product, then run the local Thomas-style pass.
+    /// Produces, per owned row, `LU(D_i)`, `F_i` and `G_i`, plus a
+    /// conditioning estimate of the boundary extraction (1.0 where no
+    /// extraction happened).
+    #[allow(clippy::type_complexity)]
+    fn local_factor_pass(
+        comm: &mut Comm,
+        sys: &RankSystem,
+        excl: Option<&CompanionProduct>,
+        mode: BoundaryMode,
+    ) -> Result<(Vec<LuFactors>, Vec<Mat>, Vec<Mat>, f64), FactorError> {
+        let m = sys.m;
+        let nl = sys.local_len();
+        let mut d_lu: Vec<LuFactors> = Vec::with_capacity(nl);
+        let mut f: Vec<Mat> = Vec::with_capacity(nl);
+        let mut g: Vec<Mat> = Vec::with_capacity(nl);
+        let mut boundary_cond = 1.0f64;
+
+        // Rank 0 owns row 0: D_0 = B_0 directly, no companion needed.
+        // Other ranks reconstruct D_{lo-1}: from the scanned companion
+        // product (exact), or by the windowed warm-started recurrence.
+        let boundary_diag = if sys.lo == 0 {
+            sys.rows[0].b.clone()
+        } else {
+            match mode {
+                BoundaryMode::ExactScan => {
+                    let mut state = CompanionState::initial(&sys.row0)
+                        .map_err(|source| FactorError { row: 0, source })?;
+                    comm.compute(CompanionState::initial_flops(m));
+                    if let Some(g_excl) = excl {
+                        state.apply_product(g_excl);
+                        comm.compute(CompanionState::apply_product_flops(m));
+                    }
+                    // Extraction error amplifies by cond(V): record it so
+                    // callers can predict the accuracy envelope
+                    // (DESIGN.md §7) before ever solving.
+                    boundary_cond = bt_dense::cond_1(&state.v);
+                    let d = state
+                        .extract_diag(&sys.c_prev)
+                        .map_err(|source| FactorError {
+                            row: sys.lo - 1,
+                            source,
+                        })?;
+                    comm.compute(CompanionState::extract_flops(m));
+                    d
+                }
+                BoundaryMode::Windowed(_) => Self::windowed_boundary(comm, sys)?,
+            }
+        };
+
+        // The LU used to form F for the first owned row.
+        let mut prev_lu: LuFactors;
+        let start_k;
+        if sys.lo == 0 {
+            // boundary_diag IS D_0 = B_0.
+            let lu = LuFactors::factor(&boundary_diag)
+                .map_err(|source| FactorError { row: 0, source })?;
+            comm.compute(lu_flops(m));
+            d_lu.push(lu.clone());
+            f.push(Mat::zeros(m, m)); // F_0 = 0 (A_0 = 0)
+            prev_lu = lu;
+            start_k = 1;
+        } else {
+            // boundary_diag is D_{lo-1}, owned by the left neighbour; we
+            // only need its LU to start the recurrence.
+            prev_lu = LuFactors::factor(&boundary_diag).map_err(|source| FactorError {
+                row: sys.lo - 1,
+                source,
+            })?;
+            comm.compute(lu_flops(m));
+            start_k = 0;
+        }
+
+        for k in start_k..nl {
+            let i = sys.lo + k;
+            let row = &sys.rows[k];
+            // F_i = -A_i D_{i-1}^{-1}  (right division).
+            let mut f_i = prev_lu.solve_transposed_system(&row.a);
+            f_i.negate();
+            comm.compute(lu_solve_flops(m, m));
+            // D_i = B_i + F_i C_{i-1}.
+            let mut d_i = row.b.clone();
+            gemm(
+                1.0,
+                &f_i,
+                Trans::No,
+                sys.c_before(i),
+                Trans::No,
+                1.0,
+                &mut d_i,
+            );
+            comm.compute(gemm_flops(m, m, m));
+            let lu = LuFactors::factor(&d_i).map_err(|source| FactorError { row: i, source })?;
+            comm.compute(lu_flops(m));
+            d_lu.push(lu.clone());
+            f.push(f_i);
+            prev_lu = lu;
+        }
+
+        // G_i = -D_i^{-1} C_i (automatically zero at i = N-1).
+        for (lu, row) in d_lu.iter().zip(&sys.rows) {
+            let mut g_i = lu.solve(&row.c);
+            g_i.negate();
+            comm.compute(lu_solve_flops(m, m));
+            g.push(g_i);
+        }
+
+        Ok((d_lu, f, g, boundary_cond))
+    }
+
+    /// Windowed boundary recovery: runs the plain block-LU diagonal
+    /// recurrence over `sys.window_rows`, warm-started from the window's
+    /// first diagonal block. Returns `D_{lo-1}` up to the geometrically
+    /// small warm-start residue.
+    fn windowed_boundary(comm: &mut Comm, sys: &RankSystem) -> Result<Mat, FactorError> {
+        assert!(
+            !sys.window_rows.is_empty(),
+            "BoundaryMode::Windowed requires RankSystem::from_source_windowed"
+        );
+        let m = sys.m;
+        let w = sys.window_rows.len();
+        let first_row = sys.lo - w;
+        let mut d = sys.window_rows[0].b.clone();
+        for j in 1..w {
+            let lu = LuFactors::factor(&d).map_err(|source| FactorError {
+                row: first_row + j - 1,
+                source,
+            })?;
+            comm.compute(lu_flops(m));
+            let row = &sys.window_rows[j];
+            // L = A_j D_{j-1}^{-1}; D_j = B_j - L C_{j-1}.
+            let l = lu.solve_transposed_system(&row.a);
+            comm.compute(lu_solve_flops(m, m));
+            let mut next = row.b.clone();
+            gemm(
+                -1.0,
+                &l,
+                Trans::No,
+                &sys.window_rows[j - 1].c,
+                Trans::No,
+                1.0,
+                &mut next,
+            );
+            comm.compute(gemm_flops(m, m, m));
+            d = next;
+        }
+        // The window ends at row lo - 1, so `d` is D_{lo-1}.
+        Ok(d)
+    }
+
+    /// Number of owned rows.
+    pub fn local_len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Bytes of matrix-dependent state stored per this rank (the memory
+    /// price of acceleration; Table II).
+    pub fn storage_bytes(&self) -> u64 {
+        let mat_bytes = (self.m * self.m * 8) as u64;
+        // d_lu (packed LU) + f + g per row, plus the prefix matrices if
+        // they have not been shed (see `shed_prefixes`).
+        let prefixes = (self.fwd_prefix.len() + self.bwd_prefix.len()) as u64;
+        (3 * self.local_len() as u64 + prefixes) * mat_bytes
+            + self.fwd_trace.storage_bytes()
+            + self.bwd_trace.storage_bytes()
+    }
+
+    /// Frees the per-row local prefix matrices (40% of the stored factor
+    /// bytes), keeping only what [`ArdRankFactors::solve_replay_lean`]
+    /// needs. After shedding, [`ArdRankFactors::solve_replay`] and
+    /// [`ArdRankFactors::solve_fresh`] must not be called.
+    pub fn shed_prefixes(&mut self) {
+        assert!(self.recorded, "classic-RD factors need their prefixes");
+        self.fwd_prefix = Vec::new();
+        self.bwd_prefix = Vec::new();
+    }
+
+    /// Solves one right-hand-side batch by **replaying** the recorded
+    /// scans — the accelerated path, `O(M^2 R (N/P + log P))`.
+    ///
+    /// `y_local[k]` is the `M x R` panel of global row `lo + k`. Returns
+    /// the solution panels in the same layout. Collective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if setup was run with `record_traces = false`, or on panel
+    /// shape mismatch.
+    pub fn solve_replay(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
+        assert!(
+            self.recorded,
+            "solve_replay requires setup(record_traces = true)"
+        );
+        self.solve_impl(comm, y_local, true)
+    }
+
+    /// Solves one batch with **fresh** scans (classic recursive
+    /// doubling's per-solve Phase 2/3): full pairs travel and every scan
+    /// combine pays the `O(M^3)` product. Collective.
+    pub fn solve_fresh(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
+        self.solve_impl(comm, y_local, false)
+    }
+
+    /// Memory-lean replay: identical flop count and message pattern to
+    /// [`ArdRankFactors::solve_replay`], but instead of fixing each row up
+    /// with a stored prefix matrix (`z_i = M_i v_excl + v_i`), it exploits
+    /// the fact that the scan's exclusive vector *is* the boundary value
+    /// (`v_excl = z_{lo-1}`) and re-runs the plain first-order recurrence
+    /// from it. The per-row prefix matrices are therefore never touched
+    /// and can be freed with [`ArdRankFactors::shed_prefixes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if setup was run with `record_traces = false`, or on panel
+    /// shape mismatch.
+    pub fn solve_replay_lean(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
+        assert!(
+            self.recorded,
+            "solve_replay_lean requires setup(record_traces = true)"
+        );
+        let m = self.m;
+        let nl = self.local_len();
+        assert_eq!(y_local.len(), nl, "rhs panel count mismatch");
+        let r = y_local[0].cols();
+        for (k, panel) in y_local.iter().enumerate() {
+            assert_eq!(panel.shape(), (m, r), "rhs panel {k} shape mismatch");
+        }
+
+        // ---- Phase 2. On the logical-first rank the exclusive value is
+        // empty, so z is computable before the scan and doubles as the
+        // scan total; elsewhere, fold a total, scan, then run the
+        // recurrence from the boundary value z_{lo-1} = v_excl.
+        let fwd_first = comm.rank() == 0;
+        let z: Vec<Mat> = if fwd_first {
+            let mut z: Vec<Mat> = Vec::with_capacity(nl);
+            for k in 0..nl {
+                let mut zk = y_local[k].clone();
+                if k > 0 {
+                    gemm(
+                        1.0,
+                        &self.f[k],
+                        Trans::No,
+                        &z[k - 1],
+                        Trans::No,
+                        1.0,
+                        &mut zk,
+                    );
+                    comm.compute(gemm_flops(m, m, r));
+                }
+                z.push(zk);
+            }
+            let none = affine_exscan_replay(
+                comm,
+                Direction::Forward,
+                tags::FWD_SOLVE,
+                z[nl - 1].clone(),
+                &self.fwd_trace,
+            );
+            debug_assert!(none.is_none());
+            z
+        } else {
+            let mut total = y_local[0].clone();
+            for (yk, fk) in y_local.iter().zip(&self.f).skip(1) {
+                let mut v = yk.clone();
+                gemm(1.0, fk, Trans::No, &total, Trans::No, 1.0, &mut v);
+                comm.compute(gemm_flops(m, m, r));
+                total = v;
+            }
+            let v_excl = affine_exscan_replay(
+                comm,
+                Direction::Forward,
+                tags::FWD_SOLVE,
+                total,
+                &self.fwd_trace,
+            )
+            .expect("non-first rank always has an exclusive value");
+            let mut z: Vec<Mat> = Vec::with_capacity(nl);
+            for k in 0..nl {
+                let prev = if k == 0 { &v_excl } else { &z[k - 1] };
+                let mut zk = y_local[k].clone();
+                gemm(1.0, &self.f[k], Trans::No, prev, Trans::No, 1.0, &mut zk);
+                comm.compute(gemm_flops(m, m, r));
+                z.push(zk);
+            }
+            z
+        };
+
+        // ---- h_i = D_i^{-1} z_i.
+        let h: Vec<Mat> = {
+            let mut out = Vec::with_capacity(nl);
+            for (k, zk) in z.iter().enumerate() {
+                let hk = self.d_lu[k].solve(zk);
+                comm.compute(lu_solve_flops(m, r));
+                out.push(hk);
+            }
+            out
+        };
+
+        // ---- Phase 3: mirror image of Phase 2.
+        let bwd_first = comm.rank() == comm.size() - 1;
+        if bwd_first {
+            let mut x: Vec<Mat> = vec![Mat::zeros(0, 0); nl];
+            for k in (0..nl).rev() {
+                let mut xk = h[k].clone();
+                if k + 1 < nl {
+                    gemm(
+                        1.0,
+                        &self.g[k],
+                        Trans::No,
+                        &x[k + 1],
+                        Trans::No,
+                        1.0,
+                        &mut xk,
+                    );
+                    comm.compute(gemm_flops(m, m, r));
+                }
+                x[k] = xk;
+            }
+            let none = affine_exscan_replay(
+                comm,
+                Direction::Backward,
+                tags::BWD_SOLVE,
+                x[0].clone(),
+                &self.bwd_trace,
+            );
+            debug_assert!(none.is_none());
+            x
+        } else {
+            let mut total = h[nl - 1].clone();
+            for k in (0..nl - 1).rev() {
+                let mut v = h[k].clone();
+                gemm(1.0, &self.g[k], Trans::No, &total, Trans::No, 1.0, &mut v);
+                comm.compute(gemm_flops(m, m, r));
+                total = v;
+            }
+            let w_excl = affine_exscan_replay(
+                comm,
+                Direction::Backward,
+                tags::BWD_SOLVE,
+                total,
+                &self.bwd_trace,
+            )
+            .expect("non-last rank always has a backward exclusive value");
+            let mut x: Vec<Mat> = vec![Mat::zeros(0, 0); nl];
+            for k in (0..nl).rev() {
+                let next = if k == nl - 1 { &w_excl } else { &x[k + 1] };
+                let mut xk = h[k].clone();
+                gemm(1.0, &self.g[k], Trans::No, next, Trans::No, 1.0, &mut xk);
+                comm.compute(gemm_flops(m, m, r));
+                x[k] = xk;
+            }
+            x
+        }
+    }
+
+    fn solve_impl(&self, comm: &mut Comm, y_local: &[Mat], replay: bool) -> Vec<Mat> {
+        let m = self.m;
+        let nl = self.local_len();
+        assert_eq!(y_local.len(), nl, "rhs panel count mismatch");
+        let r = y_local[0].cols();
+        for (k, p) in y_local.iter().enumerate() {
+            assert_eq!(p.shape(), (m, r), "rhs panel {k} shape mismatch");
+        }
+        let fwd_first = comm.rank() == 0;
+        let bwd_first = comm.rank() == comm.size() - 1;
+
+        // ---- Phase 2: forward substitution z_i = F_i z_{i-1} + y_i. -----
+        // Local vector recurrence.
+        let mut v_hat: Vec<Mat> = Vec::with_capacity(nl);
+        for k in 0..nl {
+            let v = if k == 0 {
+                y_local[0].clone()
+            } else {
+                let mut v = y_local[k].clone();
+                gemm(
+                    1.0,
+                    &self.f[k],
+                    Trans::No,
+                    &v_hat[k - 1],
+                    Trans::No,
+                    1.0,
+                    &mut v,
+                );
+                comm.compute(gemm_flops(m, m, r));
+                v
+            };
+            v_hat.push(v);
+        }
+        // Cross-rank scan.
+        let v_excl = if replay {
+            affine_exscan_replay(
+                comm,
+                Direction::Forward,
+                tags::FWD_SOLVE,
+                v_hat[nl - 1].clone(),
+                &self.fwd_trace,
+            )
+        } else {
+            let total = AffinePair {
+                mat: self.fwd_prefix[nl - 1].clone(),
+                vec: v_hat[nl - 1].clone(),
+            };
+            affine_exscan_fresh(comm, Direction::Forward, tags::FWD_SOLVE, total, None)
+        };
+        // Fixup: z_i = fwd_prefix_i * v_excl + v_hat_i.
+        let z: Vec<Mat> = match &v_excl {
+            None => {
+                debug_assert!(fwd_first);
+                v_hat
+            }
+            Some(vin) => (0..nl)
+                .map(|k| {
+                    let mut z = v_hat[k].clone();
+                    gemm(
+                        1.0,
+                        &self.fwd_prefix[k],
+                        Trans::No,
+                        vin,
+                        Trans::No,
+                        1.0,
+                        &mut z,
+                    );
+                    comm.compute(gemm_flops(m, m, r));
+                    z
+                })
+                .collect(),
+        };
+
+        // ---- h_i = D_i^{-1} z_i. ----------------------------------------
+        let h: Vec<Mat> = (0..nl)
+            .map(|k| {
+                let hk = self.d_lu[k].solve(&z[k]);
+                comm.compute(lu_solve_flops(m, r));
+                hk
+            })
+            .collect();
+
+        // ---- Phase 3: backward substitution x_i = G_i x_{i+1} + h_i. ----
+        let mut w_hat: Vec<Mat> = vec![Mat::zeros(0, 0); nl];
+        for k in (0..nl).rev() {
+            w_hat[k] = if k == nl - 1 {
+                h[nl - 1].clone()
+            } else {
+                let mut w = h[k].clone();
+                gemm(
+                    1.0,
+                    &self.g[k],
+                    Trans::No,
+                    &w_hat[k + 1],
+                    Trans::No,
+                    1.0,
+                    &mut w,
+                );
+                comm.compute(gemm_flops(m, m, r));
+                w
+            };
+        }
+        let w_excl = if replay {
+            affine_exscan_replay(
+                comm,
+                Direction::Backward,
+                tags::BWD_SOLVE,
+                w_hat[0].clone(),
+                &self.bwd_trace,
+            )
+        } else {
+            let total = AffinePair {
+                mat: self.bwd_prefix[0].clone(),
+                vec: w_hat[0].clone(),
+            };
+            affine_exscan_fresh(comm, Direction::Backward, tags::BWD_SOLVE, total, None)
+        };
+        match &w_excl {
+            None => {
+                debug_assert!(bwd_first);
+                w_hat
+            }
+            Some(win) => (0..nl)
+                .map(|k| {
+                    let mut x = w_hat[k].clone();
+                    gemm(
+                        1.0,
+                        &self.bwd_prefix[k],
+                        Trans::No,
+                        win,
+                        Trans::No,
+                        1.0,
+                        &mut x,
+                    );
+                    comm.compute(gemm_flops(m, m, r));
+                    x
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Classic recursive doubling: rebuilds all matrix-dependent state and
+/// runs a fresh-scan solve, every call. `O(M^3 (N/P + log P))` per batch
+/// regardless of `R` (for `R <= M`). Collective.
+///
+/// # Errors
+///
+/// [`FactorError`] (on every rank) if a block diagonal is singular.
+pub fn rd_solve_rank(
+    comm: &mut Comm,
+    sys: &RankSystem,
+    y_local: &[Mat],
+) -> Result<Vec<Mat>, FactorError> {
+    let factors = ArdRankFactors::setup(comm, sys, false)?;
+    Ok(factors.solve_fresh(comm, y_local))
+}

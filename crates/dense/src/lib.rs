@@ -1,0 +1,40 @@
+//! # bt-dense: dense linear algebra kernels for the block tridiagonal suite
+//!
+//! Self-contained dense `f64` linear algebra — the BLAS/LAPACK substitute
+//! this reproduction builds on (see DESIGN.md §3). Provides:
+//!
+//! * [`Mat`] — owned column-major matrix ([`mat`]);
+//! * [`gemm()`]/[`matmul`]/[`gemv`] — blocked matrix multiply (module [`mod@gemm`]);
+//! * [`LuFactors`] — partially pivoted LU with factor-once / solve-many
+//!   panel solves ([`lu`]);
+//! * [`CholFactors`] — Cholesky for SPD blocks ([`cholesky`]);
+//! * norms and condition estimates ([`norms`]);
+//! * seeded random matrix generators ([`random`]).
+//!
+//! Everything is pure safe Rust with no external BLAS; flop-count helpers
+//! (`gemm_flops`, `lu_flops`, ...) feed the virtual-time cost model in
+//! `bt-mpsim`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bt_dense::{matmul, invert, Mat};
+//!
+//! let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+//! let inv = invert(&a).unwrap();
+//! let prod = matmul(&a, &inv);
+//! assert!(prod.sub(&Mat::identity(2)).max_abs() < 1e-12);
+//! ```
+
+pub mod cholesky;
+pub mod gemm;
+pub mod lu;
+pub mod mat;
+pub mod norms;
+pub mod random;
+
+pub use cholesky::{cholesky_flops, CholFactors};
+pub use gemm::{gemm, gemm_flops, gemv, matmul, matvec, Trans};
+pub use lu::{invert, lu_flops, lu_solve_flops, solve, LuFactors, SingularError};
+pub use mat::Mat;
+pub use norms::{cond_1, fro_norm, inf_norm, one_norm, rel_diff, vec_norm2};

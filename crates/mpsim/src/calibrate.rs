@@ -1,0 +1,106 @@
+//! Host calibration for the virtual-time cost model.
+//!
+//! The [`CostModel`] presets are nominal cluster numbers. For modeled
+//! times that track *this* host, [`calibrate`] measures:
+//!
+//! * the sustained flop rate of the dense GEMM kernel (the dominant
+//!   kernel of every solver in the suite), and
+//! * the per-message latency and per-byte time of the channel transport,
+//!   via a rank-pair ping-pong at two message sizes.
+//!
+//! Calibration takes ~100 ms and is deterministic enough for the scaling
+//! *shapes* the experiments report; it is not a rigorous benchmark.
+
+use std::time::Instant;
+
+use bt_dense::{gemm, gemm_flops, random::rng, random::uniform, Mat, Trans};
+
+use crate::model::CostModel;
+use crate::runner::run_spmd;
+
+/// Measures the host's GEMM flop rate (flop/s) using `m x m` operands.
+pub fn measure_flop_rate(m: usize) -> f64 {
+    let a = uniform(m, m, &mut rng(1));
+    let b = uniform(m, m, &mut rng(2));
+    let mut c = Mat::zeros(m, m);
+    // Warm up.
+    gemm(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
+    let reps = (200_000_000 / gemm_flops(m, m, m).max(1)).clamp(3, 2000);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        gemm(1.0, &a, Trans::No, &b, Trans::No, 1.0, &mut c);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    // Keep the accumulation observable.
+    std::hint::black_box(c.max_abs());
+    (reps * gemm_flops(m, m, m)) as f64 / secs.max(1e-9)
+}
+
+/// Measures channel transport costs with a two-rank ping-pong: returns
+/// `(latency_s, per_byte_s)` from small- and large-message round trips.
+pub fn measure_transport() -> (f64, f64) {
+    const SMALL: usize = 8; // one f64
+    const LARGE: usize = 1 << 16; // 64 KiB of f64s
+
+    let time_pingpong = |words: usize, iters: usize| -> f64 {
+        let out = run_spmd(2, CostModel::zero(), move |comm| {
+            let payload = vec![0.0f64; words];
+            comm.barrier();
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                if comm.rank() == 0 {
+                    comm.send(1, 1, payload.clone());
+                    let _: Vec<f64> = comm.recv(1, 2);
+                } else {
+                    let got: Vec<f64> = comm.recv(0, 1);
+                    comm.send(0, 2, got);
+                }
+            }
+            t0.elapsed().as_secs_f64()
+        });
+        // One-way time per message.
+        out.results[0] / (2 * iters) as f64
+    };
+
+    let t_small = time_pingpong(SMALL / 8, 400);
+    let t_large = time_pingpong(LARGE / 8, 100);
+    let latency = t_small.max(1e-9);
+    let per_byte = ((t_large - t_small) / (LARGE - SMALL) as f64).max(0.0);
+    (latency, per_byte)
+}
+
+/// Builds a [`CostModel`] calibrated to this host.
+pub fn calibrate() -> CostModel {
+    let (latency_s, per_byte_s) = measure_transport();
+    CostModel {
+        latency_s,
+        per_byte_s,
+        flop_rate: measure_flop_rate(64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_rate_is_plausible() {
+        let rate = measure_flop_rate(48);
+        // Anything from an embedded core to a vector monster.
+        assert!(rate > 1e7 && rate < 1e13, "measured {rate} flop/s");
+    }
+
+    #[test]
+    fn transport_is_plausible() {
+        let (latency, per_byte) = measure_transport();
+        assert!(latency > 0.0 && latency < 1e-2, "latency {latency}");
+        assert!((0.0..1e-5).contains(&per_byte), "per_byte {per_byte}");
+    }
+
+    #[test]
+    fn calibrated_model_is_usable() {
+        let m = calibrate();
+        assert!(m.compute_time(1_000_000) > 0.0);
+        assert!(m.msg_time(1024) > 0.0);
+    }
+}

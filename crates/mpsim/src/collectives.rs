@@ -1,0 +1,268 @@
+//! Collective operations, all implemented over the point-to-point layer so
+//! the byte/message counters and the virtual-time model automatically
+//! account for them.
+//!
+//! Every collective must be called by **all ranks in the same order**
+//! (the usual SPMD contract). A per-communicator sequence number keyed
+//! into a reserved tag space keeps successive collectives from
+//! interfering, even when user point-to-point traffic is in flight.
+//!
+//! Non-commutative operators are supported everywhere they make sense:
+//! reductions and scans always combine partial results in rank order
+//! (`op(lower_ranks_result, higher_ranks_result)`), which is what the
+//! matrix-product scans of recursive doubling require.
+
+use crate::comm::{Comm, USER_TAG_LIMIT};
+use crate::payload::Payload;
+
+impl Comm {
+    /// Allocates a fresh collective tag (same value on every rank because
+    /// collectives are called in the same order on every rank).
+    fn next_collective_tag(&mut self) -> u64 {
+        let tag = USER_TAG_LIMIT + self.collective_seq;
+        self.collective_seq += 1;
+        tag
+    }
+
+    /// Synchronizes all ranks (dissemination barrier, `ceil(log2 P)`
+    /// rounds).
+    pub fn barrier(&mut self) {
+        let tag = self.next_collective_tag();
+        let p = self.size();
+        let r = self.rank();
+        let mut k = 1;
+        while k < p {
+            let to = (r + k) % p;
+            let from = (r + p - k) % p;
+            self.send_internal(to, tag + (k as u64) * (1 << 56), ());
+            let () = self.recv_internal(from, tag + (k as u64) * (1 << 56));
+            k <<= 1;
+        }
+    }
+
+    /// Broadcasts `value` from `root` to all ranks (binomial tree).
+    ///
+    /// On the root, pass `Some(value)`; on other ranks pass `None`.
+    /// Returns the broadcast value on every rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root passes `None` or a non-root passes `Some`.
+    pub fn broadcast<T: Payload + Clone>(&mut self, root: usize, value: Option<T>) -> T {
+        let tag = self.next_collective_tag();
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p;
+        if vr == 0 {
+            assert!(value.is_some(), "broadcast root must supply a value");
+        } else {
+            assert!(
+                value.is_none(),
+                "non-root rank {} passed a broadcast value",
+                self.rank()
+            );
+        }
+
+        let mut current = value;
+        // Receive from the parent: the rank that differs in the lowest set
+        // bit of our virtual rank.
+        let mut mask = 1usize;
+        while mask < p {
+            if vr & mask != 0 {
+                let parent = ((vr - mask) + root) % p;
+                current = Some(self.recv_internal(parent, tag));
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children under decreasing masks.
+        mask >>= 1;
+        let val = current.expect("broadcast value must exist after receive phase");
+        while mask > 0 {
+            if vr & mask == 0 && vr + mask < p {
+                let child = ((vr + mask) + root) % p;
+                self.send_internal(child, tag, val.clone());
+            }
+            mask >>= 1;
+        }
+        val
+    }
+
+    /// Reduces values from all ranks onto `root` with an associative (not
+    /// necessarily commutative) `op`; partial results are combined in rank
+    /// order. Returns `Some(total)` on root, `None` elsewhere.
+    pub fn reduce<T: Payload + Clone>(
+        &mut self,
+        root: usize,
+        value: T,
+        op: impl Fn(&T, &T) -> T,
+    ) -> Option<T> {
+        let tag = self.next_collective_tag();
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p;
+        let mut acc = value;
+        let mut mask = 1usize;
+        while mask < p {
+            if vr & mask == 0 {
+                let peer_vr = vr | mask;
+                if peer_vr < p {
+                    let peer = (peer_vr + root) % p;
+                    let other: T = self.recv_internal(peer, tag);
+                    // `acc` covers virtual ranks [vr, vr+mask), `other`
+                    // covers [vr+mask, ...): combine in rank order.
+                    acc = op(&acc, &other);
+                }
+            } else {
+                let peer = ((vr & !mask) + root) % p;
+                self.send_internal(peer, tag, acc.clone());
+                return None;
+            }
+            mask <<= 1;
+        }
+        debug_assert_eq!(vr, 0);
+        Some(acc)
+    }
+
+    /// Reduce-to-all: every rank gets the rank-ordered combination of all
+    /// contributions (reduce to rank 0, then broadcast).
+    pub fn allreduce<T: Payload + Clone>(&mut self, value: T, op: impl Fn(&T, &T) -> T) -> T {
+        let reduced = self.reduce(0, value, op);
+        self.broadcast(0, reduced)
+    }
+
+    /// Gathers one value from each rank onto `root`, in rank order.
+    /// Returns `Some(vec)` (indexed by rank) on root, `None` elsewhere.
+    pub fn gather<T: Payload>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(value);
+            for src in (0..self.size()).filter(|&s| s != root) {
+                let received = self.recv_internal(src, tag);
+                out[src] = Some(received);
+            }
+            Some(
+                out.into_iter()
+                    .map(|v| v.expect("gather slot filled"))
+                    .collect(),
+            )
+        } else {
+            self.send_internal(root, tag, value);
+            None
+        }
+    }
+
+    /// All-gather: every rank receives the vector of all contributions in
+    /// rank order (gather to rank 0 + broadcast).
+    pub fn allgather<T: Payload + Clone>(&mut self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.broadcast(0, gathered)
+    }
+
+    /// Scatters `values` (indexed by rank) from `root`: rank `i` receives
+    /// `values[i]`. On the root pass `Some(values)` (length `P`); on
+    /// other ranks pass `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root's vector length differs from the world size, if
+    /// the root passes `None`, or a non-root passes `Some`.
+    pub fn scatter<T: Payload>(&mut self, root: usize, values: Option<Vec<T>>) -> T {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let values = values.expect("scatter root must supply values");
+            assert_eq!(values.len(), self.size(), "scatter length mismatch");
+            let mut mine = None;
+            for (dst, v) in values.into_iter().enumerate() {
+                if dst == root {
+                    mine = Some(v);
+                } else {
+                    self.send_internal(dst, tag, v);
+                }
+            }
+            mine.expect("root keeps its own slot")
+        } else {
+            assert!(
+                values.is_none(),
+                "non-root rank {} passed scatter values",
+                self.rank()
+            );
+            self.recv_internal(root, tag)
+        }
+    }
+
+    /// All-to-all personalized exchange: `values[dst]` goes to rank
+    /// `dst`; returns the vector of contributions received, indexed by
+    /// source rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != size()`.
+    pub fn alltoall<T: Payload>(&mut self, values: Vec<T>) -> Vec<T> {
+        let tag = self.next_collective_tag();
+        assert_eq!(values.len(), self.size(), "alltoall length mismatch");
+        let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+        for (dst, v) in values.into_iter().enumerate() {
+            if dst == self.rank() {
+                slots[dst] = Some(v);
+            } else {
+                self.send_internal(dst, tag, v);
+            }
+        }
+        let (p, me) = (self.size(), self.rank());
+        for src in (0..p).filter(|&s| s != me) {
+            let received = self.recv_internal(src, tag);
+            slots[src] = Some(received);
+        }
+        slots.into_iter().map(|v| v.expect("slot filled")).collect()
+    }
+
+    /// Inclusive scan (Kogge-Stone recursive doubling, `ceil(log2 P)`
+    /// rounds): rank `r` obtains `op(x_0, op(x_1, ... x_r))` combined in
+    /// rank order. This is the communication pattern whose cost is the
+    /// `log P` term in the paper's `O(M^3 (N/P + log P))` bound.
+    pub fn scan_inclusive<T: Payload + Clone>(&mut self, value: T, op: impl Fn(&T, &T) -> T) -> T {
+        let tag = self.next_collective_tag();
+        let p = self.size();
+        let r = self.rank();
+        let mut acc = value;
+        let mut dist = 1usize;
+        let mut round = 0u64;
+        while dist < p {
+            let round_tag = tag + round * (1 << 56);
+            if r + dist < p {
+                self.send_internal(r + dist, round_tag, acc.clone());
+            }
+            if r >= dist {
+                let other: T = self.recv_internal(r - dist, round_tag);
+                // `other` covers ranks [r - 2*dist + 1 .. r - dist], all
+                // earlier than `acc`'s window: combine with it on the left.
+                acc = op(&other, &acc);
+            }
+            dist <<= 1;
+            round += 1;
+        }
+        acc
+    }
+
+    /// Exclusive scan: rank `r > 0` obtains the combination of ranks
+    /// `0..r`; rank 0 obtains `None`. One shift round after an inclusive
+    /// scan.
+    pub fn scan_exclusive<T: Payload + Clone>(
+        &mut self,
+        value: T,
+        op: impl Fn(&T, &T) -> T,
+    ) -> Option<T> {
+        let inclusive = self.scan_inclusive(value, op);
+        let tag = self.next_collective_tag();
+        let p = self.size();
+        let r = self.rank();
+        if r + 1 < p {
+            self.send_internal(r + 1, tag, inclusive);
+        }
+        if r > 0 {
+            Some(self.recv_internal(r - 1, tag))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Rank-local communicator: point-to-point messaging, counters, clock.
+//!
+//! A [`Comm`] is handed to each rank of an SPMD program (see
+//! [`crate::runner::run_spmd`]). Semantics mirror a minimal MPI subset:
+//!
+//! * [`Comm::send`] is non-blocking (buffered, like `MPI_Isend` + eager
+//!   protocol): it never waits for the receiver.
+//! * [`Comm::recv`] blocks until a message with the requested
+//!   `(source, tag)` arrives; messages with other tags from the same
+//!   source are buffered and delivered to later matching `recv`s, so
+//!   out-of-order tag matching behaves like MPI.
+//! * Every send/recv updates the rank's [`RankStats`] and its virtual
+//!   clock per the [`CostModel`].
+//!
+//! Misuse (type mismatch between `send` and `recv`, rank out of range,
+//! receiving from a rank that panicked) panics with a descriptive
+//! message — these are programming errors in the SPMD program, not
+//! recoverable conditions.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::model::CostModel;
+use crate::payload::Payload;
+use crate::stats::RankStats;
+use crate::trace::TraceEvent;
+
+/// First tag value reserved for collectives; user tags must be below this.
+pub const USER_TAG_LIMIT: u64 = 1 << 48;
+
+/// A message in flight.
+pub(crate) struct Envelope {
+    pub tag: u64,
+    pub bytes: u64,
+    /// Virtual time at which the payload is available at the receiver.
+    pub avail_at: f64,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Per-rank communicator for an SPMD program.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    pub(crate) senders: Vec<Sender<Envelope>>,
+    pub(crate) receivers: Vec<Receiver<Envelope>>,
+    /// Out-of-order buffer, per source rank.
+    pending: Vec<VecDeque<Envelope>>,
+    pub(crate) stats: RankStats,
+    /// Virtual clock (seconds since program start).
+    pub(crate) clock: f64,
+    model: CostModel,
+    /// Sequence number ensuring successive collectives use distinct tags.
+    pub(crate) collective_seq: u64,
+    /// Event recorder (None unless the world was launched traced).
+    pub(crate) tracer: Option<Vec<TraceEvent>>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Envelope>>,
+        receivers: Vec<Receiver<Envelope>>,
+        model: CostModel,
+    ) -> Self {
+        Self {
+            rank,
+            size,
+            senders,
+            receivers,
+            pending: (0..size).map(|_| VecDeque::new()).collect(),
+            stats: RankStats::default(),
+            clock: 0.0,
+            model,
+            collective_seq: 0,
+            tracer: None,
+        }
+    }
+
+    /// This rank's id, `0 <= rank() < size()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The cost model this world runs under.
+    #[inline]
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// This rank's counters so far.
+    #[inline]
+    pub fn stats(&self) -> RankStats {
+        self.stats
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn virtual_time(&self) -> f64 {
+        self.clock
+    }
+
+    /// Sends `value` to `dest` with `tag`. Non-blocking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest >= size()`, if `tag >= USER_TAG_LIMIT` (reserved
+    /// for collectives), or if the destination rank has terminated.
+    pub fn send<T: Payload>(&mut self, dest: usize, tag: u64, value: T) {
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} is reserved for collectives"
+        );
+        self.send_internal(dest, tag, value);
+    }
+
+    pub(crate) fn send_internal<T: Payload>(&mut self, dest: usize, tag: u64, value: T) {
+        assert!(
+            dest < self.size,
+            "send to rank {dest} in a world of size {}",
+            self.size
+        );
+        let bytes = value.byte_size();
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes;
+        if let Some(tr) = &mut self.tracer {
+            tr.push(TraceEvent::Send {
+                at: self.clock,
+                dst: dest,
+                tag,
+                bytes,
+            });
+        }
+        let env = Envelope {
+            tag,
+            bytes,
+            avail_at: self.clock + self.model.msg_time(bytes),
+            payload: Box::new(value),
+        };
+        self.senders[dest]
+            .send(env)
+            .unwrap_or_else(|_| panic!("rank {}: send to terminated rank {dest}", self.rank));
+    }
+
+    /// Receives a `T` from `src` with matching `tag`, blocking until it
+    /// arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src >= size()`, if the matching message's payload is not
+    /// a `T`, or if `src` terminated without sending a matching message.
+    pub fn recv<T: Payload>(&mut self, src: usize, tag: u64) -> T {
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} is reserved for collectives"
+        );
+        self.recv_internal(src, tag)
+    }
+
+    pub(crate) fn recv_internal<T: Payload>(&mut self, src: usize, tag: u64) -> T {
+        assert!(
+            src < self.size,
+            "recv from rank {src} in a world of size {}",
+            self.size
+        );
+        let posted_at = self.clock;
+        let env = self.wait_for(src, tag);
+        self.stats.msgs_recv += 1;
+        self.stats.bytes_recv += env.bytes;
+        // Receiver cannot proceed before the message is (virtually) there.
+        self.clock = self.clock.max(env.avail_at);
+        if let Some(tr) = &mut self.tracer {
+            tr.push(TraceEvent::Recv {
+                start: posted_at,
+                wait: self.clock - posted_at,
+                src,
+                tag,
+                bytes: env.bytes,
+            });
+        }
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving tag {tag} from rank {src}: expected {}",
+                self.rank,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    fn wait_for(&mut self, src: usize, tag: u64) -> Envelope {
+        if let Some(pos) = self.pending[src].iter().position(|e| e.tag == tag) {
+            return self.pending[src].remove(pos).expect("position just found");
+        }
+        loop {
+            let env = self.receivers[src].recv().unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: rank {src} terminated before sending tag {tag}",
+                    self.rank
+                )
+            });
+            if env.tag == tag {
+                return env;
+            }
+            self.pending[src].push_back(env);
+        }
+    }
+
+    /// Combined send-then-receive with the same peer (safe because sends
+    /// never block). The standard building block of doubling exchanges.
+    pub fn sendrecv<T: Payload>(&mut self, peer: usize, tag: u64, value: T) -> T {
+        self.send(peer, tag, value);
+        self.recv(peer, tag)
+    }
+
+    /// Records `flops` floating point operations of local computation,
+    /// advancing the virtual clock accordingly.
+    pub fn compute(&mut self, flops: u64) {
+        self.stats.flops += flops;
+        let dur = self.model.compute_time(flops);
+        if let Some(tr) = &mut self.tracer {
+            tr.push(TraceEvent::Compute {
+                start: self.clock,
+                dur,
+                flops,
+            });
+        }
+        self.clock += dur;
+    }
+
+    /// Advances the virtual clock by `seconds` without counting flops
+    /// (for modeling non-flop work such as data movement).
+    pub fn advance_time(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "cannot rewind the clock");
+        self.clock += seconds;
+    }
+
+    /// True on rank 0 — convenient for one-rank-only side effects.
+    #[inline]
+    pub fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+}

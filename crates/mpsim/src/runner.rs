@@ -1,0 +1,197 @@
+//! SPMD launcher: runs the same closure on `P` ranks (one OS thread each)
+//! and collects results, counters, wall-clock time and modeled time.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{Comm, Envelope};
+use crate::model::CostModel;
+use crate::stats::WorldStats;
+use crate::trace::{Trace, TraceEvent};
+
+/// Hard cap on world size: ranks are OS threads that mostly block on
+/// channels, so thousands are fine, but an unbounded request is almost
+/// certainly a bug.
+pub const MAX_RANKS: usize = 4096;
+
+/// Everything produced by one SPMD run.
+#[derive(Debug)]
+pub struct SpmdOutput<T> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-rank communication/computation counters.
+    pub stats: WorldStats,
+    /// Real elapsed wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Modeled parallel runtime: the maximum final virtual clock over all
+    /// ranks, per the run's [`CostModel`].
+    pub modeled_seconds: f64,
+}
+
+/// Runs `f` as an SPMD program on `p` ranks under `model`.
+///
+/// Each rank gets its own [`Comm`]; `f(&mut comm)` is executed once per
+/// rank on its own thread. Returns when every rank has finished.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `p > MAX_RANKS`, or if any rank panics (the
+/// panic is propagated; ranks blocked on the dead rank's messages panic
+/// with a "terminated" message of their own).
+///
+/// # Examples
+///
+/// ```
+/// use bt_mpsim::{run_spmd, CostModel};
+///
+/// let out = run_spmd(4, CostModel::default(), |comm| {
+///     comm.allreduce(comm.rank() as u64, |a, b| a + b)
+/// });
+/// assert_eq!(out.results, vec![6, 6, 6, 6]);
+/// ```
+pub fn run_spmd<T, F>(p: usize, model: CostModel, f: F) -> SpmdOutput<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    run_spmd_impl(p, model, false, f).0
+}
+
+/// Like [`run_spmd`], but every rank records its virtual-time events;
+/// the returned [`Trace`] serializes to Chrome trace JSON
+/// ([`Trace::write_chrome_json`]).
+pub fn run_spmd_traced<T, F>(p: usize, model: CostModel, f: F) -> (SpmdOutput<T>, Trace)
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    let (out, trace) = run_spmd_impl(p, model, true, f);
+    (out, trace.expect("tracing enabled"))
+}
+
+fn run_spmd_impl<T, F>(
+    p: usize,
+    model: CostModel,
+    traced: bool,
+    f: F,
+) -> (SpmdOutput<T>, Option<Trace>)
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    assert!(p >= 1, "world size must be at least 1");
+    assert!(
+        p <= MAX_RANKS,
+        "world size {p} exceeds MAX_RANKS ({MAX_RANKS})"
+    );
+
+    // chans[src][dst]
+    let mut txs: Vec<Vec<Option<crossbeam::channel::Sender<Envelope>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    let mut rxs: Vec<Vec<Option<crossbeam::channel::Receiver<Envelope>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    for (src, row) in txs.iter_mut().enumerate() {
+        for (dst, slot) in row.iter_mut().enumerate() {
+            let (tx, rx) = unbounded();
+            *slot = Some(tx);
+            rxs[src][dst] = Some(rx);
+        }
+    }
+
+    // Build each rank's communicator: it owns senders to every dst and
+    // receivers from every src.
+    let mut comms: Vec<Comm> = Vec::with_capacity(p);
+    // Transpose receivers: rank r receives on rxs[src][r] for all src.
+    let mut recv_rows: Vec<Vec<Option<crossbeam::channel::Receiver<Envelope>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    for (src, row) in rxs.into_iter().enumerate() {
+        for (dst, rx) in row.into_iter().enumerate() {
+            recv_rows[dst][src] = rx;
+        }
+    }
+    for (rank, (send_row, recv_row)) in txs.into_iter().zip(recv_rows).enumerate() {
+        let senders = send_row
+            .into_iter()
+            .map(|s| s.expect("sender built"))
+            .collect();
+        let receivers = recv_row
+            .into_iter()
+            .map(|r| r.expect("receiver built"))
+            .collect();
+        let mut comm = Comm::new(rank, p, senders, receivers, model);
+        if traced {
+            comm.tracer = Some(Vec::new());
+        }
+        comms.push(comm);
+    }
+
+    let start = Instant::now();
+    let f = &f;
+    let rank_outputs: Vec<(T, crate::stats::RankStats, f64, Option<Vec<TraceEvent>>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|mut comm| {
+                    scope.spawn(move || {
+                        let result = f(&mut comm);
+                        let events = comm.tracer.take();
+                        (result, comm.stats(), comm.virtual_time(), events)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| match h.join() {
+                    Ok(out) => out,
+                    Err(e) => std::panic::panic_any(e_with_rank(rank, e)),
+                })
+                .collect()
+        });
+    let wall = start.elapsed();
+
+    let mut results = Vec::with_capacity(p);
+    let mut per_rank = Vec::with_capacity(p);
+    let mut modeled = 0.0f64;
+    let mut trace_events = Vec::with_capacity(p);
+    for (result, stats, clock, events) in rank_outputs {
+        results.push(result);
+        per_rank.push(stats);
+        modeled = modeled.max(clock);
+        trace_events.push(events.unwrap_or_default());
+    }
+
+    let trace = traced.then_some(Trace {
+        events: trace_events,
+    });
+    (
+        SpmdOutput {
+            results,
+            stats: WorldStats { per_rank },
+            wall,
+            modeled_seconds: modeled,
+        },
+        trace,
+    )
+}
+
+/// Convenience wrapper with the default cluster cost model.
+pub fn run_spmd_default<T, F>(p: usize, f: F) -> SpmdOutput<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    run_spmd(p, CostModel::default(), f)
+}
+
+fn e_with_rank(rank: usize, e: Box<dyn std::any::Any + Send>) -> String {
+    let msg = if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    format!("rank {rank} panicked: {msg}")
+}

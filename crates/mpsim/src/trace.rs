@@ -1,0 +1,219 @@
+//! Execution tracing: per-rank timelines in Chrome trace format.
+//!
+//! When enabled (see [`crate::runner::run_spmd_traced`]), every rank
+//! records its computation spans, sends, and receive waits on the
+//! *virtual* clock. The combined [`Trace`] serializes to the Chrome
+//! trace-event JSON format — open `chrome://tracing` (or Perfetto) and
+//! load the file to see the parallel schedule: local scan work, the
+//! `log P` recursive-doubling rounds, and who waits for whom.
+
+use std::fmt::Write as _;
+
+/// One recorded event on a rank's virtual timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Local computation of `flops`, occupying `[start, start + dur]`.
+    Compute {
+        /// Virtual start time (seconds).
+        start: f64,
+        /// Duration (seconds).
+        dur: f64,
+        /// Flops performed.
+        flops: u64,
+    },
+    /// A message send (instantaneous on the sender's timeline).
+    Send {
+        /// Virtual time of the send.
+        at: f64,
+        /// Destination rank.
+        dst: usize,
+        /// Message tag.
+        tag: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A receive: the rank blocked from `start` until the message's
+    /// availability time `start + wait` (zero wait if it was already
+    /// there).
+    Recv {
+        /// Virtual time the receive was posted.
+        start: f64,
+        /// Time spent waiting for the message.
+        wait: f64,
+        /// Source rank.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+}
+
+/// All ranks' recorded events.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// `events[rank]` is that rank's timeline in recording order.
+    pub events: Vec<Vec<TraceEvent>>,
+}
+
+impl Trace {
+    /// Total number of events across ranks.
+    pub fn len(&self) -> usize {
+        self.events.iter().map(Vec::len).sum()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes to Chrome trace-event JSON (the "JSON array" flavour).
+    /// Times are microseconds of virtual time; `tid` is the rank.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[\n");
+        let mut first = true;
+        let emit = |s: String, out: &mut String, first: &mut bool| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            out.push_str(&s);
+        };
+        for (rank, events) in self.events.iter().enumerate() {
+            for ev in events {
+                let json = match ev {
+                    TraceEvent::Compute { start, dur, flops } => format!(
+                        r#"  {{"name":"compute","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{rank},"args":{{"flops":{flops}}}}}"#,
+                        start * 1e6,
+                        dur * 1e6
+                    ),
+                    TraceEvent::Send {
+                        at,
+                        dst,
+                        tag,
+                        bytes,
+                    } => format!(
+                        r#"  {{"name":"send","ph":"i","ts":{:.3},"pid":0,"tid":{rank},"s":"t","args":{{"dst":{dst},"tag":{tag},"bytes":{bytes}}}}}"#,
+                        at * 1e6
+                    ),
+                    TraceEvent::Recv {
+                        start,
+                        wait,
+                        src,
+                        tag,
+                        bytes,
+                    } => format!(
+                        r#"  {{"name":"recv-wait","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{rank},"args":{{"src":{src},"tag":{tag},"bytes":{bytes}}}}}"#,
+                        start * 1e6,
+                        wait * 1e6
+                    ),
+                };
+                emit(json, &mut out, &mut first);
+            }
+        }
+        let _ = write!(out, "\n]\n");
+        out
+    }
+
+    /// Writes the Chrome JSON to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_chrome_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_chrome_json())
+    }
+
+    /// Fraction of a rank's final virtual time spent blocked in receives
+    /// (a load-imbalance / critical-path indicator).
+    pub fn wait_fraction(&self, rank: usize) -> f64 {
+        let events = &self.events[rank];
+        let waited: f64 = events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Recv { wait, .. } => *wait,
+                _ => 0.0,
+            })
+            .sum();
+        let end = events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Compute { start, dur, .. } => start + dur,
+                TraceEvent::Send { at, .. } => *at,
+                TraceEvent::Recv { start, wait, .. } => start + wait,
+            })
+            .fold(0.0, f64::max);
+        if end > 0.0 {
+            waited / end
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            events: vec![
+                vec![
+                    TraceEvent::Compute {
+                        start: 0.0,
+                        dur: 1.0,
+                        flops: 100,
+                    },
+                    TraceEvent::Send {
+                        at: 1.0,
+                        dst: 1,
+                        tag: 7,
+                        bytes: 64,
+                    },
+                ],
+                vec![TraceEvent::Recv {
+                    start: 0.0,
+                    wait: 1.5,
+                    src: 0,
+                    tag: 7,
+                    bytes: 64,
+                }],
+            ],
+        }
+    }
+
+    #[test]
+    fn counting() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!(Trace::default().is_empty());
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let json = sample().to_chrome_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains(r#""name":"compute""#));
+        assert!(json.contains(r#""name":"send""#));
+        assert!(json.contains(r#""name":"recv-wait""#));
+        assert!(json.contains(r#""tid":1"#));
+        // Valid-ish: same number of opening and closing braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Events separated by commas: 3 events -> 2 separators.
+        assert_eq!(json.matches("},\n").count(), 2);
+    }
+
+    #[test]
+    fn wait_fraction_computed() {
+        let t = sample();
+        assert_eq!(t.wait_fraction(0), 0.0);
+        assert!((t.wait_fraction(1) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Failure-injection tests: programming errors in SPMD programs must
+//! produce clear panics, not hangs or silent corruption.
+
+use bt_mpsim::{run_spmd, CostModel, USER_TAG_LIMIT};
+
+const M: CostModel = CostModel {
+    latency_s: 0.0,
+    per_byte_s: 0.0,
+    flop_rate: f64::INFINITY,
+};
+
+#[test]
+#[should_panic(expected = "send to rank 5 in a world of size 2")]
+fn send_to_invalid_rank() {
+    run_spmd(2, M, |comm| {
+        if comm.rank() == 0 {
+            comm.send(5, 0, 1u64);
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "recv from rank 9")]
+fn recv_from_invalid_rank() {
+    run_spmd(2, M, |comm| {
+        if comm.rank() == 0 {
+            let _: u64 = comm.recv(9, 0);
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "reserved for collectives")]
+fn reserved_tag_rejected() {
+    run_spmd(2, M, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, USER_TAG_LIMIT + 3, 1u64);
+        } else {
+            let _: u64 = comm.recv(0, USER_TAG_LIMIT + 3);
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "type mismatch")]
+fn type_mismatch_detected() {
+    run_spmd(2, M, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 1, 1.5f64);
+        } else {
+            let _: u64 = comm.recv(0, 1); // wrong type
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "terminated before sending")]
+fn peer_exit_without_message_panics_not_hangs() {
+    run_spmd(2, M, |comm| {
+        if comm.rank() == 1 {
+            // Rank 0 exits immediately; rank 1 must get a clear panic
+            // when the channel disconnects, not block forever.
+            let _: u64 = comm.recv(0, 7);
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "broadcast root must supply a value")]
+fn broadcast_root_without_value() {
+    run_spmd(2, M, |comm| {
+        let _: u64 = comm.broadcast(0, None);
+    });
+}
+
+#[test]
+#[should_panic(expected = "world size must be at least 1")]
+fn zero_ranks_rejected() {
+    run_spmd(0, M, |_comm| ());
+}
+
+#[test]
+#[should_panic(expected = "exceeds MAX_RANKS")]
+fn oversized_world_rejected() {
+    run_spmd(1 << 20, M, |_comm| ());
+}
+
+#[test]
+#[should_panic(expected = "cannot rewind the clock")]
+fn negative_time_advance_rejected() {
+    run_spmd(1, M, |comm| comm.advance_time(-1.0));
+}
+
+#[test]
+fn rank_panic_is_propagated_with_rank_id() {
+    let result = std::panic::catch_unwind(|| {
+        run_spmd(3, M, |comm| {
+            if comm.rank() == 2 {
+                panic!("deliberate failure");
+            }
+            // Other ranks finish fine (no dependence on rank 2).
+        });
+    });
+    let err = result.expect_err("must propagate");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic payload is the formatted rank message");
+    assert!(msg.contains("rank 2 panicked"), "{msg}");
+    assert!(msg.contains("deliberate failure"), "{msg}");
+}

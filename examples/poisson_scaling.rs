@@ -1,0 +1,60 @@
+//! 2D Poisson solve with the windowed boundary mode, across rank counts.
+//!
+//! The 5-point-stencil Poisson problem on an `M x N` grid is the classic
+//! block tridiagonal benchmark — but its transfer products have a wide
+//! spectral spread, which puts large `N` outside the exact-scan prefix
+//! method's accuracy envelope (DESIGN.md §7, Table III). This example
+//! uses the windowed boundary extension to solve a 12 x 768 grid
+//! accurately, sweeps the rank count, and prints a strong-scaling table
+//! with both wall-clock and modeled times.
+//!
+//! ```text
+//! cargo run --release --example poisson_scaling
+//! ```
+
+use block_tridiag_suite::ard::driver::{ard_solve_cfg, DriverConfig};
+use block_tridiag_suite::ard::state::BoundaryMode;
+use block_tridiag_suite::blocktri::gen::{materialize, random_rhs, Poisson2D};
+use block_tridiag_suite::mpsim::CostModel;
+
+fn main() {
+    let (n, m, r) = (768, 12, 16);
+    let grid = Poisson2D::new(n, m);
+    let t = materialize(&grid);
+    let batches: Vec<_> = (0..4).map(|s| random_rhs(n, m, r, s)).collect();
+
+    println!(
+        "2D Poisson, {m} x {n} grid ({} unknowns), {r} RHS x {} batches",
+        n * m,
+        batches.len()
+    );
+    println!(
+        "{:>4}  {:>12}  {:>12}  {:>10}  {:>12}",
+        "P", "wall", "modeled", "speedup", "residual"
+    );
+
+    let mut base_modeled = f64::NAN;
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = DriverConfig::new(p)
+            .with_model(CostModel::cluster())
+            .with_boundary(BoundaryMode::Windowed(64));
+        let out = ard_solve_cfg(&cfg, &grid, &batches).expect("dominant system");
+        let worst = batches
+            .iter()
+            .zip(&out.x)
+            .map(|(y, x)| t.rel_residual(x, y))
+            .fold(0.0f64, f64::max);
+        assert!(worst < 1e-10, "residual {worst} out of range");
+        let modeled = out.timings.total_modeled();
+        if base_modeled.is_nan() {
+            base_modeled = modeled;
+        }
+        println!(
+            "{p:>4}  {:>12?}  {:>10.3}ms  {:>9.2}x  {worst:>12.2e}",
+            out.timings.total_wall(),
+            modeled * 1e3,
+            base_modeled / modeled,
+        );
+    }
+    println!("\nModeled speedup follows N/P until the log P scan term dominates.");
+}

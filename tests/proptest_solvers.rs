@@ -1,0 +1,118 @@
+//! Property-based end-to-end tests: for arbitrary well-posed problem
+//! shapes, the distributed solvers must produce small residuals, agree
+//! with each other, and respect their structural invariants.
+
+use block_tridiag_suite::ard::driver::{
+    ard_solve_cfg, ard_solve_dist, rd_solve_dist, DriverConfig,
+};
+use block_tridiag_suite::ard::BoundaryMode;
+use block_tridiag_suite::blocktri::gen::{materialize, random_rhs, ClusteredToeplitz};
+use block_tridiag_suite::mpsim::CostModel;
+use proptest::prelude::*;
+
+const ZERO: CostModel = CostModel {
+    latency_s: 0.0,
+    per_byte_s: 0.0,
+    flop_rate: f64::INFINITY,
+};
+
+/// Arbitrary problem shape within the suite's supported envelope.
+#[derive(Debug, Clone)]
+struct Shape {
+    n: usize,
+    m: usize,
+    p: usize,
+    r: usize,
+    seed: u64,
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (4usize..40, 1usize..6, 1usize..6, 1usize..5, 0u64..1000).prop_map(|(n, m, p, r, seed)| Shape {
+        n,
+        m,
+        p: p.min(n),
+        r,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ard_residual_small_for_any_shape(shape in shape_strategy()) {
+        let src = ClusteredToeplitz::standard(shape.n, shape.m, shape.seed);
+        let t = materialize(&src);
+        let y = vec![random_rhs(shape.n, shape.m, shape.r, shape.seed + 1)];
+        let out = ard_solve_dist(shape.p, ZERO, &src, &y).unwrap();
+        let res = t.rel_residual(&out.x[0], &y[0]);
+        prop_assert!(res < 1e-10, "shape {shape:?}: residual {res}");
+        prop_assert!(out.stats.is_balanced());
+        prop_assert!(out.x[0].all_finite());
+    }
+
+    #[test]
+    fn rd_and_ard_agree_for_any_shape(shape in shape_strategy()) {
+        let src = ClusteredToeplitz::standard(shape.n, shape.m, shape.seed);
+        let y = vec![random_rhs(shape.n, shape.m, shape.r, shape.seed + 2); 2];
+        let rd = rd_solve_dist(shape.p, ZERO, &src, &y).unwrap();
+        let ard = ard_solve_dist(shape.p, ZERO, &src, &y).unwrap();
+        for b in 0..2 {
+            prop_assert!(ard.x[b].rel_diff(&rd.x[b]) < 1e-11, "shape {shape:?}");
+        }
+        // Over two batches ARD must not do more flops than RD.
+        prop_assert!(ard.stats.total().flops <= rd.stats.total().flops, "shape {shape:?}");
+    }
+
+    #[test]
+    fn windowed_agrees_with_exact_scan(shape in shape_strategy()) {
+        let src = ClusteredToeplitz::standard(shape.n, shape.m, shape.seed);
+        let y = vec![random_rhs(shape.n, shape.m, shape.r, shape.seed + 3)];
+        let exact = ard_solve_dist(shape.p, ZERO, &src, &y).unwrap();
+        // Window of the full prefix length is mathematically exact.
+        let cfg = DriverConfig::new(shape.p)
+            .with_model(ZERO)
+            .with_boundary(BoundaryMode::Windowed(shape.n));
+        let win = ard_solve_cfg(&cfg, &src, &y).unwrap();
+        prop_assert!(win.x[0].rel_diff(&exact.x[0]) < 1e-10, "shape {shape:?}");
+    }
+
+    #[test]
+    fn world_size_does_not_change_answer(
+        (n, m, seed) in (6usize..30, 1usize..5, 0u64..500),
+        p1 in 1usize..6,
+        p2 in 1usize..6,
+    ) {
+        let p1 = p1.min(n);
+        let p2 = p2.min(n);
+        let src = ClusteredToeplitz::standard(n, m, seed);
+        let y = vec![random_rhs(n, m, 2, seed + 9)];
+        let a = ard_solve_dist(p1, ZERO, &src, &y).unwrap();
+        let b = ard_solve_dist(p2, ZERO, &src, &y).unwrap();
+        prop_assert!(a.x[0].rel_diff(&b.x[0]) < 1e-11, "p1={p1} p2={p2} n={n} m={m}");
+    }
+
+    #[test]
+    fn linearity_of_the_solver(
+        (n, m, seed) in (6usize..24, 1usize..4, 0u64..300),
+        alpha in -3.0f64..3.0,
+    ) {
+        // Solving is linear: x(alpha * y) == alpha * x(y).
+        let src = ClusteredToeplitz::standard(n, m, seed);
+        let y = random_rhs(n, m, 2, seed + 4);
+        let mut y_scaled = y.clone();
+        for b in &mut y_scaled.blocks {
+            b.scale(alpha);
+        }
+        let x = ard_solve_dist(2.min(n), ZERO, &src, std::slice::from_ref(&y)).unwrap();
+        let xs = ard_solve_dist(2.min(n), ZERO, &src, std::slice::from_ref(&y_scaled)).unwrap();
+        let mut expected = x.x[0].clone();
+        for b in &mut expected.blocks {
+            b.scale(alpha);
+        }
+        let scale = expected.fro_norm().max(1e-30);
+        let mut diff = xs.x[0].clone();
+        diff.sub_assign(&expected);
+        prop_assert!(diff.fro_norm() / scale < 1e-9 || expected.fro_norm() < 1e-12);
+    }
+}
