@@ -14,7 +14,8 @@ use bt_ard::pairs::AffinePair;
 use bt_blocktri::gen::ClusteredToeplitz;
 use bt_blocktri::BlockRowSource;
 use bt_dense::random::{rng, uniform};
-use bt_dense::{gemm, LuFactors, Mat, Trans};
+use bt_dense::threading::with_thread_budget;
+use bt_dense::{gemm, gemm_axpy, gemm_packed, LuFactors, Mat, Trans};
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
@@ -37,6 +38,93 @@ fn bench_gemm(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// Best-of-N wall-clock seconds for one invocation of `f`.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    // One warmup pass (page-in, pack-buffer allocation).
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Packed-vs-AXPY GEMM sweep over sizes straddling the NB = 64 and
+/// KC = 128 blocking boundaries, at thread budgets 1, 2 and 4. Prints
+/// per-size timings through the criterion harness and also emits the raw
+/// numbers to `BENCH_gemm.json` at the workspace root, so the measured
+/// speedups on this host are documented alongside the code.
+fn bench_gemm_packed_sweep(c: &mut Criterion) {
+    const SIZES: [usize; 10] = [48, 63, 64, 65, 96, 127, 128, 129, 192, 256];
+    const THREADS: [usize; 3] = [1, 2, 4];
+    let mut group = c.benchmark_group("gemm_packed");
+    group.sample_size(10);
+    let mut records = Vec::new();
+    for &m in &SIZES {
+        let a = uniform(m, m, &mut rng(11));
+        let b = uniform(m, m, &mut rng(12));
+        let mut out = Mat::zeros(m, m);
+        let reps = (50_000_000 / (2 * m * m * m)).clamp(3, 50);
+        let axpy_s = time_best(reps, || {
+            out.fill_zero();
+            gemm_axpy(1.0, black_box(&a), black_box(&b), &mut out);
+        });
+        let mut packed_s = [0.0f64; THREADS.len()];
+        for (ti, &t) in THREADS.iter().enumerate() {
+            packed_s[ti] = with_thread_budget(t, || {
+                time_best(reps, || {
+                    out.fill_zero();
+                    gemm_packed(1.0, black_box(&a), black_box(&b), &mut out);
+                })
+            });
+        }
+        let gflops = |s: f64| 2.0 * (m * m * m) as f64 / s / 1e9;
+        println!(
+            "bench: gemm_packed/{m:<4} axpy {:>8.2} ms  packed(t1) {:>8.2} ms  \
+             speedup {:.2}x  t2 {:.2}x  t4 {:.2}x  ({:.2} Gflop/s packed t1)",
+            axpy_s * 1e3,
+            packed_s[0] * 1e3,
+            axpy_s / packed_s[0],
+            packed_s[0] / packed_s[1],
+            packed_s[0] / packed_s[2],
+            gflops(packed_s[0]),
+        );
+        records.push(format!(
+            "    {{\"m\": {m}, \"axpy_s\": {axpy_s:.6e}, \"packed_t1_s\": {:.6e}, \
+             \"packed_t2_s\": {:.6e}, \"packed_t4_s\": {:.6e}, \
+             \"speedup_packed_vs_axpy\": {:.3}, \"gflops_packed_t1\": {:.3}}}",
+            packed_s[0],
+            packed_s[1],
+            packed_s[2],
+            axpy_s / packed_s[0],
+            gflops(packed_s[0]),
+        ));
+        // Keep a criterion-visible entry for the packed kernel too.
+        group.bench_with_input(BenchmarkId::new("packed_t1", m), &m, |bench, _| {
+            bench.iter(|| {
+                out.fill_zero();
+                gemm_packed(1.0, black_box(&a), black_box(&b), &mut out);
+            })
+        });
+    }
+    group.finish();
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"gemm_packed_vs_axpy\",\n  \"host_cores\": {host_cores},\n  \
+         \"thread_budgets\": [1, 2, 4],\n  \"note\": \"best-of-N wall clock; sizes straddle \
+         NB=64 and KC=128 blocking boundaries\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("bench: wrote {path}"),
+        Err(e) => eprintln!("bench: could not write {path}: {e}"),
+    }
 }
 
 fn bench_lu(c: &mut Criterion) {
@@ -120,6 +208,6 @@ fn bench_affine_combine(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_gemm, bench_lu, bench_companion_ablation, bench_affine_combine
+    targets = bench_gemm, bench_gemm_packed_sweep, bench_lu, bench_companion_ablation, bench_affine_combine
 }
 criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Produces a Chrome-tracing timeline of one accelerated setup + solves.
 //!
-//! Load the output JSON in `chrome://tracing` or https://ui.perfetto.dev
+//! Load the output JSON in `chrome://tracing` or <https://ui.perfetto.dev>
 //! to see the parallel schedule on the virtual clock: the local scan
 //! work, the `log P` recursive-doubling rounds, and each rank's receive
 //! waits. Also prints per-rank wait fractions (a load-balance summary).

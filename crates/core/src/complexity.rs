@@ -126,6 +126,11 @@ pub fn ard_storage_bytes(c: &Config) -> f64 {
 /// cost model: critical-path flops plus per-round message costs of the
 /// three scans (companion products of `4 M^2` doubles, two affine
 /// matrices of `M^2` doubles each, plus the exclusive shifts).
+///
+/// The compute term goes through [`bt_mpsim::CostModel::compute_time`],
+/// so it divides by the model's `threads_per_rank`; the flop/byte
+/// *counts* from [`setup_flops`] and friends are exact and
+/// thread-count independent (Table I validation).
 pub fn predicted_setup_seconds(c: &Config, model: &bt_mpsim::CostModel) -> f64 {
     let m2b = (c.m * c.m * 8) as u64;
     let rounds = c.rounds() as f64 + 1.0; // + exclusive shift
@@ -155,6 +160,31 @@ pub fn predicted_speedup(c: &Config, total_rhs: usize, batch: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn predictions_divide_compute_by_threads_but_counters_do_not() {
+        let c = Config {
+            n: 4096,
+            m: 8,
+            p: 16,
+            r: 4,
+        };
+        let m1 = bt_mpsim::CostModel::cluster();
+        let m4 = m1.with_threads_per_rank(4);
+        // Pure-compute part shrinks 4x; the message part is unchanged, so
+        // the total sits strictly between t1/4 and t1.
+        let t1 = predicted_setup_seconds(&c, &m1);
+        let t4 = predicted_setup_seconds(&c, &m4);
+        assert!(t4 < t1 && t4 > t1 / 4.0, "t1={t1} t4={t4}");
+        let s1 = predicted_ard_solve_seconds(&c, &m1);
+        let s4 = predicted_ard_solve_seconds(&c, &m4);
+        assert!(s4 < s1 && s4 > s1 / 4.0, "s1={s1} s4={s4}");
+        // The flop *counts* feeding Table I never see the thread knob:
+        // setup_flops & co. are pure functions of the problem Config, and
+        // predicted_speedup is a ratio of them, so both stay exact.
+        assert!(setup_flops(&c) > 0.0);
+        assert!(predicted_speedup(&c, 64, 4) > 1.0);
+    }
 
     #[test]
     fn log2_ceil_values() {

@@ -189,22 +189,38 @@ pub struct DriverConfig {
     /// message pattern, ~40% less stored factor memory. Ignored by the
     /// classic-RD driver.
     pub lean: bool,
+    /// Intra-rank threads for the dense kernels on each simulated rank.
+    /// Overrides the cost model's `threads_per_rank` for the run:
+    /// `run_spmd` stamps every rank thread with this budget and the
+    /// modeled compute time divides by it, while the exact flop/byte
+    /// counters are unaffected. Defaults to the `BT_DENSE_THREADS`
+    /// environment variable, or 1 when unset.
+    pub threads_per_rank: usize,
 }
 
 impl DriverConfig {
-    /// Default configuration: cluster cost model, exact-scan boundary.
+    /// Default configuration: cluster cost model, exact-scan boundary,
+    /// `BT_DENSE_THREADS` (default 1) intra-rank threads.
     pub fn new(p: usize) -> Self {
         Self {
             p,
             model: CostModel::cluster(),
             boundary: BoundaryMode::ExactScan,
             lean: false,
+            threads_per_rank: bt_dense::threading::default_threads(),
         }
     }
 
-    /// Sets the cost model.
+    /// Sets the cost model. The model's own `threads_per_rank` is
+    /// superseded by the config's (see [`Self::with_threads_per_rank`]).
     pub fn with_model(mut self, model: CostModel) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Sets the intra-rank thread budget (clamped to >= 1 at run time).
+    pub fn with_threads_per_rank(mut self, threads: usize) -> Self {
+        self.threads_per_rank = threads;
         self
     }
 
@@ -299,7 +315,7 @@ fn run_driver_cfg<S: BlockRowSource + Sync>(
     mode: Mode,
 ) -> Result<DistOutcome, FactorError> {
     let p = cfg.p;
-    let model = cfg.model;
+    let model = cfg.model.with_threads_per_rank(cfg.threads_per_rank.max(1));
     let n = src.n();
     let m = src.m();
     assert!(

@@ -425,6 +425,7 @@ mod tests {
         latency_s: 0.0,
         per_byte_s: 0.0,
         flop_rate: f64::INFINITY,
+        threads_per_rank: 1,
     };
 
     fn pcr_solve_global(src: &(impl BlockRowSource + Sync), p: usize, y: &BlockVec) -> BlockVec {

@@ -233,6 +233,7 @@ mod tests {
         latency_s: 0.0,
         per_byte_s: 0.0,
         flop_rate: f64::INFINITY,
+        threads_per_rank: 1,
     };
 
     #[test]

@@ -69,9 +69,10 @@ pub struct ScanTrace {
 impl ScanTrace {
     /// Bytes of storage held by the trace.
     pub fn storage_bytes(&self) -> u64 {
+        let elem = std::mem::size_of::<f64>() as u64;
         self.mats
             .iter()
-            .map(|m| (m.rows() * m.cols() * 8) as u64)
+            .map(|m| (m.rows() * m.cols()) as u64 * elem)
             .sum()
     }
 }
@@ -234,6 +235,7 @@ mod tests {
         latency_s: 0.0,
         per_byte_s: 0.0,
         flop_rate: f64::INFINITY,
+        threads_per_rank: 1,
     };
 
     /// Reference: sequential exclusive composition of per-rank pairs.
@@ -408,6 +410,16 @@ mod tests {
         let mut t = ScanTrace::default();
         t.mats.push(Mat::zeros(4, 4));
         t.mats.push(Mat::zeros(4, 4));
+        // Cross-check against the element type's actual size rather than
+        // a hardcoded 8, and against the matrices' true element count.
+        let elems: usize = t.mats.iter().map(|m| m.as_slice().len()).sum();
+        assert_eq!(
+            t.storage_bytes(),
+            (elems * std::mem::size_of::<f64>()) as u64
+        );
         assert_eq!(t.storage_bytes(), 2 * 16 * 8);
+        // Rectangular panels count exactly too.
+        t.mats.push(Mat::zeros(3, 5));
+        assert_eq!(t.storage_bytes(), (2 * 16 + 15) * 8);
     }
 }

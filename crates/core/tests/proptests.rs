@@ -18,6 +18,7 @@ const ZERO: CostModel = CostModel {
     latency_s: 0.0,
     per_byte_s: 0.0,
     flop_rate: f64::INFINITY,
+    threads_per_rank: 1,
 };
 
 /// Deterministic pseudo-random pair per (rank, dims, salt).

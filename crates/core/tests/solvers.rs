@@ -15,6 +15,7 @@ const ZERO: CostModel = CostModel {
     latency_s: 0.0,
     per_byte_s: 0.0,
     flop_rate: f64::INFINITY,
+    threads_per_rank: 1,
 };
 
 /// Solve with both RD and ARD on `p` ranks and check residuals and
@@ -263,6 +264,68 @@ fn singular_superdiagonal_surfaces_as_error() {
 }
 
 #[test]
+fn companion_exscan_minimal_shrink_case() {
+    // Pinned from crates/core/tests/proptests.proptest-regressions: the
+    // smallest shrink of `companion_exscan_matches_sequential_products`
+    // (p = 2, rows_per_rank = 1, m = 1, seed = 0). The shrink exercises
+    // the tightest boundary layout: one row per rank, scalar blocks, and
+    // rank 1's exclusive product covering exactly one W application.
+    use bt_ard::companion::{CompanionProduct, CompanionState, CompanionW};
+    use bt_ard::scans::companion_exscan;
+    use bt_dense::rel_diff;
+    use bt_mpsim::run_spmd;
+
+    let (p, rows_per_rank, m, seed) = (2usize, 1usize, 1usize, 0u64);
+    let n = p * rows_per_rank + 1;
+    let src = ClusteredToeplitz::standard(n, m, seed);
+    let t = materialize(&src);
+
+    // Sequential reference: the rank-1 boundary diagonal is row 0's,
+    // extracted from the initial state before any advance.
+    let mut state = CompanionState::initial(t.row(0)).unwrap();
+    let mut expected = vec![None; p];
+    for (q, slot) in expected.iter_mut().enumerate().skip(1) {
+        if q * rows_per_rank == 1 {
+            *slot = Some(state.extract_diag(&t.row(0).c).unwrap());
+        }
+    }
+    for i in 1..n - 1 {
+        let w = CompanionW::from_row(t.row(i)).unwrap();
+        state.advance(&w);
+        for (q, slot) in expected.iter_mut().enumerate().skip(1) {
+            if q * rows_per_rank == i + 1 {
+                *slot = Some(state.extract_diag(&t.row(i).c).unwrap());
+            }
+        }
+    }
+
+    let src2 = src.clone();
+    let out = run_spmd(p, ZERO, move |comm| {
+        let rank = comm.rank();
+        let lo = rank * rows_per_rank;
+        let hi = lo + rows_per_rank;
+        let mut total = CompanionProduct::identity(m);
+        for i in lo.max(1)..hi {
+            let w = CompanionW::from_row(&src2.row(i)).unwrap();
+            total.apply_left(&w);
+        }
+        let excl = companion_exscan(comm, 0, total);
+        excl.map(|g| {
+            let mut s = CompanionState::initial(&src2.row(0)).unwrap();
+            s.apply_product(&g);
+            s.extract_diag(&src2.row(lo - 1).c).unwrap()
+        })
+    });
+    assert!(out.results[0].is_none(), "rank 0 has no exclusive product");
+    for (q, (got, want)) in out.results.iter().zip(&expected).enumerate().skip(1) {
+        let got = got.as_ref().expect("non-first rank has exclusive");
+        let want = want.as_ref().expect("recorded");
+        let d = rel_diff(got, want);
+        assert!(d < 1e-9, "rank {q}: rel_diff {d}");
+    }
+}
+
+#[test]
 fn deterministic_across_runs() {
     let src = ClusteredToeplitz::standard(64, 4, 9);
     let batches = vec![random_rhs(64, 4, 2, 7)];
@@ -309,6 +372,35 @@ fn lean_replay_single_row_per_rank() {
     let lean = ard_solve_cfg(&cfg, &src, &batches).unwrap();
     let t = materialize(&src);
     assert!(t.rel_residual(&lean.x[0], &batches[0]) < 1e-12);
+}
+
+#[test]
+fn threads_per_rank_speeds_model_without_changing_answer_or_counters() {
+    let (n, m, p, r) = (256, 8, 8, 4);
+    let src = ClusteredToeplitz::standard(n, m, 3);
+    let batches = vec![random_rhs(n, m, r, 7)];
+    let model = CostModel::cluster();
+    let cfg1 = DriverConfig::new(p)
+        .with_model(model)
+        .with_threads_per_rank(1);
+    let cfg4 = DriverConfig::new(p)
+        .with_model(model)
+        .with_threads_per_rank(4);
+    let out1 = ard_solve_cfg(&cfg1, &src, &batches).unwrap();
+    let out4 = ard_solve_cfg(&cfg4, &src, &batches).unwrap();
+    // Same solution bits and identical exact counters (Table I is
+    // thread-count independent)...
+    assert_eq!(out1.x[0].to_dense(), out4.x[0].to_dense());
+    assert_eq!(out1.stats.total().flops, out4.stats.total().flops);
+    assert_eq!(out1.stats.total().bytes_sent, out4.stats.total().bytes_sent);
+    // ...but a faster modeled runtime: compute divides by the budget.
+    assert!(
+        out4.timings.setup_modeled < out1.timings.setup_modeled,
+        "4-thread setup {} !< 1-thread {}",
+        out4.timings.setup_modeled,
+        out1.timings.setup_modeled
+    );
+    assert!(out4.timings.solve_modeled[0] < out1.timings.solve_modeled[0]);
 }
 
 #[test]

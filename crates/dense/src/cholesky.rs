@@ -86,6 +86,8 @@ impl CholFactors {
     }
 
     /// Solves `A X = B` in place (`L` forward sweep then `L^T` backward).
+    /// Multi-column panels split across the intra-rank thread budget
+    /// ([`crate::threading`]), each column being an independent sweep.
     ///
     /// # Panics
     ///
@@ -93,28 +95,31 @@ impl CholFactors {
     pub fn solve_in_place(&self, b: &mut Mat) {
         let n = self.order();
         assert_eq!(b.rows(), n, "solve rhs row count mismatch");
-        for j in 0..b.cols() {
-            let x = b.col_mut(j);
-            // L w = b
-            for k in 0..n {
-                let lcol = self.l.col(k);
-                let xk = x[k] / lcol[k];
-                x[k] = xk;
-                if xk != 0.0 {
-                    for (xi, li) in x[k + 1..].iter_mut().zip(&lcol[k + 1..]) {
-                        *xi -= li * xk;
-                    }
+        crate::threading::for_each_column_parallel(b, 2 * n * n, |x| self.solve_column(x));
+    }
+
+    /// Forward (`L`) then backward (`L^T`) sweep on a single RHS column.
+    fn solve_column(&self, x: &mut [f64]) {
+        let n = self.order();
+        // L w = b
+        for k in 0..n {
+            let lcol = self.l.col(k);
+            let xk = x[k] / lcol[k];
+            x[k] = xk;
+            if xk != 0.0 {
+                for (xi, li) in x[k + 1..].iter_mut().zip(&lcol[k + 1..]) {
+                    *xi -= li * xk;
                 }
             }
-            // L^T x = w
-            for k in (0..n).rev() {
-                let lcol = self.l.col(k);
-                let mut s = x[k];
-                for (xi, li) in x[k + 1..].iter().zip(&lcol[k + 1..]) {
-                    s -= li * xi;
-                }
-                x[k] = s / lcol[k];
+        }
+        // L^T x = w
+        for k in (0..n).rev() {
+            let lcol = self.l.col(k);
+            let mut s = x[k];
+            for (xi, li) in x[k + 1..].iter().zip(&lcol[k + 1..]) {
+                s -= li * xi;
             }
+            x[k] = s / lcol[k];
         }
     }
 
@@ -164,6 +169,19 @@ mod tests {
         let b = Mat::from_fn(10, 3, |i, j| ((i + j) as f64).sin());
         let x = ch.solve(&b);
         assert!(matmul(&a, &x).sub(&b).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn panel_solve_bitwise_identical_across_thread_budgets() {
+        use crate::threading::with_thread_budget;
+        let a = spd(50, &mut rng(9));
+        let ch = CholFactors::factor(&a).unwrap();
+        let b = Mat::from_fn(50, 16, |i, j| ((i * 16 + j) as f64 * 0.21).sin());
+        let x1 = with_thread_budget(1, || ch.solve(&b));
+        for t in [2, 5] {
+            let xt = with_thread_budget(t, || ch.solve(&b));
+            assert_eq!(x1, xt, "budget {t} changed the solve bits");
+        }
     }
 
     #[test]

@@ -2,12 +2,23 @@
 //!
 //! The workhorse is [`gemm`], a BLAS-3-style update
 //! `C <- alpha * op(A) * op(B) + beta * C` with optional transposition of
-//! either operand. The no-transpose path is a cache-blocked column-major
-//! kernel (j-k-i loop order, AXPY inner loops) that vectorizes well; the
-//! transpose paths go through a lightweight packing step so the inner loops
-//! stay contiguous.
+//! either operand. Large products go through [`gemm_packed`], a BLIS-style
+//! packed kernel: operand panels are repacked into contiguous `MR`-tall /
+//! `NR`-wide micro-panels and multiplied by a register-tiled `MR x NR`
+//! microkernel, with the `jc` (column-block) and `ic` (row-block)
+//! macro-loops parallelized over the intra-rank thread budget
+//! ([`crate::threading`]). Small products — the common case for this
+//! suite's `M x M` blocks — use [`gemm_axpy`], a lean cache-blocked
+//! j-k-i kernel whose AXPY inner loops auto-vectorize.
+//!
+//! Both kernels accumulate every term unconditionally (no zero
+//! short-circuits), so non-finite inputs propagate into the output as
+//! IEEE-754 dictates. Both also fix the per-element summation order
+//! independently of blocking and thread count: for a given problem the
+//! result is bitwise identical whether the kernel runs on 1 thread or 16.
 
 use crate::mat::Mat;
+use crate::threading;
 
 /// Operand transposition selector for [`gemm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,12 +39,26 @@ impl Trans {
     }
 }
 
-/// Column block width used by the blocked kernel. Chosen so a `KC x NB`
-/// panel of B plus a column stripe of A stay L1/L2-resident for the block
-/// sizes this suite uses (M up to a few hundred).
+/// Column block width shared by both kernels (`NC` in BLIS terms): a
+/// `KC x NB` panel of B plus a column stripe of A stay cache-resident.
 const NB: usize = 64;
-/// Inner (k) blocking depth.
+/// Inner (k) blocking depth (`KC`).
 const KC: usize = 128;
+/// Row block height of the packed kernel's `ic` macro-loop (`MC`): one
+/// packed `MC x KC` A-panel is 256 KiB, sized for outer-cache residency.
+const MC: usize = 256;
+/// Microkernel tile height: one register accumulator column per cache
+/// line of C.
+const MR: usize = 8;
+/// Microkernel tile width.
+const NR: usize = 4;
+
+/// Dispatch threshold: below ~`100k` flops (`2 m k n`), packing overhead
+/// beats the cache savings and the AXPY kernel wins.
+const PACKED_MIN_FLOPS: usize = 100_000;
+
+/// Minimum rows per intra-rank thread for the `ic`-parallel path.
+const IC_MIN_ROWS: usize = 64;
 
 /// `C <- alpha * op(A) * op(B) + beta * C`.
 ///
@@ -102,11 +127,30 @@ pub fn gemm(alpha: f64, a: &Mat, ta: Trans, b: &Mat, tb: Trans, beta: f64, c: &m
     }
 }
 
-/// Blocked `C += alpha * A * B` for plain column-major operands.
+/// `C += alpha * A * B` for plain column-major operands: dispatches
+/// between the packed and AXPY kernels on problem size.
 fn gemm_nn(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if 2 * m * k * n >= PACKED_MIN_FLOPS {
+        gemm_packed(alpha, a, b, c);
+    } else {
+        gemm_axpy(alpha, a, b, c);
+    }
+}
+
+/// Cache-blocked `C += alpha * A * B` with AXPY inner loops (j-k-i loop
+/// order). The small-problem kernel; exposed for benchmarking against
+/// [`gemm_packed`].
+///
+/// # Panics
+///
+/// Panics if shapes are not conformable.
+pub fn gemm_axpy(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
     let m = a.rows();
     let k = a.cols();
     let n = b.cols();
+    assert_eq!(k, b.rows(), "gemm inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
     let a_buf = a.as_slice();
 
     for j0 in (0..n).step_by(NB) {
@@ -117,16 +161,200 @@ fn gemm_nn(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
                 let c_col = c.col_mut(j);
                 let b_col = b.col(j);
                 for kk in k0..k0 + kb {
+                    // No skip on zero weights: 0 * inf and 0 * NaN must
+                    // reach C as NaN, matching IEEE-754 and the packed
+                    // kernel.
                     let w = alpha * b_col[kk];
-                    if w == 0.0 {
-                        continue;
-                    }
                     let a_col = &a_buf[kk * m..kk * m + m];
                     // AXPY: c_col += w * a_col -- contiguous, auto-vectorized.
                     for (ci, ai) in c_col.iter_mut().zip(a_col) {
                         *ci += w * *ai;
                     }
                 }
+            }
+        }
+    }
+}
+
+/// BLIS-style packed `C += alpha * A * B` for plain column-major
+/// operands.
+///
+/// A and B panels are repacked into contiguous `MR x KC` / `KC x NR`
+/// micro-panels (zero-padded at the edges) and combined by a
+/// register-tiled `MR x NR` microkernel. When the calling thread's
+/// budget ([`threading::current_threads`]) exceeds 1, the `jc` macro-loop
+/// (column blocks) — or, for single-column-block shapes, the `ic`
+/// macro-loop (row blocks) — is distributed across threads. Per-element
+/// summation order is fixed by the `KC` partition of `k` alone, so the
+/// result is bitwise identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if shapes are not conformable.
+pub fn gemm_packed(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
+    let m = a.rows();
+    let k = a.cols();
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "gemm inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let a_buf = a.as_slice();
+    let b_buf = b.as_slice();
+    let threads = threading::current_threads();
+    let jc_blocks = n.div_ceil(NB);
+
+    if threads > 1 && jc_blocks > 1 {
+        // jc-parallel: disjoint NB-aligned column stripes of C (contiguous
+        // in column-major storage, so a plain chunks_mut suffices).
+        let t = threads.min(jc_blocks);
+        let cols_per = jc_blocks.div_ceil(t) * NB;
+        rayon::scope(|s| {
+            for (ci, c_chunk) in c.as_mut_slice().chunks_mut(cols_per * m).enumerate() {
+                let j0 = ci * cols_per;
+                let ncols = c_chunk.len() / m;
+                let b_chunk = &b_buf[j0 * k..(j0 + ncols) * k];
+                s.spawn(move |_| {
+                    packed_stripe(alpha, a_buf, m, 0, m, k, b_chunk, ncols, c_chunk, m);
+                });
+            }
+        });
+    } else if threads > 1 && m >= 2 * IC_MIN_ROWS {
+        // ic-parallel: disjoint row stripes. Column-major C rows
+        // interleave, so each thread works on a private copy of its row
+        // stripe and the main thread copies the stripes back; writebacks
+        // inside the stripe happen in the same order as the direct path,
+        // keeping the result bitwise independent of the thread count.
+        let t = threads.min(m / IC_MIN_ROWS).max(1);
+        let rows_per = m.div_ceil(t).next_multiple_of(MR);
+        let ranges: Vec<(usize, usize)> = (0..m)
+            .step_by(rows_per)
+            .map(|r0| (r0, rows_per.min(m - r0)))
+            .collect();
+        let mut stripes: Vec<Vec<f64>> = ranges
+            .iter()
+            .map(|&(r0, mb)| {
+                let mut s = vec![0.0; mb * n];
+                for j in 0..n {
+                    s[j * mb..(j + 1) * mb].copy_from_slice(&c.col(j)[r0..r0 + mb]);
+                }
+                s
+            })
+            .collect();
+        rayon::scope(|s| {
+            for (&(r0, mb), stripe) in ranges.iter().zip(stripes.iter_mut()) {
+                s.spawn(move |_| {
+                    packed_stripe(alpha, a_buf, m, r0, mb, k, b_buf, n, stripe, mb);
+                });
+            }
+        });
+        for (&(r0, mb), stripe) in ranges.iter().zip(&stripes) {
+            for j in 0..n {
+                c.col_mut(j)[r0..r0 + mb].copy_from_slice(&stripe[j * mb..(j + 1) * mb]);
+            }
+        }
+    } else {
+        let c_buf = c.as_mut_slice();
+        packed_stripe(alpha, a_buf, m, 0, m, k, b_buf, n, c_buf, m);
+    }
+}
+
+/// Sequential packed kernel over one stripe: rows `[row0, row0 + mb)` of
+/// A against all `ncols` columns of the B stripe, accumulating into `c`
+/// (leading dimension `ldc`, stripe rows starting at index 0).
+#[allow(clippy::too_many_arguments)]
+fn packed_stripe(
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    row0: usize,
+    mb_total: usize,
+    k: usize,
+    b: &[f64],
+    ncols: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let mut packed_b = vec![0.0; KC * ncols.next_multiple_of(NR)];
+    let mut packed_a = vec![0.0; MC.min(mb_total).next_multiple_of(MR) * KC];
+
+    for pc in (0..k).step_by(KC) {
+        let kb = KC.min(k - pc);
+        pack_b(b, k, pc, kb, ncols, &mut packed_b);
+        for ic in (0..mb_total).step_by(MC) {
+            let mbb = MC.min(mb_total - ic);
+            pack_a(a, lda, row0 + ic, mbb, pc, kb, &mut packed_a);
+            let n_jr = ncols.div_ceil(NR);
+            let n_ir = mbb.div_ceil(MR);
+            for jr in 0..n_jr {
+                let jb = NR.min(ncols - jr * NR);
+                let pb = &packed_b[jr * kb * NR..][..kb * NR];
+                for ir in 0..n_ir {
+                    let ib = MR.min(mbb - ir * MR);
+                    let pa = &packed_a[ir * kb * MR..][..kb * MR];
+                    let mut acc = [0.0f64; MR * NR];
+                    microkernel(kb, pa, pb, &mut acc);
+                    // Writeback the valid ib x jb corner of the tile.
+                    for jj in 0..jb {
+                        let dst = &mut c[(jr * NR + jj) * ldc + ic + ir * MR..][..ib];
+                        let src = &acc[jj * MR..jj * MR + ib];
+                        for (ci, &av) in dst.iter_mut().zip(src) {
+                            *ci += alpha * av;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs rows `[row0, row0 + mb)` of the `KC`-deep A panel at `pc` into
+/// MR-tall micro-panels: `out[ir * kb * MR + p * MR + ii]`, zero-padded
+/// to full MR height.
+fn pack_a(a: &[f64], lda: usize, row0: usize, mb: usize, pc: usize, kb: usize, out: &mut [f64]) {
+    let n_ir = mb.div_ceil(MR);
+    out[..n_ir * kb * MR].fill(0.0);
+    for ir in 0..n_ir {
+        let ib = MR.min(mb - ir * MR);
+        let dst_base = ir * kb * MR;
+        for p in 0..kb {
+            let src = &a[(pc + p) * lda + row0 + ir * MR..][..ib];
+            out[dst_base + p * MR..dst_base + p * MR + ib].copy_from_slice(src);
+        }
+    }
+}
+
+/// Packs the `KC`-deep B panel at `pc` into NR-wide micro-panels:
+/// `out[jr * kb * NR + p * NR + jj]`, zero-padded to full NR width.
+fn pack_b(b: &[f64], ldb: usize, pc: usize, kb: usize, ncols: usize, out: &mut [f64]) {
+    let n_jr = ncols.div_ceil(NR);
+    out[..n_jr * kb * NR].fill(0.0);
+    for jr in 0..n_jr {
+        let jb = NR.min(ncols - jr * NR);
+        let dst_base = jr * kb * NR;
+        for jj in 0..jb {
+            let src = &b[(jr * NR + jj) * ldb + pc..][..kb];
+            for (p, &v) in src.iter().enumerate() {
+                out[dst_base + p * NR + jj] = v;
+            }
+        }
+    }
+}
+
+/// Register-tiled `MR x NR` rank-`kb` update on packed micro-panels. The
+/// fixed-size tile keeps the accumulator in registers; the fixed-bound
+/// inner loops unroll and vectorize.
+#[inline(always)]
+fn microkernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MR * NR]) {
+    for p in 0..kb {
+        let ap: &[f64; MR] = pa[p * MR..p * MR + MR].try_into().expect("MR panel");
+        let bp: &[f64; NR] = pb[p * NR..p * NR + NR].try_into().expect("NR panel");
+        for jj in 0..NR {
+            let bv = bp[jj];
+            for ii in 0..MR {
+                acc[jj * MR + ii] += ap[ii] * bv;
             }
         }
     }
@@ -159,10 +387,9 @@ pub fn gemv(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
         }
     }
     for (j, &xj) in x.iter().enumerate() {
+        // No skip on zero weights (see gemm_axpy): non-finite entries of
+        // A must propagate even when the matching x entry is zero.
         let w = alpha * xj;
-        if w == 0.0 {
-            continue;
-        }
         for (yi, ai) in y.iter_mut().zip(a.col(j)) {
             *yi += w * *ai;
         }
@@ -186,12 +413,13 @@ pub const fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::threading::with_thread_budget;
 
     fn approx_eq(a: &Mat, b: &Mat, tol: f64) -> bool {
         a.shape() == b.shape() && a.sub(b).max_abs() <= tol
     }
 
-    /// Naive reference multiply for cross-checking the blocked kernel.
+    /// Naive reference multiply for cross-checking the blocked kernels.
     fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
         let mut c = Mat::zeros(a.rows(), b.cols());
         for i in 0..a.rows() {
@@ -229,6 +457,70 @@ mod tests {
                 "mismatch for {m}x{k}x{n}"
             );
         }
+    }
+
+    #[test]
+    fn packed_matches_naive_at_blocking_boundaries() {
+        // Sizes straddling MR (8), NR (4), NB (64) and KC (128) edges,
+        // including deliberately ragged tails.
+        for &(m, k, n) in &[
+            (63, 64, 65),
+            (64, 63, 64),
+            (65, 65, 63),
+            (127, 128, 129),
+            (130, 127, 128),
+            (9, 200, 5),
+            (200, 9, 3),
+            (1, 129, 1),
+        ] {
+            let a = seq_mat(m, k, 0.21);
+            let b = seq_mat(k, n, 0.83);
+            let mut c = Mat::zeros(m, n);
+            gemm_packed(1.0, &a, &b, &mut c);
+            assert!(
+                approx_eq(&c, &naive_matmul(&a, &b), 1e-12 * (k as f64)),
+                "packed mismatch for {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_accumulates_with_alpha() {
+        let a = seq_mat(70, 40, 0.5);
+        let b = seq_mat(40, 70, 0.6);
+        let c0 = seq_mat(70, 70, 0.7);
+        let mut c = c0.clone();
+        gemm_packed(-1.5, &a, &b, &mut c);
+        let expect = c0.add(&naive_matmul(&a, &b).scaled(-1.5));
+        assert!(approx_eq(&c, &expect, 1e-11));
+    }
+
+    #[test]
+    fn packed_bitwise_identical_across_thread_budgets() {
+        // Both parallel macro-loop splits (jc for wide C, ic for tall C)
+        // must preserve the per-element summation order exactly.
+        for &(m, k, n) in &[(96, 300, 200), (400, 150, 40)] {
+            let a = seq_mat(m, k, 0.11);
+            let b = seq_mat(k, n, 0.91);
+            let mut c1 = Mat::zeros(m, n);
+            with_thread_budget(1, || gemm_packed(1.0, &a, &b, &mut c1));
+            for t in [2, 3, 5] {
+                let mut ct = Mat::zeros(m, n);
+                with_thread_budget(t, || gemm_packed(1.0, &a, &b, &mut ct));
+                assert_eq!(c1, ct, "budget {t} changed bits for {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_and_packed_agree() {
+        let a = seq_mat(80, 90, 0.2);
+        let b = seq_mat(90, 70, 0.4);
+        let mut cp = Mat::zeros(80, 70);
+        let mut cx = Mat::zeros(80, 70);
+        gemm_packed(1.0, &a, &b, &mut cp);
+        gemm_axpy(1.0, &a, &b, &mut cx);
+        assert!(approx_eq(&cp, &cx, 1e-12 * 90.0));
     }
 
     #[test]
@@ -296,6 +588,30 @@ mod tests {
         let mut y = vec![10.0, 10.0, 10.0];
         gemv(2.0, &a, &x, 1.0, &mut y);
         assert_eq!(y, vec![12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn nonfinite_propagates_through_zero_weights() {
+        // A NaN in A must reach C even when the matching B entry is 0.0
+        // (0 * NaN == NaN); the old kernels skipped zero weights and
+        // silently produced finite garbage instead.
+        let mut a = Mat::identity(3);
+        a.set(1, 0, f64::NAN);
+        let b = Mat::zeros(3, 2);
+        let c = matmul(&a, &b);
+        assert!(c[(1, 0)].is_nan(), "gemm dropped 0 * NaN");
+
+        let mut y = vec![0.0; 3];
+        gemv(1.0, &a, &[0.0, 0.0, 0.0], 0.0, &mut y);
+        assert!(y[1].is_nan(), "gemv dropped 0 * NaN");
+
+        // Same through the packed kernel.
+        let mut ap = Mat::identity(64);
+        ap.set(3, 2, f64::INFINITY);
+        let bp = Mat::zeros(64, 64);
+        let mut cp = Mat::zeros(64, 64);
+        gemm_packed(1.0, &ap, &bp, &mut cp);
+        assert!(cp[(3, 2)].is_nan(), "packed dropped 0 * inf");
     }
 
     #[test]

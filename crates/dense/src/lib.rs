@@ -32,9 +32,11 @@ pub mod lu;
 pub mod mat;
 pub mod norms;
 pub mod random;
+pub mod threading;
 
 pub use cholesky::{cholesky_flops, CholFactors};
-pub use gemm::{gemm, gemm_flops, gemv, matmul, matvec, Trans};
+pub use gemm::{gemm, gemm_axpy, gemm_flops, gemm_packed, gemv, matmul, matvec, Trans};
 pub use lu::{invert, lu_flops, lu_solve_flops, solve, LuFactors, SingularError};
 pub use mat::Mat;
 pub use norms::{cond_1, fro_norm, inf_norm, one_norm, rel_diff, vec_norm2};
+pub use threading::{current_threads, set_thread_budget, with_thread_budget};

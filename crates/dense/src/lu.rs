@@ -169,7 +169,10 @@ impl LuFactors {
     }
 
     /// Solves `A X = B` in place: `b` holds `B` on entry, `X` on exit.
-    /// `B` may have any number of columns (multi-RHS panel).
+    /// `B` may have any number of columns (multi-RHS panel); wide panels
+    /// are split across the intra-rank thread budget
+    /// ([`crate::threading`]), each column being an independent
+    /// triangular sweep.
     ///
     /// # Panics
     ///
@@ -177,37 +180,40 @@ impl LuFactors {
     pub fn solve_in_place(&self, b: &mut Mat) {
         let n = self.order();
         assert_eq!(b.rows(), n, "solve rhs row count mismatch");
-        // Apply the row permutation to B.
+        // Apply the row permutation to B (sequential: touches all columns).
         for (k, &p) in self.piv.iter().enumerate() {
             if p != k {
                 swap_rows(b, k, p);
             }
         }
-        let r = b.cols();
-        for j in 0..r {
-            let x = b.col_mut(j);
-            // Forward substitution with unit lower triangular L.
-            for k in 0..n {
-                let xk = x[k];
-                if xk == 0.0 {
-                    continue;
-                }
-                let lcol = self.lu.col(k);
-                for (xi, li) in x[k + 1..].iter_mut().zip(&lcol[k + 1..]) {
-                    *xi -= li * xk;
-                }
+        crate::threading::for_each_column_parallel(b, 2 * n * n, |x| self.solve_column(x));
+    }
+
+    /// One forward + backward triangular sweep on a single permuted RHS
+    /// column.
+    fn solve_column(&self, x: &mut [f64]) {
+        let n = self.order();
+        // Forward substitution with unit lower triangular L.
+        for k in 0..n {
+            let xk = x[k];
+            if xk == 0.0 {
+                continue;
             }
-            // Backward substitution with U.
-            for k in (0..n).rev() {
-                let ucol = self.lu.col(k);
-                let xk = x[k] / ucol[k];
-                x[k] = xk;
-                if xk == 0.0 {
-                    continue;
-                }
-                for (xi, ui) in x[..k].iter_mut().zip(&ucol[..k]) {
-                    *xi -= ui * xk;
-                }
+            let lcol = self.lu.col(k);
+            for (xi, li) in x[k + 1..].iter_mut().zip(&lcol[k + 1..]) {
+                *xi -= li * xk;
+            }
+        }
+        // Backward substitution with U.
+        for k in (0..n).rev() {
+            let ucol = self.lu.col(k);
+            let xk = x[k] / ucol[k];
+            x[k] = xk;
+            if xk == 0.0 {
+                continue;
+            }
+            for (xi, ui) in x[..k].iter_mut().zip(&ucol[..k]) {
+                *xi -= ui * xk;
             }
         }
     }
@@ -229,36 +235,42 @@ impl LuFactors {
         xt.transpose()
     }
 
-    /// Solves `A^T X = B` in place.
+    /// Solves `A^T X = B` in place. Multi-column panels split across the
+    /// intra-rank thread budget like [`Self::solve_in_place`].
     pub fn solve_transpose_in_place(&self, b: &mut Mat) {
         let n = self.order();
         assert_eq!(b.rows(), n, "solve rhs row count mismatch");
-        let r = b.cols();
-        for j in 0..r {
-            let x = b.col_mut(j);
-            // A^T = (P^T L U)^T = U^T L^T P, so solve U^T w = b, then
-            // L^T v = w, then x = P^T v.
-            for k in 0..n {
-                let ucol = self.lu.col(k);
-                let mut s = x[k];
-                for (xi, ui) in x[..k].iter().zip(&ucol[..k]) {
-                    s -= ui * xi;
-                }
-                x[k] = s / ucol[k];
-            }
-            for k in (0..n).rev() {
-                let lcol = self.lu.col(k);
-                let mut s = x[k];
-                for (xi, li) in x[k + 1..].iter().zip(&lcol[k + 1..]) {
-                    s -= li * xi;
-                }
-                x[k] = s;
-            }
-        }
+        crate::threading::for_each_column_parallel(b, 2 * n * n, |x| {
+            self.solve_transpose_column(x);
+        });
+        // Undo the permutation last (sequential: touches all columns).
         for (k, &p) in self.piv.iter().enumerate().rev() {
             if p != k {
                 swap_rows(b, k, p);
             }
+        }
+    }
+
+    /// One `U^T`/`L^T` sweep on a single RHS column:
+    /// `A^T = (P^T L U)^T = U^T L^T P`, so solve `U^T w = b`, then
+    /// `L^T v = w` (the caller applies `x = P^T v` afterwards).
+    fn solve_transpose_column(&self, x: &mut [f64]) {
+        let n = self.order();
+        for k in 0..n {
+            let ucol = self.lu.col(k);
+            let mut s = x[k];
+            for (xi, ui) in x[..k].iter().zip(&ucol[..k]) {
+                s -= ui * xi;
+            }
+            x[k] = s / ucol[k];
+        }
+        for k in (0..n).rev() {
+            let lcol = self.lu.col(k);
+            let mut s = x[k];
+            for (xi, li) in x[k + 1..].iter().zip(&lcol[k + 1..]) {
+                s -= li * xi;
+            }
+            x[k] = s;
         }
     }
 
@@ -387,6 +399,26 @@ mod tests {
         let b = Mat::from_fn(n, 7, |i, j| ((i * 7 + j) as f64).cos());
         let x = lu.solve(&b);
         assert!(matmul(&a, &x).sub(&b).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn panel_solve_bitwise_identical_across_thread_budgets() {
+        use crate::threading::with_thread_budget;
+        // Wide enough panel (n^2 * r flops) to take the parallel path.
+        let n = 60;
+        let a = test_mat(n, 1.7);
+        let lu = LuFactors::factor(&a).unwrap();
+        let b = Mat::from_fn(n, 24, |i, j| ((i * 24 + j) as f64 * 0.13).cos());
+        let x1 = with_thread_budget(1, || lu.solve(&b));
+        for t in [2, 4, 7] {
+            let xt = with_thread_budget(t, || lu.solve(&b));
+            assert_eq!(x1, xt, "budget {t} changed the solve bits");
+            let mut bt = b.clone();
+            with_thread_budget(t, || lu.solve_transpose_in_place(&mut bt));
+            let mut b1 = b.clone();
+            with_thread_budget(1, || lu.solve_transpose_in_place(&mut b1));
+            assert_eq!(b1, bt, "budget {t} changed the transpose-solve bits");
+        }
     }
 
     #[test]

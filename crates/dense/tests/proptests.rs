@@ -1,7 +1,12 @@
 //! Property-based tests for the dense kernels: algebraic identities that
-//! must hold (to rounding) for arbitrary well-scaled inputs.
+//! must hold (to rounding) for arbitrary well-scaled inputs, plus
+//! packed-vs-naive GEMM equivalence at blocking boundaries.
 
-use bt_dense::{fro_norm, gemm, inf_norm, matmul, one_norm, LuFactors, Mat, Trans};
+use bt_dense::random::{rng, uniform};
+use bt_dense::threading::with_thread_budget;
+use bt_dense::{
+    fro_norm, gemm, gemm_axpy, gemm_packed, inf_norm, matmul, one_norm, LuFactors, Mat, Trans,
+};
 use proptest::prelude::*;
 
 /// Strategy: an `r x c` matrix with entries in [-10, 10].
@@ -112,5 +117,99 @@ proptest! {
         prop_assert_eq!(v.block(3, 0, 2, 4), b);
         let h = Mat::hstack(&v.transpose(), &Mat::identity(4));
         prop_assert_eq!(h.block(0, 5, 4, 4), Mat::identity(4));
+    }
+}
+
+/// Dimensions straddling every blocking edge of the packed kernel:
+/// NB = 64 (63..65) and KC = 128 (127..130), plus MR/NR ragged tails.
+const BOUNDARY_DIMS: [usize; 7] = [63, 64, 65, 127, 128, 129, 130];
+
+/// Strategy: one of the boundary-straddling dimensions.
+fn boundary_dim() -> impl Strategy<Value = usize> {
+    (0usize..BOUNDARY_DIMS.len()).prop_map(|i| BOUNDARY_DIMS[i])
+}
+
+/// Reference triple-loop product (no blocking, no packing).
+fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut s = 0.0;
+            for k in 0..a.cols() {
+                s += a.get(i, k) * b.get(k, j);
+            }
+            c.set(i, j, s);
+        }
+    }
+    c
+}
+
+proptest! {
+    // Each case multiplies ~128^3-sized operands; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn packed_matches_naive_at_boundaries_all_trans_and_threads(
+        (m, k, n, seed, threads) in (boundary_dim(), boundary_dim(), boundary_dim(), 0u64..1000, 1usize..5)
+    ) {
+        let a0 = uniform(m, k, &mut rng(seed));
+        let b0 = uniform(k, n, &mut rng(seed.wrapping_add(1)));
+        let tol = 1e-12 * k as f64;
+        let expect = naive_matmul(&a0, &b0);
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::Yes, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            // Store operands so op(A) is m x k and op(B) is k x n.
+            let a = if ta == Trans::Yes { a0.transpose() } else { a0.clone() };
+            let b = if tb == Trans::Yes { b0.transpose() } else { b0.clone() };
+            let mut c = Mat::zeros(m, n);
+            with_thread_budget(threads, || gemm(1.0, &a, ta, &b, tb, 0.0, &mut c));
+            prop_assert!(
+                c.sub(&expect).max_abs() <= tol,
+                "gemm({ta:?},{tb:?}) {m}x{k}x{n} threads={threads}: err {}",
+                c.sub(&expect).max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn packed_axpy_and_thread_budgets_agree(
+        (m, k, n, seed) in (boundary_dim(), boundary_dim(), boundary_dim(), 0u64..1000)
+    ) {
+        let a = uniform(m, k, &mut rng(seed));
+        let b = uniform(k, n, &mut rng(seed ^ 0x9e37));
+        let mut c_axpy = Mat::zeros(m, n);
+        gemm_axpy(1.0, &a, &b, &mut c_axpy);
+        let mut c1 = Mat::zeros(m, n);
+        with_thread_budget(1, || gemm_packed(1.0, &a, &b, &mut c1));
+        prop_assert!(c1.sub(&c_axpy).max_abs() <= 1e-12 * k as f64);
+        // Parallel packed runs are bitwise identical to single-thread.
+        for t in [2usize, 4] {
+            let mut ct = Mat::zeros(m, n);
+            with_thread_budget(t, || gemm_packed(1.0, &a, &b, &mut ct));
+            prop_assert_eq!(&c1, &ct);
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_propagate(
+        (m, k, n, i, j, seed) in (boundary_dim(), boundary_dim(), boundary_dim(), 0usize..63, 0usize..63, 0u64..1000)
+    ) {
+        // Poison one entry of A; every C entry in row i must be non-finite
+        // even when B columns contain zeros (0 * NaN == NaN).
+        let mut a = uniform(m, k, &mut rng(seed));
+        let mut b = uniform(k, n, &mut rng(seed ^ 0x51));
+        b.set(j % k, 0, 0.0);
+        a.set(i % m, j % k, f64::NAN);
+        let c = matmul(&a, &b);
+        for jj in 0..n {
+            prop_assert!(c.get(i % m, jj).is_nan(), "C[{},{jj}] finite", i % m);
+        }
+        let mut cp = Mat::zeros(m, n);
+        gemm_packed(1.0, &a, &b, &mut cp);
+        prop_assert!(cp.get(i % m, 0).is_nan());
     }
 }

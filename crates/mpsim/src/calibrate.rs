@@ -76,6 +76,7 @@ pub fn calibrate() -> CostModel {
         latency_s,
         per_byte_s,
         flop_rate: measure_flop_rate(64),
+        threads_per_rank: 1,
     }
 }
 

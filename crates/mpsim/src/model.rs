@@ -21,8 +21,15 @@ pub struct CostModel {
     pub latency_s: f64,
     /// Per-byte transfer time in seconds (`beta`, inverse bandwidth).
     pub per_byte_s: f64,
-    /// Local computation rate in flop/s.
+    /// Local computation rate in flop/s **per thread**.
     pub flop_rate: f64,
+    /// Intra-rank threads available to the dense kernels. Modeled compute
+    /// time divides by this (perfect intra-rank scaling, the standard
+    /// hybrid MPI+threads assumption); the exact flop/byte *counters* are
+    /// unaffected, so Table I validation is thread-count independent.
+    /// `run_spmd` also hands this value to `bt_dense::threading` so the
+    /// real kernels use the same budget the model assumes.
+    pub threads_per_rank: usize,
 }
 
 impl CostModel {
@@ -33,6 +40,7 @@ impl CostModel {
             latency_s: 2.0e-6,
             per_byte_s: 2.0e-10,
             flop_rate: 5.0e9,
+            threads_per_rank: 1,
         }
     }
 
@@ -43,6 +51,7 @@ impl CostModel {
             latency_s: 1.0e-6,
             per_byte_s: 1.0e-10,
             flop_rate: 1.0e10,
+            threads_per_rank: 1,
         }
     }
 
@@ -53,7 +62,15 @@ impl CostModel {
             latency_s: 0.0,
             per_byte_s: 0.0,
             flop_rate: f64::INFINITY,
+            threads_per_rank: 1,
         }
+    }
+
+    /// Copy of `self` with `threads_per_rank` threads available to each
+    /// rank's dense kernels.
+    pub const fn with_threads_per_rank(mut self, threads: usize) -> Self {
+        self.threads_per_rank = threads;
+        self
     }
 
     /// Time for a message of `bytes` bytes.
@@ -62,10 +79,12 @@ impl CostModel {
         self.latency_s + self.per_byte_s * bytes as f64
     }
 
-    /// Time for `flops` floating point operations.
+    /// Time for `flops` floating point operations, spread over the rank's
+    /// intra-rank threads. A zero `threads_per_rank` is treated as 1 so a
+    /// field-defaulted model cannot produce infinite times.
     #[inline]
     pub fn compute_time(&self, flops: u64) -> f64 {
-        flops as f64 / self.flop_rate
+        flops as f64 / self.flop_rate / self.threads_per_rank.max(1) as f64
     }
 }
 
@@ -85,6 +104,7 @@ mod tests {
             latency_s: 1.0,
             per_byte_s: 0.5,
             flop_rate: 1.0,
+            threads_per_rank: 1,
         };
         assert_eq!(m.msg_time(0), 1.0);
         assert_eq!(m.msg_time(4), 3.0);
@@ -96,6 +116,7 @@ mod tests {
             latency_s: 0.0,
             per_byte_s: 0.0,
             flop_rate: 2.0,
+            threads_per_rank: 1,
         };
         assert_eq!(m.compute_time(10), 5.0);
     }
@@ -105,6 +126,18 @@ mod tests {
         let m = CostModel::zero();
         assert_eq!(m.msg_time(1 << 20), 0.0);
         assert_eq!(m.compute_time(u64::MAX), 0.0);
+    }
+
+    #[test]
+    fn compute_time_divides_by_threads() {
+        let m = CostModel::cluster();
+        let m4 = m.with_threads_per_rank(4);
+        assert_eq!(m.compute_time(1000) / 4.0, m4.compute_time(1000));
+        // Message time is unaffected by the intra-rank thread count.
+        assert_eq!(m.msg_time(4096), m4.msg_time(4096));
+        // threads_per_rank == 0 is clamped, not infinite/NaN.
+        let m0 = m.with_threads_per_rank(0);
+        assert_eq!(m0.compute_time(1000), m.compute_time(1000));
     }
 
     #[test]

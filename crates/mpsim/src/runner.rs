@@ -134,6 +134,11 @@ where
                 .into_iter()
                 .map(|mut comm| {
                     scope.spawn(move || {
+                        // Hand the model's intra-rank thread budget to the
+                        // dense kernels running on this rank thread, so the
+                        // real kernels parallelize exactly as the cost
+                        // model assumes.
+                        bt_dense::threading::set_thread_budget(model.threads_per_rank.max(1));
                         let result = f(&mut comm);
                         let events = comm.tracer.take();
                         (result, comm.stats(), comm.virtual_time(), events)

@@ -7,6 +7,7 @@ const M: CostModel = CostModel {
     latency_s: 0.0,
     per_byte_s: 0.0,
     flop_rate: f64::INFINITY,
+    threads_per_rank: 1,
 };
 
 #[test]

@@ -8,7 +8,23 @@ const M: CostModel = CostModel {
     latency_s: 0.0,
     per_byte_s: 0.0,
     flop_rate: f64::INFINITY,
+    threads_per_rank: 1,
 };
+
+#[test]
+fn rank_threads_stamped_from_model() {
+    // run_spmd must hand the model's intra-rank thread budget to
+    // bt_dense::threading on every rank thread.
+    let out = run_spmd(3, M.with_threads_per_rank(4), |_comm| {
+        bt_dense::current_threads()
+    });
+    assert_eq!(out.results, vec![4, 4, 4]);
+    // Budget 0 is clamped to 1, never inherited from the environment.
+    let out = run_spmd(2, M.with_threads_per_rank(0), |_comm| {
+        bt_dense::current_threads()
+    });
+    assert_eq!(out.results, vec![1, 1]);
+}
 
 #[test]
 fn single_rank_world() {
@@ -251,6 +267,7 @@ fn virtual_time_serial_chain() {
         latency_s: 1.0,
         per_byte_s: 0.125,
         flop_rate: f64::INFINITY,
+        threads_per_rank: 1,
     };
     let out = run_spmd(4, model, |comm| {
         let r = comm.rank();
@@ -273,6 +290,7 @@ fn virtual_time_compute_adds_up() {
         latency_s: 0.0,
         per_byte_s: 0.0,
         flop_rate: 100.0,
+        threads_per_rank: 1,
     };
     let out = run_spmd(2, model, |comm| {
         comm.compute(50); // 0.5 s
@@ -290,6 +308,7 @@ fn virtual_time_parallel_vs_serial() {
         latency_s: 0.0,
         per_byte_s: 0.0,
         flop_rate: 1000.0,
+        threads_per_rank: 1,
     };
     let out = run_spmd(8, model, |comm| {
         comm.compute(1000);
@@ -306,6 +325,7 @@ fn virtual_time_scan_grows_logarithmically() {
         latency_s: 1.0,
         per_byte_s: 0.0,
         flop_rate: f64::INFINITY,
+        threads_per_rank: 1,
     };
     let t = |p: usize| {
         run_spmd(p, model, |comm| {
@@ -343,6 +363,7 @@ fn traced_run_records_all_event_kinds() {
         latency_s: 1e-3,
         per_byte_s: 0.0,
         flop_rate: 1e6,
+        threads_per_rank: 1,
     };
     let (out, trace) = run_spmd_traced(2, model, |comm| {
         comm.compute(1000);
@@ -393,6 +414,7 @@ fn untraced_run_records_nothing_and_behaves_identically() {
         latency_s: 1e-6,
         per_byte_s: 1e-9,
         flop_rate: 1e9,
+        threads_per_rank: 1,
     };
     let plain = run_spmd(4, model, |comm| {
         comm.allreduce(comm.rank() as u64, |a, b| a + b)

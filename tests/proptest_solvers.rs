@@ -14,6 +14,7 @@ const ZERO: CostModel = CostModel {
     latency_s: 0.0,
     per_byte_s: 0.0,
     flop_rate: f64::INFINITY,
+    threads_per_rank: 1,
 };
 
 /// Arbitrary problem shape within the suite's supported envelope.

@@ -1,0 +1,273 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the small API surface the bench targets use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, and both forms of
+//! `criterion_group!` plus `criterion_main!` — as a plain wall-clock
+//! harness. No statistics, plots, or baseline storage: each benchmark is
+//! warmed up once, timed over `sample_size` batches, and the per-iteration
+//! mean and minimum are printed. Good enough to compare kernels on one
+//! host, which is all the suite's benches are for.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Identifier for one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter, rendered `name/param`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id, rendered as the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Timing summary for one benchmark: per-iteration mean and best sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Mean seconds per iteration across all samples.
+    pub mean_s: f64,
+    /// Fastest observed seconds per iteration.
+    pub min_s: f64,
+}
+
+/// Measurement loop handle, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    sample_size: usize,
+    last: Option<Sample>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via
+    /// `std::hint::black_box` so the work is not optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup pass (page-in, lazy init).
+        std::hint::black_box(routine());
+        // Choose an inner batch count so each sample is long enough for
+        // the clock to resolve, without inflating slow benchmarks.
+        let probe = Instant::now();
+        std::hint::black_box(routine());
+        let once = probe.elapsed().as_secs_f64();
+        let batch = if once > 0.0 {
+            ((1e-4 / once).ceil() as usize).clamp(1, 10_000)
+        } else {
+            10_000
+        };
+        let samples = self.sample_size.max(2);
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64() / batch as f64;
+            total += dt;
+            min = min.min(dt);
+        }
+        self.last = Some(Sample {
+            mean_s: total / samples as f64,
+            min_s: min,
+        });
+    }
+}
+
+fn fmt_duration(seconds: f64) -> String {
+    let ns = seconds * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) -> Option<Sample> {
+    let mut b = Bencher {
+        sample_size,
+        last: None,
+    };
+    f(&mut b);
+    let mut line = format!("bench: {label:<40}");
+    match b.last {
+        Some(s) => {
+            let _ = write!(
+                line,
+                " mean {:>12}  min {:>12}",
+                fmt_duration(s.mean_s),
+                fmt_duration(s.min_s)
+            );
+        }
+        None => line.push_str(" (no measurement)"),
+    }
+    println!("{line}");
+    b.last
+}
+
+/// Top-level harness object, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder form).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, in either the positional or
+/// the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_sample() {
+        let sample = run_one("smoke", 3, |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let s = sample.expect("iter() must record a sample");
+        assert!(s.mean_s > 0.0 && s.min_s > 0.0 && s.min_s <= s.mean_s);
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("gemm", 64).label, "gemm/64");
+        assert_eq!(BenchmarkId::from_parameter(128).label, "128");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("f", 1), &1usize, |b, &n| b.iter(|| n + 1));
+        g.bench_function("plain", |b| b.iter(|| 2 * 2));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,399 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! [`proptest!`] macro (with the optional `#![proptest_config(..)]`
+//! header), [`prop_assert!`]/[`prop_assert_eq!`], range/tuple/`prop_map`/
+//! `collection::vec`/`bool::ANY` strategies, and `ProptestConfig::
+//! with_cases`. Differences from upstream, deliberate for an offline
+//! test-only shim:
+//!
+//! - **No shrinking.** A failing case reports its index and the values via
+//!   the assertion message; the committed `proptest-regressions` files are
+//!   kept as documentation of upstream-found shrinks, and each shrink that
+//!   mattered is also pinned as a named unit test.
+//! - **Deterministic seeding.** The RNG seed is derived from the test's
+//!   module path and name (stable across runs and platforms), overridable
+//!   with the `PROPTEST_SEED` environment variable. `PROPTEST_CASES`
+//!   overrides the case count the same way upstream honors it.
+
+#![forbid(unsafe_code)]
+
+/// Runner plumbing: config, RNG, and the error type test bodies return.
+pub mod test_runner {
+    /// Runner configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+
+        /// Case count after applying the `PROPTEST_CASES` env override.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Failure returned by a property body (via `prop_assert!`).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Self::Fail(msg) => write!(f, "{msg}"),
+            }
+        }
+    }
+
+    /// Deterministic RNG driving value generation (SplitMix64 stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for the named test: seeded from a stable hash of the name,
+        /// unless `PROPTEST_SEED` is set.
+        pub fn for_test(name: &str) -> Self {
+            if let Some(seed) = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+            {
+                return Self { state: seed };
+            }
+            // FNV-1a: stable across runs, platforms, and toolchains.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self { state: h }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Value-generation strategies, mirroring `proptest::strategy`.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Strategy producing `f` applied to this strategy's values.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Adapter returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    // Multiply-shift mapping of 64 uniform bits onto the
+                    // span; bias < 2^-64 is immaterial for test data.
+                    let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (self.start as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!(
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    );
+
+    /// Strategy yielding exactly `value` (upstream `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for a uniform `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `true`/`false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for a `Vec` of fixed length, element-wise from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// `len` independent draws from `element`, collected into a `Vec`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declares property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` that checks the body over `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.effective_cases() {
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {}: case {} of {} failed:\n{}",
+                        stringify!($name),
+                        case,
+                        config.effective_cases(),
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts inside a property body; on failure the current case is
+/// reported (with the formatted message) instead of unwinding mid-body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`], printing both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{:?}` == `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            lhs,
+            rhs,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn tuple_and_map_compose(
+            (a, b) in (0u64..10, 0u64..10),
+            v in crate::collection::vec(0usize..5, 4),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(v.len(), 4);
+            let seen = if flag { 1u8 } else { 0 };
+            prop_assert!(seen <= 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(n in 1usize..4) {
+            prop_assert!(n >= 1);
+        }
+    }
+
+    #[test]
+    fn prop_map_applies_function() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::for_test("map");
+        let s = (1usize..5).prop_map(|v| v * 100);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!(v % 100 == 0 && (100..500).contains(&v));
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_test("u");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,103 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides the structured fork-join subset the kernels use — [`scope`],
+//! [`Scope::spawn`], [`join`], [`current_num_threads`] — implemented over
+//! `std::thread::scope`. There is no work-stealing pool: each `spawn`
+//! becomes an OS thread that lives for the scope. Callers in this
+//! workspace gate parallel paths behind an explicit thread budget and a
+//! minimum problem size, so the per-spawn cost is amortized over large
+//! kernels and never paid on small ones.
+
+#![forbid(unsafe_code)]
+
+/// Number of hardware threads available, mirroring
+/// `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Fork-join scope handle passed to [`scope`] closures.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope; the scope
+    /// joins every task before returning.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            body(&scope);
+        });
+    }
+}
+
+/// Runs `f` with a fork-join scope; returns once every spawned task has
+/// finished, mirroring `rayon::scope`.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs both closures, potentially in parallel, and returns both results,
+/// mirroring `rayon::join`.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let b = s.spawn(oper_b);
+        let ra = oper_a();
+        (ra, b.join().expect("rayon::join: task panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let mut parts = vec![0u64; 4];
+        scope(|s| {
+            for (i, slot) in parts.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = (i as u64 + 1) * 10);
+            }
+        });
+        assert_eq!(parts, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        });
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok".len());
+        assert_eq!((a, b), (4, 2));
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
