@@ -114,10 +114,23 @@ fn bench_gemm_packed_sweep(c: &mut Criterion) {
     group.finish();
 
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Run metadata: when/where the numbers were taken, the thread budget
+    // the environment would hand the kernels (BT_DENSE_THREADS), and the
+    // sweep bounds, so stale or cross-host JSON is recognizable.
+    let generated_unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let env_threads = bt_dense::threading::default_threads();
+    let sizes_json = SIZES.map(|m| m.to_string()).join(", ");
     let json = format!(
-        "{{\n  \"bench\": \"gemm_packed_vs_axpy\",\n  \"host_cores\": {host_cores},\n  \
-         \"thread_budgets\": [1, 2, 4],\n  \"note\": \"best-of-N wall clock; sizes straddle \
+        "{{\n  \"bench\": \"gemm_packed_vs_axpy\",\n  \"generated_unix_s\": {generated_unix_s},\n  \
+         \"host_cores\": {host_cores},\n  \"bt_dense_threads\": {env_threads},\n  \
+         \"thread_budgets\": [1, 2, 4],\n  \"sizes\": [{sizes_json}],\n  \
+         \"size_bounds\": {{\"min\": {}, \"max\": {}}},\n  \
+         \"note\": \"best-of-N wall clock; sizes straddle \
          NB=64 and KC=128 blocking boundaries\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        SIZES[0],
+        SIZES[SIZES.len() - 1],
         records.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");

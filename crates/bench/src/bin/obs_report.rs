@@ -1,0 +1,90 @@
+//! Modeled-vs-measured report: runs one accelerated (ARD) solve with
+//! observability on and compares the cost model's virtual-time
+//! predictions against real wall-clock measurements, phase by phase.
+//!
+//! Alongside the table it reports the kernel counters the solve
+//! incremented (GEMM dispatch counts, flops, pack time, panel solves)
+//! and, with `--trace-out` / `--metrics-out`, writes the wall-clock
+//! Chrome trace and the metrics registry JSON for offline inspection
+//! (validate with `cargo run -p bt-obs --bin obs_validate`).
+//!
+//! ```text
+//! cargo run --release -p bt-bench --bin obs_report -- \
+//!     --n 256 --m 16 --p 8 --r 8 \
+//!     --trace-out results/obs_trace.json --metrics-out results/obs_metrics.json
+//! ```
+
+use bt_bench::{emit, fmt_secs, Args, ExpConfig, Table};
+use bt_blocktri::gen::random_rhs;
+
+fn main() {
+    let args = Args::from_env();
+    // This binary exists to observe: on regardless of BT_OBS / flags.
+    bt_obs::set_enabled(true);
+
+    let mut cfg = ExpConfig::default_point();
+    cfg.n = args.get_usize("n", 256);
+    cfg.m = args.get_usize("m", 16);
+    cfg.p = args.get_usize("p", 8);
+    cfg.r = args.get_usize("r", 8);
+    cfg.seed = args.get_usize("seed", 2014) as u64;
+    let batches: Vec<_> = (0..args.get_usize("batches", 2))
+        .map(|b| random_rhs(cfg.n, cfg.m, cfg.r, cfg.seed ^ (b as u64 + 1)))
+        .collect();
+
+    let src = cfg.source();
+    let out =
+        bt_ard::driver::ard_solve_cfg(&cfg.driver(), &src, &batches).expect("ard solve failed");
+
+    let title = format!(
+        "ARD modeled vs measured (N={}, M={}, P={}, R={}, {} batches)",
+        cfg.n,
+        cfg.m,
+        cfg.p,
+        cfg.r,
+        batches.len()
+    );
+    let mut table = Table::new(&title, &["phase", "modeled", "wall", "wall/modeled"]);
+    let mut push = |phase: String, modeled: f64, wall: f64| {
+        let ratio = if modeled > 0.0 {
+            format!("{:.2}", wall / modeled)
+        } else {
+            "-".to_string()
+        };
+        table.row(&[phase, fmt_secs(modeled), fmt_secs(wall), ratio]);
+    };
+    push(
+        "setup".to_string(),
+        out.timings.setup_modeled,
+        out.timings.setup_wall.as_secs_f64(),
+    );
+    for (bi, (modeled, wall)) in out
+        .timings
+        .solve_modeled
+        .iter()
+        .zip(&out.timings.solve_wall)
+        .enumerate()
+    {
+        push(format!("solve[{bi}]"), *modeled, wall.as_secs_f64());
+    }
+    push(
+        "total".to_string(),
+        out.timings.total_modeled(),
+        out.timings.total_wall().as_secs_f64(),
+    );
+    emit(&args, &table);
+
+    // The modeled column is virtual time under the configured CostModel
+    // (cluster defaults), so the ratio is a calibration factor, not an
+    // error: a flat ratio across phases means the model captures the
+    // *shape* of the run even when its constants differ from this host.
+    println!("\nkernel counters incremented by this run:");
+    match &out.obs_counters {
+        Some(counters) if !counters.is_empty() => {
+            for (name, delta) in counters {
+                println!("  {name:<40} {delta}");
+            }
+        }
+        _ => println!("  (none recorded)"),
+    }
+}

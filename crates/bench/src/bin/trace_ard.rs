@@ -52,4 +52,5 @@ fn main() {
     for rank in 0..p {
         println!("  rank {rank}: {:5.1}%", trace.wait_fraction(rank) * 100.0);
     }
+    bt_bench::emit_obs(&args);
 }

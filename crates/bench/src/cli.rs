@@ -14,14 +14,19 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses the process arguments.
+    /// Parses the process arguments. As a side effect, requesting
+    /// `--metrics-out` or `--trace-out` switches observability on for
+    /// the process (see [`Args::apply_obs`]), so every experiment
+    /// binary honors the flags without individual wiring.
     ///
     /// # Panics
     ///
     /// Panics with a usage message on malformed input (a `--key` without
     /// a value, or a bare token).
     pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1))
+        let args = Self::parse(std::env::args().skip(1));
+        args.apply_obs();
+        args
     }
 
     /// Parses an explicit token stream (used by tests).
@@ -97,6 +102,25 @@ impl Args {
     pub fn csv_path(&self) -> Option<std::path::PathBuf> {
         self.get_str("csv").map(std::path::PathBuf::from)
     }
+
+    /// The `--metrics-out` path for the bt-obs metrics registry JSON.
+    pub fn metrics_out(&self) -> Option<std::path::PathBuf> {
+        self.get_str("metrics-out").map(std::path::PathBuf::from)
+    }
+
+    /// The `--trace-out` path for the bt-obs wall-clock Chrome trace.
+    pub fn trace_out(&self) -> Option<std::path::PathBuf> {
+        self.get_str("trace-out").map(std::path::PathBuf::from)
+    }
+
+    /// Turns observability on when `--metrics-out` or `--trace-out` was
+    /// given, overriding an unset `BT_OBS`. Call once, before the
+    /// measured work.
+    pub fn apply_obs(&self) {
+        if self.metrics_out().is_some() || self.trace_out().is_some() {
+            bt_obs::set_enabled(true);
+        }
+    }
 }
 
 /// Prints the table and also writes CSV when `--csv` was given.
@@ -107,6 +131,23 @@ pub fn emit(args: &Args, table: &crate::table::Table) {
             .write_csv(&path)
             .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
         println!("(csv written to {})", path.display());
+    }
+    emit_obs(args);
+}
+
+/// Writes the observability artifacts (`--metrics-out`, `--trace-out`)
+/// if requested. [`emit`] calls this; binaries without a table call it
+/// directly.
+pub fn emit_obs(args: &Args) {
+    if let Some(path) = args.metrics_out() {
+        bt_obs::write_metrics_json(&path)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("(metrics written to {})", path.display());
+    }
+    if let Some(path) = args.trace_out() {
+        bt_obs::write_trace_json(&path)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("(trace written to {})", path.display());
     }
 }
 
@@ -128,6 +169,16 @@ mod tests {
         assert_eq!(a.get_usize_list("ps", &[9]), vec![1, 2, 4]);
         assert_eq!(a.get_usize_list("qs", &[9]), vec![9]);
         assert_eq!(a.get_str("missing"), None);
+    }
+
+    #[test]
+    fn obs_paths_parsed() {
+        let a = args("--metrics-out out/m.json --trace-out out/t.json");
+        assert_eq!(a.metrics_out().unwrap().to_str().unwrap(), "out/m.json");
+        assert_eq!(a.trace_out().unwrap().to_str().unwrap(), "out/t.json");
+        let none = args("--n 1");
+        assert!(none.metrics_out().is_none());
+        assert!(none.trace_out().is_none());
     }
 
     #[test]

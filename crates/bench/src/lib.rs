@@ -26,6 +26,6 @@ pub mod cli;
 pub mod table;
 pub mod workloads;
 
-pub use cli::{emit, Args};
+pub use cli::{emit, emit_obs, Args};
 pub use table::{fmt_bytes, fmt_flops, fmt_secs, Table};
 pub use workloads::{make_batches, run_ard, run_rd, run_thomas, ExpConfig, GenKind, Measured};

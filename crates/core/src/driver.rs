@@ -54,6 +54,11 @@ pub struct DistOutcome {
     /// Worst boundary-extraction condition estimate (ARD exact-scan runs
     /// only; 1.0 otherwise). See `ArdRankFactors::boundary_condition`.
     pub boundary_condition: f64,
+    /// Kernel/solver counter deltas attributable to this run (counter
+    /// name -> increment), captured from the `bt-obs` metrics registry.
+    /// `None` when observability is off (`BT_OBS` unset); zero-delta
+    /// counters are omitted.
+    pub obs_counters: Option<std::collections::BTreeMap<String, u64>>,
 }
 
 /// Per-rank raw output carried back from the SPMD closure.
@@ -171,6 +176,18 @@ enum Mode {
     Accelerated,
     Spike,
     Pcr,
+}
+
+impl Mode {
+    /// Short algorithm label used in trace span arguments.
+    fn name(self) -> &'static str {
+        match self {
+            Mode::ClassicRd => "rd",
+            Mode::Accelerated => "ard",
+            Mode::Spike => "spike",
+            Mode::Pcr => "pcr",
+        }
+    }
 }
 
 /// Full driver configuration; the `*_solve_dist` helpers use
@@ -336,6 +353,10 @@ fn run_driver_cfg<S: BlockRowSource + Sync>(
     }
     let part = RowPartition::new(n, p);
 
+    // Counter baseline: the delta across the SPMD run is what this solve
+    // (all ranks, all batches) actually did in the instrumented kernels.
+    let counters_before = bt_obs::enabled().then(bt_obs::counters_snapshot);
+
     let spmd = run_spmd(
         p,
         model,
@@ -366,18 +387,24 @@ fn run_driver_cfg<S: BlockRowSource + Sync>(
                     comm.barrier();
                     let vt0 = comm.virtual_time();
                     let t0 = Instant::now();
+                    let span_setup =
+                        bt_obs::span_with("solver", "setup", || r#"{"algo":"ard"}"#.to_string());
                     let mut factors = ArdRankFactors::setup_with(comm, &sys, true, cfg.boundary)?;
                     if cfg.lean {
                         factors.shed_prefixes();
                     }
                     comm.barrier();
+                    drop(span_setup);
                     out.setup_wall = t0.elapsed();
                     out.setup_vt = comm.virtual_time() - vt0;
                     out.factor_bytes = factors.storage_bytes();
                     out.boundary_condition = factors.boundary_condition();
-                    for y_local in &y_locals {
+                    for (bi, y_local) in y_locals.iter().enumerate() {
                         let vt0 = comm.virtual_time();
                         let t0 = Instant::now();
+                        let _span = bt_obs::span_with("solver", "solve_batch", || {
+                            format!("{{\"algo\":\"ard\",\"batch\":{bi}}}")
+                        });
                         let x = if cfg.lean {
                             factors.solve_replay_lean(comm, y_local)
                         } else {
@@ -389,38 +416,40 @@ fn run_driver_cfg<S: BlockRowSource + Sync>(
                         out.x_local.push(x);
                     }
                 }
-                Mode::Pcr => {
+                Mode::Pcr | Mode::Spike => {
                     comm.barrier();
                     let vt0 = comm.virtual_time();
                     let t0 = Instant::now();
-                    let factors = PcrRankFactors::setup(comm, &sys)?;
-                    comm.barrier();
-                    out.setup_wall = t0.elapsed();
-                    out.setup_vt = comm.virtual_time() - vt0;
-                    out.factor_bytes = factors.storage_bytes();
-                    for y_local in &y_locals {
-                        let vt0 = comm.virtual_time();
-                        let t0 = Instant::now();
-                        let x = factors.solve(comm, y_local);
-                        comm.barrier();
-                        out.solve_wall.push(t0.elapsed());
-                        out.solve_vt.push(comm.virtual_time() - vt0);
-                        out.x_local.push(x);
+                    let algo = mode.name();
+                    let span_setup =
+                        bt_obs::span_with("solver", "setup", || format!("{{\"algo\":\"{algo}\"}}"));
+                    enum Either {
+                        Pcr(PcrRankFactors),
+                        Spike(SpikeRankFactors),
                     }
-                }
-                Mode::Spike => {
+                    let factors = if mode == Mode::Pcr {
+                        Either::Pcr(PcrRankFactors::setup(comm, &sys)?)
+                    } else {
+                        Either::Spike(SpikeRankFactors::setup(comm, &sys)?)
+                    };
                     comm.barrier();
-                    let vt0 = comm.virtual_time();
-                    let t0 = Instant::now();
-                    let factors = SpikeRankFactors::setup(comm, &sys)?;
-                    comm.barrier();
+                    drop(span_setup);
                     out.setup_wall = t0.elapsed();
                     out.setup_vt = comm.virtual_time() - vt0;
-                    out.factor_bytes = factors.storage_bytes();
-                    for y_local in &y_locals {
+                    out.factor_bytes = match &factors {
+                        Either::Pcr(f) => f.storage_bytes(),
+                        Either::Spike(f) => f.storage_bytes(),
+                    };
+                    for (bi, y_local) in y_locals.iter().enumerate() {
                         let vt0 = comm.virtual_time();
                         let t0 = Instant::now();
-                        let x = factors.solve(comm, y_local);
+                        let _span = bt_obs::span_with("solver", "solve_batch", || {
+                            format!("{{\"algo\":\"{algo}\",\"batch\":{bi}}}")
+                        });
+                        let x = match &factors {
+                            Either::Pcr(f) => f.solve(comm, y_local),
+                            Either::Spike(f) => f.solve(comm, y_local),
+                        };
                         comm.barrier();
                         out.solve_wall.push(t0.elapsed());
                         out.solve_vt.push(comm.virtual_time() - vt0);
@@ -429,9 +458,12 @@ fn run_driver_cfg<S: BlockRowSource + Sync>(
                 }
                 Mode::ClassicRd => {
                     comm.barrier();
-                    for y_local in &y_locals {
+                    for (bi, y_local) in y_locals.iter().enumerate() {
                         let vt0 = comm.virtual_time();
                         let t0 = Instant::now();
+                        let _span = bt_obs::span_with("solver", "solve_batch", || {
+                            format!("{{\"algo\":\"rd\",\"batch\":{bi}}}")
+                        });
                         let factors = ArdRankFactors::setup_with(comm, &sys, false, cfg.boundary)?;
                         let x = factors.solve_fresh(comm, y_local);
                         comm.barrier();
@@ -445,6 +477,7 @@ fn run_driver_cfg<S: BlockRowSource + Sync>(
         },
     );
 
+    let obs_counters = counters_before.map(|before| bt_obs::counters_diff(&before));
     let (x, timings, factor_bytes, boundary_condition) =
         assemble(n, m, batches.len(), &spmd.results)?;
     Ok(DistOutcome {
@@ -453,6 +486,7 @@ fn run_driver_cfg<S: BlockRowSource + Sync>(
         timings,
         factor_bytes,
         boundary_condition,
+        obs_counters,
     })
 }
 

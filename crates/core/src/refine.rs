@@ -146,10 +146,13 @@ impl ArdRankFactors {
         let (mut res, mut rel) = residual(comm, &x);
         history.push(rel);
 
-        for _ in 0..max_sweeps {
+        for sweep in 0..max_sweeps {
             if rel <= tol {
                 break;
             }
+            let _span = bt_obs::span_with("solver", "refine.sweep", || {
+                format!("{{\"sweep\":{sweep},\"rel_residual\":{rel:e}}}")
+            });
             // Correction: dx = F^{-1} res; x += dx.
             let dx = self.solve_replay(comm, &res);
             for (xk, dk) in x.iter_mut().zip(&dx) {

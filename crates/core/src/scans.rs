@@ -95,6 +95,9 @@ pub fn companion_exscan(
     let mut dist = 1usize;
     let mut step = 0u64;
     while dist < p {
+        let _round = bt_obs::span_with("scan", "companion_exscan.round", || {
+            format!("{{\"step\":{step},\"dist\":{dist}}}")
+        });
         let tag = tag_base + step;
         if me + dist < p {
             comm.send(me + dist, tag, (acc.top.clone(), acc.bot.clone()));
@@ -144,6 +147,9 @@ pub fn affine_exscan_fresh(
     let mut dist = 1usize;
     let mut step = 0u64;
     while dist < p {
+        let _round = bt_obs::span_with("scan", "affine_fresh.round", || {
+            format!("{{\"step\":{step},\"dist\":{dist}}}")
+        });
         let tag = tag_base + step;
         if me + dist < p {
             comm.send(
@@ -197,6 +203,9 @@ pub fn affine_exscan_replay(
     let mut step = 0u64;
     let mut combine_idx = 0usize;
     while dist < p {
+        let _round = bt_obs::span_with("scan", "affine_replay.round", || {
+            format!("{{\"step\":{step},\"dist\":{dist}}}")
+        });
         let tag = tag_base + step;
         if me + dist < p {
             comm.send(dir.physical(me + dist, p), tag, v_acc.clone());

@@ -218,6 +218,7 @@ impl ArdRankFactors {
         let mut pending_err: Option<FactorError> = None;
         let mut total = CompanionProduct::identity(m);
         let scanning = mode == BoundaryMode::ExactScan;
+        let span_companion = bt_obs::span("solver", "phase1.local_companion");
         if scanning && comm.rank() + 1 < comm.size() {
             for i in sys.lo.max(1)..sys.hi {
                 let row = &sys.rows[i - sys.lo];
@@ -236,19 +237,26 @@ impl ArdRankFactors {
             }
         }
 
+        drop(span_companion);
+
         // ---- Phase 1b: cross-rank exclusive scan of the products. -------
         // Windowed mode needs no Phase 1 communication at all.
-        let excl = if scanning {
-            companion_exscan(comm, tags::PHASE1, total)
-        } else {
-            None
+        let excl = {
+            let _span = bt_obs::span("solver", "phase1.exscan");
+            if scanning {
+                companion_exscan(comm, tags::PHASE1, total)
+            } else {
+                None
+            }
         };
 
         // ---- Phase 1c/1d: boundary diagonal and local factor pass. ------
+        let span_factor = bt_obs::span("solver", "phase1.local_factor");
         let local = match pending_err {
             Some(e) => Err(e),
             None => Self::local_factor_pass(comm, sys, excl.as_ref(), mode),
         };
+        drop(span_factor);
 
         // ---- Coordinated error check: all ranks agree before the next
         // collective phase, so a singular diagonal cannot deadlock peers
@@ -283,6 +291,7 @@ impl ArdRankFactors {
         );
 
         // ---- Phase 2/3 matrix components: local prefixes + scans. -------
+        let span_prefixes = bt_obs::span("solver", "setup.local_prefixes");
         let mut fwd_prefix: Vec<Mat> = Vec::with_capacity(nl);
         for k in 0..nl {
             let pfx = if k == 0 {
@@ -323,8 +332,11 @@ impl ArdRankFactors {
             };
         }
 
+        drop(span_prefixes);
+
         let mut fwd_trace = ScanTrace::default();
         let mut bwd_trace = ScanTrace::default();
+        let _span_record = record_traces.then(|| bt_obs::span("solver", "setup.record_scans"));
         if record_traces {
             // Zero-width vectors: the scans run their full matrix work and
             // message pattern while carrying no right-hand-side data.
@@ -615,6 +627,7 @@ impl ArdRankFactors {
         // scan total; elsewhere, fold a total, scan, then run the
         // recurrence from the boundary value z_{lo-1} = v_excl.
         let fwd_first = comm.rank() == 0;
+        let span_fwd = bt_obs::span("solver", "solve.forward");
         let z: Vec<Mat> = if fwd_first {
             let mut z: Vec<Mat> = Vec::with_capacity(nl);
             for k in 0..nl {
@@ -669,8 +682,11 @@ impl ArdRankFactors {
             z
         };
 
+        drop(span_fwd);
+
         // ---- h_i = D_i^{-1} z_i.
         let h: Vec<Mat> = {
+            let _span = bt_obs::span("solver", "solve.diag");
             let mut out = Vec::with_capacity(nl);
             for (k, zk) in z.iter().enumerate() {
                 let hk = self.d_lu[k].solve(zk);
@@ -681,6 +697,7 @@ impl ArdRankFactors {
         };
 
         // ---- Phase 3: mirror image of Phase 2.
+        let _span_bwd = bt_obs::span("solver", "solve.backward");
         let bwd_first = comm.rank() == comm.size() - 1;
         if bwd_first {
             let mut x: Vec<Mat> = vec![Mat::zeros(0, 0); nl];
@@ -749,6 +766,7 @@ impl ArdRankFactors {
         let bwd_first = comm.rank() == comm.size() - 1;
 
         // ---- Phase 2: forward substitution z_i = F_i z_{i-1} + y_i. -----
+        let span_fwd = bt_obs::span("solver", "solve.forward");
         // Local vector recurrence.
         let mut v_hat: Vec<Mat> = Vec::with_capacity(nl);
         for k in 0..nl {
@@ -810,7 +828,10 @@ impl ArdRankFactors {
                 .collect(),
         };
 
+        drop(span_fwd);
+
         // ---- h_i = D_i^{-1} z_i. ----------------------------------------
+        let span_diag = bt_obs::span("solver", "solve.diag");
         let h: Vec<Mat> = (0..nl)
             .map(|k| {
                 let hk = self.d_lu[k].solve(&z[k]);
@@ -818,8 +839,10 @@ impl ArdRankFactors {
                 hk
             })
             .collect();
+        drop(span_diag);
 
         // ---- Phase 3: backward substitution x_i = G_i x_{i+1} + h_i. ----
+        let _span_bwd = bt_obs::span("solver", "solve.backward");
         let mut w_hat: Vec<Mat> = vec![Mat::zeros(0, 0); nl];
         for k in (0..nl).rev() {
             w_hat[k] = if k == nl - 1 {

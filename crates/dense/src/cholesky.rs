@@ -9,6 +9,12 @@
 use crate::lu::SingularError;
 use crate::mat::Mat;
 
+/// Observability instruments for the multi-RHS panel solves (no-ops
+/// unless `BT_OBS` is on); see the LU counterparts in [`crate::lu`].
+static OBS_CHOL_PANEL_SOLVES: bt_obs::Counter = bt_obs::Counter::new("bt_dense.chol.panel_solves");
+static OBS_CHOL_PANEL_NS: bt_obs::Histogram =
+    bt_obs::Histogram::new("bt_dense.chol.panel_solve_ns");
+
 /// Packed Cholesky factor `L` (lower triangle; the strict upper triangle
 /// of the storage is unused).
 #[derive(Debug, Clone)]
@@ -95,7 +101,13 @@ impl CholFactors {
     pub fn solve_in_place(&self, b: &mut Mat) {
         let n = self.order();
         assert_eq!(b.rows(), n, "solve rhs row count mismatch");
+        OBS_CHOL_PANEL_SOLVES.incr();
+        let _span = bt_obs::span("bt_dense", "chol.solve_panel");
+        let t0 = bt_obs::enabled().then(std::time::Instant::now);
         crate::threading::for_each_column_parallel(b, 2 * n * n, |x| self.solve_column(x));
+        if let Some(t0) = t0 {
+            OBS_CHOL_PANEL_NS.record_duration(t0.elapsed());
+        }
     }
 
     /// Forward (`L`) then backward (`L^T`) sweep on a single RHS column.

@@ -20,6 +20,16 @@
 use crate::mat::Mat;
 use crate::threading;
 
+/// Observability counters (no-ops unless `BT_OBS` is on): dispatch counts
+/// for the packed-vs-AXPY split, total flops issued through this module,
+/// and nanoseconds spent repacking operand panels — the raw inputs for
+/// checking the CostModel's compute term against real kernel behaviour.
+static OBS_PACKED_CALLS: bt_obs::Counter = bt_obs::Counter::new("bt_dense.gemm.packed_calls");
+static OBS_AXPY_CALLS: bt_obs::Counter = bt_obs::Counter::new("bt_dense.gemm.axpy_calls");
+static OBS_GEMV_CALLS: bt_obs::Counter = bt_obs::Counter::new("bt_dense.gemm.gemv_calls");
+static OBS_GEMM_FLOPS: bt_obs::Counter = bt_obs::Counter::new("bt_dense.gemm.flops");
+static OBS_PACK_NS: bt_obs::Counter = bt_obs::Counter::new("bt_dense.gemm.pack_ns");
+
 /// Operand transposition selector for [`gemm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Trans {
@@ -151,6 +161,8 @@ pub fn gemm_axpy(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
     let n = b.cols();
     assert_eq!(k, b.rows(), "gemm inner dimension mismatch");
     assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+    OBS_AXPY_CALLS.incr();
+    OBS_GEMM_FLOPS.add(gemm_flops(m, k, n));
     let a_buf = a.as_slice();
 
     for j0 in (0..n).step_by(NB) {
@@ -200,6 +212,8 @@ pub fn gemm_packed(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    OBS_PACKED_CALLS.incr();
+    OBS_GEMM_FLOPS.add(gemm_flops(m, k, n));
 
     let a_buf = a.as_slice();
     let b_buf = b.as_slice();
@@ -279,13 +293,26 @@ fn packed_stripe(
 ) {
     let mut packed_b = vec![0.0; KC * ncols.next_multiple_of(NR)];
     let mut packed_a = vec![0.0; MC.min(mb_total).next_multiple_of(MR) * KC];
+    // Pack-time accounting: accumulate locally, publish once per stripe
+    // so the hot loop touches no shared state.
+    let obs = bt_obs::enabled();
+    let mut pack_ns = 0u64;
+    let mut timed = |work: &mut dyn FnMut()| {
+        if obs {
+            let t0 = std::time::Instant::now();
+            work();
+            pack_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        } else {
+            work();
+        }
+    };
 
     for pc in (0..k).step_by(KC) {
         let kb = KC.min(k - pc);
-        pack_b(b, k, pc, kb, ncols, &mut packed_b);
+        timed(&mut || pack_b(b, k, pc, kb, ncols, &mut packed_b));
         for ic in (0..mb_total).step_by(MC) {
             let mbb = MC.min(mb_total - ic);
-            pack_a(a, lda, row0 + ic, mbb, pc, kb, &mut packed_a);
+            timed(&mut || pack_a(a, lda, row0 + ic, mbb, pc, kb, &mut packed_a));
             let n_jr = ncols.div_ceil(NR);
             let n_ir = mbb.div_ceil(MR);
             for jr in 0..n_jr {
@@ -307,6 +334,9 @@ fn packed_stripe(
                 }
             }
         }
+    }
+    if obs {
+        OBS_PACK_NS.add(pack_ns);
     }
 }
 
@@ -379,6 +409,8 @@ pub fn matmul(a: &Mat, b: &Mat) -> Mat {
 pub fn gemv(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(x.len(), a.cols(), "gemv x length mismatch");
     assert_eq!(y.len(), a.rows(), "gemv y length mismatch");
+    OBS_GEMV_CALLS.incr();
+    OBS_GEMM_FLOPS.add(gemm_flops(a.rows(), a.cols(), 1));
     if beta == 0.0 {
         y.fill(0.0);
     } else if beta != 1.0 {

@@ -10,6 +10,12 @@
 use crate::mat::Mat;
 use std::fmt;
 
+/// Observability instruments for the multi-RHS panel solves (no-ops
+/// unless `BT_OBS` is on): call count plus a nanosecond histogram, the
+/// measured side of the `O(n^2 r)` triangular-sweep cost claim.
+static OBS_LU_PANEL_SOLVES: bt_obs::Counter = bt_obs::Counter::new("bt_dense.lu.panel_solves");
+static OBS_LU_PANEL_NS: bt_obs::Histogram = bt_obs::Histogram::new("bt_dense.lu.panel_solve_ns");
+
 /// Error returned when a factorization or solve encounters a singular (or
 /// numerically singular) matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,6 +186,9 @@ impl LuFactors {
     pub fn solve_in_place(&self, b: &mut Mat) {
         let n = self.order();
         assert_eq!(b.rows(), n, "solve rhs row count mismatch");
+        OBS_LU_PANEL_SOLVES.incr();
+        let _span = bt_obs::span("bt_dense", "lu.solve_panel");
+        let t0 = bt_obs::enabled().then(std::time::Instant::now);
         // Apply the row permutation to B (sequential: touches all columns).
         for (k, &p) in self.piv.iter().enumerate() {
             if p != k {
@@ -187,6 +196,9 @@ impl LuFactors {
             }
         }
         crate::threading::for_each_column_parallel(b, 2 * n * n, |x| self.solve_column(x));
+        if let Some(t0) = t0 {
+            OBS_LU_PANEL_NS.record_duration(t0.elapsed());
+        }
     }
 
     /// One forward + backward triangular sweep on a single permuted RHS

@@ -139,6 +139,12 @@ where
                         // real kernels parallelize exactly as the cost
                         // model assumes.
                         bt_dense::threading::set_thread_budget(model.threads_per_rank.max(1));
+                        if bt_obs::enabled() {
+                            bt_obs::set_thread_label(format!("rank {}", comm.rank()));
+                        }
+                        let _span = bt_obs::span_with("mpsim", "rank", || {
+                            format!("{{\"rank\":{}}}", comm.rank())
+                        });
                         let result = f(&mut comm);
                         let events = comm.tracer.take();
                         (result, comm.stats(), comm.virtual_time(), events)

@@ -69,46 +69,103 @@ impl Trace {
 
     /// Serializes to Chrome trace-event JSON (the "JSON array" flavour).
     /// Times are microseconds of virtual time; `tid` is the rank.
+    ///
+    /// The output leads with metadata events (`ph:"M"`) naming the
+    /// process and each rank's thread, and pairs every Send with its
+    /// matching Recv through flow events (`ph:"s"` on the sender,
+    /// `ph:"f"` with `bp:"e"` on the receiver), so Perfetto draws
+    /// message arrows across rank timelines instead of disconnected
+    /// spans. Matching relies on the runtime's per-`(src, dst, tag)`
+    /// FIFO delivery: the `n`-th send of a triple pairs with the `n`-th
+    /// receive of the same triple.
     pub fn to_chrome_json(&self) -> String {
-        let mut out = String::from("[\n");
-        let mut first = true;
-        let emit = |s: String, out: &mut String, first: &mut bool| {
-            if !*first {
-                out.push_str(",\n");
+        use std::collections::HashMap;
+
+        // Assign one flow id per (src, dst, tag, occurrence) in send order.
+        let mut flow_ids: HashMap<(usize, usize, u64, u64), u64> = HashMap::new();
+        {
+            let mut send_seq: HashMap<(usize, usize, u64), u64> = HashMap::new();
+            let mut next_id = 0u64;
+            for (rank, events) in self.events.iter().enumerate() {
+                for ev in events {
+                    if let TraceEvent::Send { dst, tag, .. } = ev {
+                        let seq = send_seq.entry((rank, *dst, *tag)).or_insert(0);
+                        flow_ids.insert((rank, *dst, *tag, *seq), next_id);
+                        *seq += 1;
+                        next_id += 1;
+                    }
+                }
             }
-            *first = false;
-            out.push_str(&s);
-        };
+        }
+
+        let mut out = String::from("[\n");
+        let _ = write!(
+            out,
+            r#"  {{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{{"name":"mpsim virtual clock"}}}}"#
+        );
+        for rank in 0..self.events.len() {
+            let _ = write!(
+                out,
+                ",\n  {{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":0,\"tid\":{rank},\"args\":{{\"name\":\"rank {rank}\"}}}}"
+            );
+        }
+        let mut recv_seq: HashMap<(usize, usize, u64), u64> = HashMap::new();
+        // Emission traverses sends in the same order ids were assigned,
+        // so the sender side is a plain counter.
+        let mut next_send_id = 0u64;
         for (rank, events) in self.events.iter().enumerate() {
             for ev in events {
-                let json = match ev {
-                    TraceEvent::Compute { start, dur, flops } => format!(
-                        r#"  {{"name":"compute","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{rank},"args":{{"flops":{flops}}}}}"#,
-                        start * 1e6,
-                        dur * 1e6
-                    ),
+                match ev {
+                    TraceEvent::Compute { start, dur, flops } => {
+                        let _ = write!(
+                            out,
+                            ",\n  {{\"name\":\"compute\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{rank},\"args\":{{\"flops\":{flops}}}}}",
+                            start * 1e6,
+                            dur * 1e6
+                        );
+                    }
                     TraceEvent::Send {
                         at,
                         dst,
                         tag,
                         bytes,
-                    } => format!(
-                        r#"  {{"name":"send","ph":"i","ts":{:.3},"pid":0,"tid":{rank},"s":"t","args":{{"dst":{dst},"tag":{tag},"bytes":{bytes}}}}}"#,
-                        at * 1e6
-                    ),
+                    } => {
+                        let ts = at * 1e6;
+                        let _ = write!(
+                            out,
+                            ",\n  {{\"name\":\"send\",\"ph\":\"i\",\"ts\":{ts:.3},\"pid\":0,\"tid\":{rank},\"s\":\"t\",\"args\":{{\"dst\":{dst},\"tag\":{tag},\"bytes\":{bytes}}}}}"
+                        );
+                        let id = next_send_id;
+                        next_send_id += 1;
+                        let _ = write!(
+                            out,
+                            ",\n  {{\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{id},\"ts\":{ts:.3},\"pid\":0,\"tid\":{rank}}}"
+                        );
+                    }
                     TraceEvent::Recv {
                         start,
                         wait,
                         src,
                         tag,
                         bytes,
-                    } => format!(
-                        r#"  {{"name":"recv-wait","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{rank},"args":{{"src":{src},"tag":{tag},"bytes":{bytes}}}}}"#,
-                        start * 1e6,
-                        wait * 1e6
-                    ),
+                    } => {
+                        let ts = start * 1e6;
+                        let end = (start + wait) * 1e6;
+                        let _ = write!(
+                            out,
+                            ",\n  {{\"name\":\"recv-wait\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{rank},\"args\":{{\"src\":{src},\"tag\":{tag},\"bytes\":{bytes}}}}}",
+                            wait * 1e6
+                        );
+                        let seq = recv_seq.entry((*src, rank, *tag)).or_insert(0);
+                        if let Some(id) = flow_ids.get(&(*src, rank, *tag, *seq)) {
+                            *seq += 1;
+                            let _ = write!(
+                                out,
+                                ",\n  {{\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"ts\":{end:.3},\"pid\":0,\"tid\":{rank}}}"
+                            );
+                        }
+                    }
                 };
-                emit(json, &mut out, &mut first);
             }
         }
         let _ = write!(out, "\n]\n");
@@ -204,10 +261,96 @@ mod tests {
         assert!(json.contains(r#""name":"send""#));
         assert!(json.contains(r#""name":"recv-wait""#));
         assert!(json.contains(r#""tid":1"#));
-        // Valid-ish: same number of opening and closing braces.
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        // Events separated by commas: 3 events -> 2 separators.
-        assert_eq!(json.matches("},\n").count(), 2);
+        // Round-trip through the in-tree parser and schema validator.
+        let doc = bt_obs::json::parse(&json).expect("trace must be valid JSON");
+        let summary = bt_obs::json::validate_chrome_trace(&doc).expect("trace must validate");
+        // 3 events + process_name + 2 thread_name + 1 flow pair.
+        assert_eq!(summary.events, 8);
+        assert_eq!(summary.flow_starts, 1);
+        assert_eq!(summary.flow_finishes, 1);
+    }
+
+    #[test]
+    fn thread_metadata_names_ranks() {
+        let json = sample().to_chrome_json();
+        assert!(json.contains(r#""name":"process_name""#));
+        assert!(json.contains(r#""args":{"name":"rank 0"}"#));
+        assert!(json.contains(r#""args":{"name":"rank 1"}"#));
+    }
+
+    #[test]
+    fn flow_events_pair_send_with_recv() {
+        // Two sends on the same (src, dst, tag) triple: FIFO order must
+        // give the first send id 0 and the second id 1, with both recvs
+        // matched in the same order.
+        let t = Trace {
+            events: vec![
+                vec![
+                    TraceEvent::Send {
+                        at: 1.0,
+                        dst: 1,
+                        tag: 3,
+                        bytes: 8,
+                    },
+                    TraceEvent::Send {
+                        at: 2.0,
+                        dst: 1,
+                        tag: 3,
+                        bytes: 8,
+                    },
+                ],
+                vec![
+                    TraceEvent::Recv {
+                        start: 0.0,
+                        wait: 1.5,
+                        src: 0,
+                        tag: 3,
+                        bytes: 8,
+                    },
+                    TraceEvent::Recv {
+                        start: 1.5,
+                        wait: 1.0,
+                        src: 0,
+                        tag: 3,
+                        bytes: 8,
+                    },
+                ],
+            ],
+        };
+        let json = t.to_chrome_json();
+        let doc = bt_obs::json::parse(&json).expect("valid JSON");
+        let summary = bt_obs::json::validate_chrome_trace(&doc).expect("valid trace");
+        assert_eq!(summary.flow_starts, 2);
+        assert_eq!(summary.flow_finishes, 2);
+        // The validator checks every finish has a matching start id;
+        // additionally pin the ids to FIFO order.
+        assert!(json.contains(r#""ph":"s","id":0"#));
+        assert!(json.contains(r#""ph":"s","id":1"#));
+        assert!(json.contains(r#""ph":"f","bp":"e","id":0"#));
+        assert!(json.contains(r#""ph":"f","bp":"e","id":1"#));
+    }
+
+    #[test]
+    fn unmatched_recv_gets_no_flow_finish() {
+        // A recv with no corresponding send (e.g. truncated trace) must
+        // not emit a dangling flow finish.
+        let t = Trace {
+            events: vec![
+                vec![],
+                vec![TraceEvent::Recv {
+                    start: 0.0,
+                    wait: 0.5,
+                    src: 0,
+                    tag: 9,
+                    bytes: 4,
+                }],
+            ],
+        };
+        let json = t.to_chrome_json();
+        let doc = bt_obs::json::parse(&json).expect("valid JSON");
+        let summary = bt_obs::json::validate_chrome_trace(&doc).expect("valid trace");
+        assert_eq!(summary.flow_starts, 0);
+        assert_eq!(summary.flow_finishes, 0);
     }
 
     #[test]

@@ -402,9 +402,15 @@ fn traced_run_records_all_event_kinds() {
         }
         ref other => panic!("unexpected event {other:?}"),
     }
-    // JSON serialization holds all four events.
+    // JSON serialization holds the four events plus metadata (process
+    // name, two rank thread names) and one send->recv flow pair, all
+    // valid under the Chrome trace schema.
     let json = trace.to_chrome_json();
-    assert_eq!(json.matches("\"name\"").count(), 4);
+    let doc = bt_obs::json::parse(&json).expect("trace JSON parses");
+    let summary = bt_obs::json::validate_chrome_trace(&doc).expect("trace validates");
+    assert_eq!(summary.events, 4 + 3 + 2);
+    assert_eq!(summary.flow_starts, 1);
+    assert_eq!(summary.flow_finishes, 1);
 }
 
 #[test]

@@ -1,0 +1,57 @@
+//! Validates emitted observability artifacts (CI gate).
+//!
+//! ```text
+//! cargo run -p bt-obs --bin obs_validate -- results/obs_trace.json results/obs_metrics.json
+//! ```
+//!
+//! Each file is parsed with the in-tree JSON parser and checked against
+//! the schema it self-identifies as: a `bt-obs-metrics-v1` object goes
+//! through [`bt_obs::json::validate_metrics`], anything shaped like
+//! Chrome trace-event JSON (bare array or `{"traceEvents": [...]}`)
+//! through [`bt_obs::json::validate_chrome_trace`]. Exits non-zero on
+//! the first unreadable, unparsable or invalid file.
+
+use bt_obs::json::{self, Json};
+
+fn validate_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let doc = json::parse(&text)?;
+    let is_metrics = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .is_some_and(|s| s.starts_with("bt-obs-metrics"));
+    if is_metrics {
+        let s = json::validate_metrics(&doc)?;
+        Ok(format!(
+            "metrics ok: {} counters, {} gauges, {} histograms",
+            s.counters, s.gauges, s.histograms
+        ))
+    } else {
+        let s = json::validate_chrome_trace(&doc)?;
+        Ok(format!(
+            "trace ok: {} events ({} complete, {} flow starts, {} flow finishes) on {} threads",
+            s.events, s.complete_events, s.flow_starts, s.flow_finishes, s.threads
+        ))
+    }
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: obs_validate <trace-or-metrics.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match validate_file(path) {
+            Ok(summary) => println!("{path}: {summary}"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,571 @@
+//! Minimal in-tree JSON parser and schema validators.
+//!
+//! The suite emits three JSON artifacts — the mpsim virtual-clock Chrome
+//! trace, the bt-obs wall-clock Chrome trace, and the metrics registry
+//! dump — and promises they are machine-readable. This module backs that
+//! promise without an external serde dependency: a recursive-descent
+//! parser into a [`Json`] value plus validators for the Chrome
+//! trace-event shape ([`validate_chrome_trace`]) and the
+//! `bt-obs-metrics-v1` schema ([`validate_metrics`]). Tests and the CI
+//! `obs_validate` binary round-trip every emitted file through them.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Object keys keep first-wins semantics on
+/// duplicates; numbers are `f64` (adequate for the emitted schemas).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number literal.
+    Num(f64),
+    /// String literal (escapes resolved).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object member lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(&format!("unexpected byte '{}'", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("invalid number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogates map to the replacement character;
+                            // the emitted schemas never use them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unchanged).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.entry(key).or_insert(value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// A human-readable message with the byte offset of the first error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+/// What [`validate_chrome_trace`] found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events (including metadata).
+    pub events: usize,
+    /// `ph:"X"` complete events.
+    pub complete_events: usize,
+    /// Distinct `tid`s carrying non-metadata events.
+    pub threads: usize,
+    /// `ph:"s"` flow starts.
+    pub flow_starts: usize,
+    /// `ph:"f"` flow finishes.
+    pub flow_finishes: usize,
+}
+
+/// Validates Chrome trace-event JSON: either a bare event array or an
+/// object with a `traceEvents` array. Every event must carry `name`,
+/// `ph`, `ts`, `pid` and `tid`; complete (`X`) events a non-negative
+/// `dur`; flow (`s`/`f`) events an `id`. Non-metadata timestamps must be
+/// monotone per `tid` in array order, and every flow finish must have a
+/// matching flow start with the same `id`.
+///
+/// # Errors
+///
+/// The first violated rule, with the event index.
+pub fn validate_chrome_trace(doc: &Json) -> Result<TraceSummary, String> {
+    let events = match doc {
+        Json::Arr(items) => items.as_slice(),
+        Json::Obj(_) => doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .ok_or("trace object lacks a traceEvents array")?,
+        _ => return Err("trace document is neither an array nor an object".to_string()),
+    };
+    let mut summary = TraceSummary {
+        events: events.len(),
+        ..TraceSummary::default()
+    };
+    let mut last_ts: BTreeMap<i64, f64> = BTreeMap::new();
+    let mut flow_start_ids: Vec<String> = Vec::new();
+    let mut flow_finish_ids: Vec<String> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev
+            .as_obj()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            if !obj.contains_key(key) {
+                return Err(format!("event {i} lacks '{key}'"));
+            }
+        }
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or_default();
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: non-numeric ts"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: non-numeric tid"))? as i64;
+        match ph {
+            "M" => continue, // metadata has no timeline placement
+            "X" => {
+                summary.complete_events += 1;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: complete event lacks numeric dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative dur {dur}"));
+                }
+            }
+            "s" | "f" => {
+                let id = ev
+                    .get("id")
+                    .map(|v| match v {
+                        Json::Num(n) => Ok(format!("{n}")),
+                        Json::Str(s) => Ok(s.clone()),
+                        _ => Err(format!("event {i}: flow id is neither number nor string")),
+                    })
+                    .transpose()?
+                    .ok_or_else(|| format!("event {i}: flow event lacks 'id'"))?;
+                if ph == "s" {
+                    summary.flow_starts += 1;
+                    flow_start_ids.push(id);
+                } else {
+                    summary.flow_finishes += 1;
+                    flow_finish_ids.push(id);
+                }
+            }
+            _ => {}
+        }
+        let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+        if ts < *prev {
+            return Err(format!(
+                "event {i}: ts {ts} goes backwards on tid {tid} (previous {prev})"
+            ));
+        }
+        *prev = ts;
+    }
+    summary.threads = last_ts.len();
+    flow_start_ids.sort_unstable();
+    for id in &flow_finish_ids {
+        if flow_start_ids.binary_search(id).is_err() {
+            return Err(format!("flow finish id {id} has no matching flow start"));
+        }
+    }
+    Ok(summary)
+}
+
+/// What [`validate_metrics`] found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSummary {
+    /// Registered counters.
+    pub counters: usize,
+    /// Registered gauges.
+    pub gauges: usize,
+    /// Registered histograms.
+    pub histograms: usize,
+}
+
+/// Validates a `bt-obs-metrics-v1` document: schema tag, counter values
+/// that are non-negative integers, numeric gauges, and histograms whose
+/// bucket counts sum to `count`.
+///
+/// # Errors
+///
+/// The first violated rule, naming the offending metric.
+pub fn validate_metrics(doc: &Json) -> Result<MetricsSummary, String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("bt-obs-metrics-v1") => {}
+        Some(other) => return Err(format!("unknown metrics schema '{other}'")),
+        None => return Err("metrics document lacks a schema tag".to_string()),
+    }
+    let mut summary = MetricsSummary::default();
+    let counters = doc
+        .get("counters")
+        .and_then(Json::as_obj)
+        .ok_or("metrics document lacks a counters object")?;
+    for (name, v) in counters {
+        let v = v
+            .as_f64()
+            .ok_or_else(|| format!("counter '{name}' is not numeric"))?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(format!("counter '{name}' is not a non-negative integer"));
+        }
+        summary.counters += 1;
+    }
+    let gauges = doc
+        .get("gauges")
+        .and_then(Json::as_obj)
+        .ok_or("metrics document lacks a gauges object")?;
+    for (name, v) in gauges {
+        if v.as_f64().is_none() {
+            return Err(format!("gauge '{name}' is not numeric"));
+        }
+        summary.gauges += 1;
+    }
+    let histograms = doc
+        .get("histograms")
+        .and_then(Json::as_obj)
+        .ok_or("metrics document lacks a histograms object")?;
+    for (name, h) in histograms {
+        let count = h
+            .get("count")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("histogram '{name}' lacks numeric count"))?;
+        for key in ["sum", "min", "max"] {
+            if h.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("histogram '{name}' lacks numeric {key}"));
+            }
+        }
+        let buckets = h
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("histogram '{name}' lacks a buckets array"))?;
+        let mut total = 0.0;
+        for b in buckets {
+            total += b
+                .get("count")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("histogram '{name}': bucket lacks numeric count"))?;
+            if b.get("lt_pow2").and_then(Json::as_f64).is_none() {
+                return Err(format!("histogram '{name}': bucket lacks lt_pow2"));
+            }
+        }
+        if (total - count).abs() > 0.5 {
+            return Err(format!(
+                "histogram '{name}': bucket counts sum to {total}, count is {count}"
+            ));
+        }
+        summary.histograms += 1;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc = parse(r#"{"a": [1, -2.5e3, "x\n\"y\"", true, null], "b": {}}"#).unwrap();
+        let a = doc.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].as_f64(), Some(-2500.0));
+        assert_eq!(a[2].as_str(), Some("x\n\"y\""));
+        assert_eq!(a[3], Json::Bool(true));
+        assert_eq!(a[4], Json::Null);
+        assert!(doc.get("b").unwrap().as_obj().unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_resolve() {
+        let doc = parse(r#""rank → 0""#).unwrap();
+        assert_eq!(doc.as_str(), Some("rank → 0"));
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let nasty = "a\"b\\c\nd\te\u{1}";
+        let doc = parse(&format!("\"{}\"", escape(nasty))).unwrap();
+        assert_eq!(doc.as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn trace_validator_accepts_minimal_trace() {
+        let text = r#"[
+            {"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"p"}},
+            {"name":"a","ph":"X","ts":1.0,"dur":2.0,"pid":0,"tid":0},
+            {"name":"msg","ph":"s","id":7,"ts":2.0,"pid":0,"tid":0},
+            {"name":"msg","ph":"f","bp":"e","id":7,"ts":5.0,"pid":0,"tid":1}
+        ]"#;
+        let summary = validate_chrome_trace(&parse(text).unwrap()).unwrap();
+        assert_eq!(summary.complete_events, 1);
+        assert_eq!(summary.flow_starts, 1);
+        assert_eq!(summary.flow_finishes, 1);
+        assert_eq!(summary.threads, 2);
+    }
+
+    #[test]
+    fn trace_validator_rejects_backwards_time() {
+        let text = r#"[
+            {"name":"a","ph":"X","ts":5.0,"dur":1.0,"pid":0,"tid":0},
+            {"name":"b","ph":"X","ts":4.0,"dur":1.0,"pid":0,"tid":0}
+        ]"#;
+        let err = validate_chrome_trace(&parse(text).unwrap()).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn trace_validator_rejects_orphan_flow_finish() {
+        let text = r#"[
+            {"name":"msg","ph":"f","id":9,"ts":1.0,"pid":0,"tid":0}
+        ]"#;
+        let err = validate_chrome_trace(&parse(text).unwrap()).unwrap_err();
+        assert!(err.contains("no matching flow start"), "{err}");
+    }
+
+    #[test]
+    fn metrics_validator_checks_bucket_sums() {
+        let good = r#"{
+            "schema": "bt-obs-metrics-v1",
+            "counters": {"c": 3},
+            "gauges": {"g": 1.5},
+            "histograms": {"h": {"count": 2, "sum": 10, "min": 4, "max": 6,
+                "buckets": [{"lt_pow2": 3, "count": 2}]}}
+        }"#;
+        let summary = validate_metrics(&parse(good).unwrap()).unwrap();
+        assert_eq!(
+            (summary.counters, summary.gauges, summary.histograms),
+            (1, 1, 1)
+        );
+
+        let bad = good.replace("\"count\": 2,", "\"count\": 5,");
+        let err = validate_metrics(&parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("sum to"), "{err}");
+    }
+}

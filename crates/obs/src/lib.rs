@@ -1,0 +1,115 @@
+//! # bt-obs: observability for the block tridiagonal suite
+//!
+//! The *real-time* complement to `bt-mpsim`'s virtual-clock trace: the
+//! paper's claims are cost-model claims (`O(M^3 (N/P + log P))` scan
+//! cost, `O(R)` multi-RHS amortization), and this crate is the
+//! measurement substrate that checks whether the implementation's wall
+//! clock agrees with the model. Two facilities, both `std`-only:
+//!
+//! * a process-wide **metrics registry** ([`registry`]) of atomic
+//!   counters, gauges and fixed-bucket histograms with JSON export —
+//!   kernel dispatch counts, flop totals, pack/panel-solve nanoseconds;
+//! * a **span tracer** ([`tracer`]) recording wall-clock durations per
+//!   thread and serializing to Chrome trace-event JSON, so solver phases
+//!   and `log P` doubling rounds can be inspected in Perfetto alongside
+//!   the virtual trace.
+//!
+//! Everything is gated by the `BT_OBS` environment variable (or
+//! [`set_enabled`]): when disabled, every instrumentation site costs a
+//! single relaxed atomic load and touches no shared state, so
+//! instrumented kernels stay bitwise identical and within noise of
+//! uninstrumented builds.
+//!
+//! The [`json`] module holds a minimal in-tree JSON parser plus
+//! validators for the two emitted schemas; the `obs_validate` binary
+//! wraps them for CI.
+//!
+//! ## Example
+//!
+//! ```
+//! bt_obs::set_enabled(true);
+//! static CALLS: bt_obs::Counter = bt_obs::Counter::new("doc.calls");
+//! CALLS.incr();
+//! {
+//!     let _span = bt_obs::span("doc", "work");
+//!     // ... timed region ...
+//! }
+//! let metrics = bt_obs::metrics_json();
+//! assert!(metrics.contains("doc.calls"));
+//! let trace = bt_obs::trace_json();
+//! bt_obs::json::validate_chrome_trace(&bt_obs::json::parse(&trace).unwrap()).unwrap();
+//! ```
+
+pub mod json;
+pub mod registry;
+pub mod tracer;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub use registry::{
+    counters_diff, counters_snapshot, metrics_json, reset_metrics, write_metrics_json, Counter,
+    Gauge, Histogram,
+};
+pub use tracer::{
+    clear_trace, set_thread_label, span, span_with, trace_json, write_trace_json, Span,
+};
+
+/// Tri-state gate: 0 = uninitialized, 1 = off, 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// True when observability is on. The steady-state cost is one relaxed
+/// atomic load; the first call reads the `BT_OBS` environment variable
+/// (any value except empty, `0`, `false` or `off` enables).
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("BT_OBS").is_ok_and(|v| {
+        let v = v.trim();
+        !(v.is_empty()
+            || v == "0"
+            || v.eq_ignore_ascii_case("false")
+            || v.eq_ignore_ascii_case("off"))
+    });
+    // A racing initialization computes the same value on every thread.
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Programmatically enables or disables observability, overriding
+/// `BT_OBS` (used by the bench CLI's `--metrics-out`/`--trace-out` flags
+/// and by tests).
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Serializes tests that flip the global gate or read global registries.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_toggles() {
+        let _g = test_guard();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+}

@@ -1,0 +1,451 @@
+//! Process-wide metrics registry: counters, gauges, histograms.
+//!
+//! Metric handles are cheap `static`s declared at the instrumentation
+//! site; the first touch registers the metric under its name in a global
+//! registry, later touches are a relaxed atomic op. When the
+//! [`crate::enabled`] gate is off, update methods return after a single
+//! relaxed load without registering anything, so a disabled binary never
+//! builds the registry at all.
+//!
+//! [`metrics_json`] serializes every registered metric to the
+//! `bt-obs-metrics-v1` schema (see DESIGN.md, "Observability"):
+//!
+//! ```json
+//! {
+//!   "schema": "bt-obs-metrics-v1",
+//!   "counters": {"bt_dense.gemm.flops": 123},
+//!   "gauges": {"bench.rhs_width": 8.0},
+//!   "histograms": {
+//!     "bt_dense.lu.panel_solve_ns": {
+//!       "count": 4, "sum": 5120, "min": 900, "max": 2100,
+//!       "buckets": [{"lt_pow2": 10, "count": 1}, {"lt_pow2": 12, "count": 3}]
+//!     }
+//!   }
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::escape;
+
+/// Number of power-of-two histogram buckets: bucket `i` counts values
+/// `v` with `i` significant bits, i.e. `2^(i-1) <= v < 2^i` (bucket 0
+/// counts zeros). 64 buckets cover the whole `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Backing storage for one histogram.
+pub struct HistogramData {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramData {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        let idx = (u64::BITS - v.leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>, // f64 bit patterns
+    histograms: Mutex<BTreeMap<&'static str, Arc<HistogramData>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// A monotonically increasing `u64` counter.
+///
+/// ```
+/// static SOLVES: bt_obs::Counter = bt_obs::Counter::new("doc.registry.solves");
+/// bt_obs::set_enabled(true);
+/// SOLVES.incr();
+/// SOLVES.add(2);
+/// assert_eq!(SOLVES.value(), 3);
+/// ```
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Declares a counter; nothing is registered until the first update.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn slot(&self) -> &AtomicU64 {
+        self.cell.get_or_init(|| {
+            Arc::clone(
+                registry()
+                    .counters
+                    .lock()
+                    .expect("metrics registry poisoned")
+                    .entry(self.name)
+                    .or_default(),
+            )
+        })
+    }
+
+    /// Adds `v`; a no-op while observability is disabled.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        if crate::enabled() {
+            self.slot().fetch_add(v, Relaxed);
+        }
+    }
+
+    /// Adds one; a no-op while observability is disabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (registers the counter if it never fired).
+    pub fn value(&self) -> u64 {
+        self.slot().load(Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge.
+pub struct Gauge {
+    name: &'static str,
+    cell: OnceLock<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// Declares a gauge; nothing is registered until the first update.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn slot(&self) -> &AtomicU64 {
+        self.cell.get_or_init(|| {
+            Arc::clone(
+                registry()
+                    .gauges
+                    .lock()
+                    .expect("metrics registry poisoned")
+                    .entry(self.name)
+                    .or_default(),
+            )
+        })
+    }
+
+    /// Sets the gauge; a no-op while observability is disabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.slot().store(v.to_bits(), Relaxed);
+        }
+    }
+
+    /// Current value (registers the gauge if it never fired).
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.slot().load(Relaxed))
+    }
+}
+
+/// A fixed-bucket (power-of-two) histogram of `u64` samples, typically
+/// nanosecond durations.
+pub struct Histogram {
+    name: &'static str,
+    cell: OnceLock<Arc<HistogramData>>,
+}
+
+impl Histogram {
+    /// Declares a histogram; nothing is registered until the first update.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn slot(&self) -> &HistogramData {
+        self.cell.get_or_init(|| {
+            Arc::clone(
+                registry()
+                    .histograms
+                    .lock()
+                    .expect("metrics registry poisoned")
+                    .entry(self.name)
+                    .or_insert_with(|| Arc::new(HistogramData::new())),
+            )
+        })
+    }
+
+    /// Records one sample; a no-op while observability is disabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.slot().record(v);
+        }
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total recorded samples (registers the histogram if it never fired).
+    pub fn count(&self) -> u64 {
+        self.slot().count.load(Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.slot().sum.load(Relaxed)
+    }
+}
+
+/// Snapshot of every registered counter, by name.
+pub fn counters_snapshot() -> BTreeMap<String, u64> {
+    registry()
+        .counters
+        .lock()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(name, v)| ((*name).to_string(), v.load(Relaxed)))
+        .collect()
+}
+
+/// Per-counter difference `now - before` (absent counters count as 0),
+/// dropping counters that did not move. Pairs with [`counters_snapshot`]
+/// to attribute kernel activity to one region of a run.
+pub fn counters_diff(before: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    counters_snapshot()
+        .into_iter()
+        .map(|(name, now)| {
+            let delta = now.saturating_sub(before.get(&name).copied().unwrap_or(0));
+            (name, delta)
+        })
+        .filter(|(_, delta)| *delta > 0)
+        .collect()
+}
+
+/// Zeroes every registered metric (names stay registered). Test/bench
+/// helper.
+pub fn reset_metrics() {
+    let reg = registry();
+    for v in reg
+        .counters
+        .lock()
+        .expect("metrics registry poisoned")
+        .values()
+    {
+        v.store(0, Relaxed);
+    }
+    for v in reg
+        .gauges
+        .lock()
+        .expect("metrics registry poisoned")
+        .values()
+    {
+        v.store(0f64.to_bits(), Relaxed);
+    }
+    for v in reg
+        .histograms
+        .lock()
+        .expect("metrics registry poisoned")
+        .values()
+    {
+        v.reset();
+    }
+}
+
+/// Serializes every registered metric to the `bt-obs-metrics-v1` JSON
+/// schema (counters/gauges/histograms keyed by name).
+pub fn metrics_json() -> String {
+    let reg = registry();
+    let mut out = String::from("{\n  \"schema\": \"bt-obs-metrics-v1\",\n  \"counters\": {");
+    let counters = reg.counters.lock().expect("metrics registry poisoned");
+    for (i, (name, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": {}", escape(name), v.load(Relaxed)));
+    }
+    drop(counters);
+    out.push_str("\n  },\n  \"gauges\": {");
+    let gauges = reg.gauges.lock().expect("metrics registry poisoned");
+    for (i, (name, v)) in gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let val = f64::from_bits(v.load(Relaxed));
+        // JSON has no Inf/NaN literals; clamp to null-free finite output.
+        let rendered = if val.is_finite() {
+            format!("{val:e}")
+        } else {
+            "0".to_string()
+        };
+        out.push_str(&format!("\n    \"{}\": {}", escape(name), rendered));
+    }
+    drop(gauges);
+    out.push_str("\n  },\n  \"histograms\": {");
+    let histograms = reg.histograms.lock().expect("metrics registry poisoned");
+    for (i, (name, h)) in histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let count = h.count.load(Relaxed);
+        let min = if count == 0 { 0 } else { h.min.load(Relaxed) };
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"count\": {count}, \"sum\": {}, \"min\": {min}, \"max\": {}, \"buckets\": [",
+            escape(name),
+            h.sum.load(Relaxed),
+            h.max.load(Relaxed),
+        ));
+        let mut first = true;
+        for (idx, b) in h.buckets.iter().enumerate() {
+            let c = b.load(Relaxed);
+            if c > 0 {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!("{{\"lt_pow2\": {idx}, \"count\": {c}}}"));
+            }
+        }
+        out.push_str("]}");
+    }
+    drop(histograms);
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Writes [`metrics_json`] to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_metrics_json(path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, metrics_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_counter_stays_zero() {
+        let _g = crate::test_guard();
+        static C: Counter = Counter::new("test.registry.disabled");
+        crate::set_enabled(false);
+        C.add(5);
+        assert_eq!(C.value(), 0);
+        crate::set_enabled(true);
+        C.add(5);
+        assert_eq!(C.value(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        static H: Histogram = Histogram::new("test.registry.histo");
+        H.record(0);
+        H.record(1);
+        H.record(1023);
+        H.record(1024);
+        assert_eq!(H.count(), 4);
+        assert_eq!(H.sum(), 2048);
+        assert_eq!(H.slot().min.load(Relaxed), 0);
+        assert_eq!(H.slot().max.load(Relaxed), 1024);
+        // 0 -> bucket 0, 1 -> bucket 1, 1023 -> bucket 10, 1024 -> bucket 11.
+        for (idx, expect) in [(0, 1), (1, 1), (10, 1), (11, 1)] {
+            assert_eq!(H.slot().buckets[idx].load(Relaxed), expect, "bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_deltas() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        static A: Counter = Counter::new("test.registry.diff_a");
+        static B: Counter = Counter::new("test.registry.diff_b");
+        A.add(2);
+        let before = counters_snapshot();
+        B.add(3);
+        let diff = counters_diff(&before);
+        assert_eq!(diff.get("test.registry.diff_b"), Some(&3));
+        assert!(!diff.contains_key("test.registry.diff_a"));
+    }
+
+    #[test]
+    fn gauge_round_trips() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        static G: Gauge = Gauge::new("test.registry.gauge");
+        G.set(2.5);
+        assert_eq!(G.value(), 2.5);
+    }
+
+    #[test]
+    fn json_parses_and_validates() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        static C: Counter = Counter::new("test.registry.json_counter");
+        static H: Histogram = Histogram::new("test.registry.json_histo");
+        C.add(7);
+        H.record(100);
+        let text = metrics_json();
+        let parsed = crate::json::parse(&text).expect("metrics JSON parses");
+        crate::json::validate_metrics(&parsed).expect("metrics JSON validates");
+        let counters = parsed.get("counters").unwrap();
+        assert!(
+            counters
+                .get("test.registry.json_counter")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                >= 7.0
+        );
+    }
+}

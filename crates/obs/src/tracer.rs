@@ -1,0 +1,293 @@
+//! Wall-clock span tracing with Chrome trace-event JSON export.
+//!
+//! [`span`] returns an RAII guard; on drop, the elapsed wall time is
+//! recorded as one complete (`ph:"X"`) event on the calling thread's
+//! timeline. Threads are numbered in first-use order and can be labeled
+//! ([`set_thread_label`]) — `bt_mpsim::run_spmd` labels each simulated
+//! rank's thread `rank N`, so the wall trace lines up with the virtual
+//! trace when both are open in Perfetto.
+//!
+//! While the [`crate::enabled`] gate is off, [`span`] hands back an inert
+//! guard after a single relaxed atomic load; no clock is read and no lock
+//! is taken. The event sink is bounded ([`MAX_EVENTS`]); overflow drops
+//! events and counts them in the `bt_obs.trace.dropped_events` counter.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::escape;
+use crate::registry::Counter;
+
+/// Hard cap on buffered events: a runaway instrumented loop costs bounded
+/// memory (~100 MB worst case) instead of everything.
+pub const MAX_EVENTS: usize = 1 << 20;
+
+static DROPPED: Counter = Counter::new("bt_obs.trace.dropped_events");
+
+struct EventRec {
+    cat: &'static str,
+    name: &'static str,
+    tid: u32,
+    ts_ns: u64,
+    dur_ns: u64,
+    /// Pre-rendered JSON object (including braces), if any.
+    args: Option<String>,
+}
+
+struct Sink {
+    events: Mutex<Vec<EventRec>>,
+    labels: Mutex<BTreeMap<u32, String>>,
+}
+
+fn sink() -> &'static Sink {
+    static SINK: OnceLock<Sink> = OnceLock::new();
+    SINK.get_or_init(|| Sink {
+        events: Mutex::new(Vec::new()),
+        labels: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Process-wide trace epoch: all span timestamps are relative to the
+/// first instrumented event.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static TID: Cell<Option<u32>> = const { Cell::new(None) };
+}
+
+fn current_tid() -> u32 {
+    TID.with(|t| match t.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_TID.fetch_add(1, Relaxed);
+            t.set(Some(id));
+            id
+        }
+    })
+}
+
+/// Names the calling thread in the exported trace (Chrome `thread_name`
+/// metadata). Last label wins. A no-op while observability is disabled.
+pub fn set_thread_label(label: impl Into<String>) {
+    if !crate::enabled() {
+        return;
+    }
+    let tid = current_tid();
+    sink()
+        .labels
+        .lock()
+        .expect("trace sink poisoned")
+        .insert(tid, label.into());
+}
+
+/// RAII wall-clock span; records a complete event when dropped.
+#[must_use = "a span measures the scope it is bound to"]
+pub struct Span {
+    start_ns: u64,
+    cat: &'static str,
+    name: &'static str,
+    args: Option<String>,
+    active: bool,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let end_ns = now_ns();
+        let rec = EventRec {
+            cat: self.cat,
+            name: self.name,
+            tid: current_tid(),
+            ts_ns: self.start_ns,
+            dur_ns: end_ns.saturating_sub(self.start_ns),
+            args: self.args.take(),
+        };
+        let mut events = sink().events.lock().expect("trace sink poisoned");
+        if events.len() < MAX_EVENTS {
+            events.push(rec);
+        } else {
+            drop(events);
+            DROPPED.incr();
+        }
+    }
+}
+
+/// Starts a wall-clock span named `name` in category `cat`. Inert (one
+/// relaxed load, no clock read) while observability is disabled.
+#[inline]
+pub fn span(cat: &'static str, name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span {
+            start_ns: 0,
+            cat,
+            name,
+            args: None,
+            active: false,
+        };
+    }
+    Span {
+        start_ns: now_ns(),
+        cat,
+        name,
+        args: None,
+        active: true,
+    }
+}
+
+/// Like [`span`], attaching the JSON object produced by `args` (e.g.
+/// `|| format!("{{\"step\":{step}}}")`). The closure only runs when
+/// observability is enabled.
+#[inline]
+pub fn span_with(cat: &'static str, name: &'static str, args: impl FnOnce() -> String) -> Span {
+    let mut s = span(cat, name);
+    if s.active {
+        s.args = Some(args());
+    }
+    s
+}
+
+/// Discards all buffered events and thread labels (test/bench helper;
+/// thread numbering and the epoch are preserved).
+pub fn clear_trace() {
+    let s = sink();
+    s.events.lock().expect("trace sink poisoned").clear();
+    s.labels.lock().expect("trace sink poisoned").clear();
+}
+
+/// Serializes buffered spans to Chrome trace-event JSON
+/// (`{"traceEvents": [...]}`): process/thread metadata first, then
+/// complete events sorted by `(tid, ts)` so per-thread timestamps are
+/// monotone. Open in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn trace_json() -> String {
+    let s = sink();
+    let labels = s.labels.lock().expect("trace sink poisoned").clone();
+    let events = s.events.lock().expect("trace sink poisoned");
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    // Parents start earlier; ties (same start) put the longer span first
+    // so nesting renders correctly.
+    order.sort_by(|&a, &b| {
+        (events[a].tid, events[a].ts_ns, events[b].dur_ns).cmp(&(
+            events[b].tid,
+            events[b].ts_ns,
+            events[a].dur_ns,
+        ))
+    });
+
+    let mut out = String::from("{\"traceEvents\": [\n");
+    out.push_str(
+        r#"  {"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"bt wall clock"}}"#,
+    );
+    for (tid, label) in &labels {
+        out.push_str(&format!(
+            ",\n  {{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            escape(label)
+        ));
+    }
+    for idx in order {
+        let ev = &events[idx];
+        let args = ev.args.as_deref().unwrap_or("{}");
+        out.push_str(&format!(
+            ",\n  {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{},\"args\":{args}}}",
+            escape(ev.name),
+            escape(ev.cat),
+            ev.ts_ns as f64 / 1e3,
+            ev.dur_ns as f64 / 1e3,
+            ev.tid,
+        ));
+    }
+    out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+/// Writes [`trace_json`] to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_trace_json(path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, trace_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn spans_round_trip_through_parser() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        clear_trace();
+        set_thread_label("test thread");
+        {
+            let _outer = span("test", "outer");
+            let _inner = span_with("test", "inner", || "{\"k\":1}".to_string());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let text = trace_json();
+        let parsed = json::parse(&text).expect("trace JSON parses");
+        let summary = json::validate_chrome_trace(&parsed).expect("trace validates");
+        assert_eq!(summary.complete_events, 2);
+        assert!(text.contains("\"inner\""));
+        assert!(text.contains("\"test thread\""));
+        // Outer sorts before inner: same-thread, earlier (or equal) start
+        // with longer duration.
+        let outer_pos = text.find("\"outer\"").unwrap();
+        let inner_pos = text.find("\"inner\"").unwrap();
+        assert!(outer_pos < inner_pos);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        clear_trace();
+        crate::set_enabled(false);
+        {
+            let _s = span("test", "invisible");
+        }
+        crate::set_enabled(true);
+        let text = trace_json();
+        assert!(!text.contains("invisible"));
+    }
+
+    #[test]
+    fn per_thread_timestamps_are_monotone() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        clear_trace();
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..5 {
+                        let _s = span("test", "tick");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let parsed = json::parse(&trace_json()).expect("parses");
+        json::validate_chrome_trace(&parsed).expect("monotone per tid");
+    }
+}
