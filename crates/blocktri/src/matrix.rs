@@ -170,7 +170,7 @@ impl BlockTridiag {
                 &x.blocks[i],
                 Trans::No,
                 0.0,
-                yi,
+                &mut *yi,
             );
             if i > 0 {
                 gemm(
@@ -180,7 +180,7 @@ impl BlockTridiag {
                     &x.blocks[i - 1],
                     Trans::No,
                     1.0,
-                    yi,
+                    &mut *yi,
                 );
             }
             if i + 1 < self.n {
@@ -191,7 +191,7 @@ impl BlockTridiag {
                     &x.blocks[i + 1],
                     Trans::No,
                     1.0,
-                    yi,
+                    &mut *yi,
                 );
             }
         }

@@ -66,7 +66,7 @@ impl ThomasFactors {
             let row = t.row(i);
             c.push(row.c.clone());
             let d = if i == 0 {
-                l.push(Mat::zeros(0, 0));
+                l.push(Mat::empty());
                 row.b.clone()
             } else {
                 // L_i solves L_i * D_{i-1} = A_i  (right division).

@@ -75,7 +75,7 @@ impl SpdThomasFactors {
             let row = t.row(i);
             c.push(row.c.clone());
             let d = if i == 0 {
-                l.push(Mat::zeros(0, 0));
+                l.push(Mat::empty());
                 row.b.clone()
             } else {
                 let li = d_chol[i - 1].solve_transposed_system(&row.a);

@@ -14,7 +14,7 @@
 //! range at pure `O(M^2 R)` per-solve cost.
 
 use bt_blocktri::FactorError;
-use bt_dense::{gemm, gemm_flops, Mat, Trans};
+use bt_dense::{gemm, gemm_flops, Mat, MatMut, MatRef, Trans};
 use bt_mpsim::Comm;
 
 use crate::state::{ArdRankFactors, BoundaryMode, RankSystem};
@@ -29,26 +29,47 @@ mod tags {
 /// first/last panels, returns `(x_{lo-1}, x_{hi})` (zero panels at the
 /// domain boundaries). Collective.
 pub fn halo_exchange(comm: &mut Comm, first: &Mat, last: &Mat) -> (Mat, Mat) {
+    let (m, r) = first.shape();
+    let mut left_in = Mat::zeros(m, r);
+    let mut right_in = Mat::zeros(m, r);
+    halo_exchange_into(
+        comm,
+        first.as_ref(),
+        last.as_ref(),
+        left_in.as_mut(),
+        right_in.as_mut(),
+    );
+    (left_in, right_in)
+}
+
+/// [`halo_exchange`] into caller-provided panels (zero-filled at the
+/// domain boundaries): panels travel as pooled [`bt_mpsim::PanelBuf`]s,
+/// so a warm exchange performs no heap allocation. Collective.
+pub fn halo_exchange_into(
+    comm: &mut Comm,
+    first: MatRef<'_>,
+    last: MatRef<'_>,
+    mut left_out: MatMut<'_>,
+    mut right_out: MatMut<'_>,
+) {
     let rank = comm.rank();
     let p = comm.size();
-    let (m, r) = first.shape();
     if rank + 1 < p {
-        comm.send(rank + 1, tags::HALO_RIGHT, last.clone());
+        comm.send_panel(rank + 1, tags::HALO_RIGHT, last);
     }
     if rank > 0 {
-        comm.send(rank - 1, tags::HALO_LEFT, first.clone());
+        comm.send_panel(rank - 1, tags::HALO_LEFT, first);
     }
-    let left_in = if rank > 0 {
-        comm.recv::<Mat>(rank - 1, tags::HALO_RIGHT)
+    if rank > 0 {
+        comm.recv_panel_into(rank - 1, tags::HALO_RIGHT, left_out.rb_mut());
     } else {
-        Mat::zeros(m, r)
-    };
-    let right_in = if rank + 1 < p {
-        comm.recv::<Mat>(rank + 1, tags::HALO_LEFT)
+        left_out.fill_zero();
+    }
+    if rank + 1 < p {
+        comm.recv_panel_into(rank + 1, tags::HALO_LEFT, right_out.rb_mut());
     } else {
-        Mat::zeros(m, r)
-    };
-    (left_in, right_in)
+        right_out.fill_zero();
+    }
 }
 
 /// Local part of the residual `r = y - T x`, given the halo panels.
@@ -60,14 +81,40 @@ pub fn local_residual(
     halo: (&Mat, &Mat),
     y_local: &[Mat],
 ) -> Vec<Mat> {
+    let mut out: Vec<Mat> = y_local
+        .iter()
+        .map(|p| Mat::zeros(p.rows(), p.cols()))
+        .collect();
+    local_residual_into(
+        comm,
+        sys,
+        x_local,
+        (halo.0.as_ref(), halo.1.as_ref()),
+        y_local,
+        &mut out,
+    );
+    out
+}
+
+/// [`local_residual`] into caller-provided panels — the allocation-free
+/// body of the refinement sweep.
+pub fn local_residual_into(
+    comm: &mut Comm,
+    sys: &RankSystem,
+    x_local: &[Mat],
+    halo: (MatRef<'_>, MatRef<'_>),
+    y_local: &[Mat],
+    out: &mut [Mat],
+) {
     let m = sys.m;
     let nl = sys.local_len();
     let r = y_local[0].cols();
+    assert_eq!(out.len(), nl, "residual panel count mismatch");
     let (left_in, right_in) = halo;
-    let mut out = Vec::with_capacity(nl);
     for k in 0..nl {
         let row = &sys.rows[k];
-        let mut res = y_local[k].clone();
+        let res = &mut out[k];
+        res.as_mut().copy_from(y_local[k].as_ref());
         gemm(
             -1.0,
             &row.b,
@@ -75,20 +122,22 @@ pub fn local_residual(
             &x_local[k],
             Trans::No,
             1.0,
-            &mut res,
+            &mut *res,
         );
-        let x_prev = if k == 0 { left_in } else { &x_local[k - 1] };
-        gemm(-1.0, &row.a, Trans::No, x_prev, Trans::No, 1.0, &mut res);
+        let x_prev = if k == 0 {
+            left_in
+        } else {
+            x_local[k - 1].as_ref()
+        };
+        gemm(-1.0, &row.a, Trans::No, x_prev, Trans::No, 1.0, &mut *res);
         let x_next = if k + 1 == nl {
             right_in
         } else {
-            &x_local[k + 1]
+            x_local[k + 1].as_ref()
         };
-        gemm(-1.0, &row.c, Trans::No, x_next, Trans::No, 1.0, &mut res);
+        gemm(-1.0, &row.c, Trans::No, x_next, Trans::No, 1.0, &mut *res);
         comm.compute(3 * gemm_flops(m, m, r));
-        out.push(res);
     }
-    out
 }
 
 /// Squared Frobenius norm of a panel list (local part).
@@ -134,16 +183,37 @@ impl ArdRankFactors {
             .allreduce(sq_norm(y_local), |a, b| a + b)
             .max(f64::MIN_POSITIVE);
 
+        // One set of sweep buffers, reused every iteration: residual and
+        // correction panels plus the two halo panels. After the first
+        // sweep the refinement loop allocates nothing.
+        let nl = x.len();
+        let (m, r) = x[0].shape();
+        let mut res: Vec<Mat> = (0..nl).map(|_| Mat::zeros(m, r)).collect();
+        let mut dx: Vec<Mat> = (0..nl).map(|_| Mat::zeros(m, r)).collect();
+        let mut halo_l = Mat::zeros(m, r);
+        let mut halo_r = Mat::zeros(m, r);
         let mut history = Vec::with_capacity(max_sweeps + 1);
-        let residual = |comm: &mut Comm, x: &[Mat]| -> (Vec<Mat>, f64) {
-            let nl = x.len();
-            let (l, rgt) = halo_exchange(comm, &x[0], &x[nl - 1]);
-            let res = local_residual(comm, sys, x, (&l, &rgt), y_local);
-            let rel = (comm.allreduce(sq_norm(&res), |a, b| a + b) / y_norm2).sqrt();
-            (res, rel)
+
+        let mut residual = |comm: &mut Comm, x: &[Mat], res: &mut [Mat]| -> f64 {
+            halo_exchange_into(
+                comm,
+                x[0].as_ref(),
+                x[nl - 1].as_ref(),
+                halo_l.as_mut(),
+                halo_r.as_mut(),
+            );
+            local_residual_into(
+                comm,
+                sys,
+                x,
+                (halo_l.as_ref(), halo_r.as_ref()),
+                y_local,
+                res,
+            );
+            (comm.allreduce(sq_norm(res), |a, b| a + b) / y_norm2).sqrt()
         };
 
-        let (mut res, mut rel) = residual(comm, &x);
+        let mut rel = residual(comm, &x, &mut res);
         history.push(rel);
 
         for sweep in 0..max_sweeps {
@@ -154,11 +224,11 @@ impl ArdRankFactors {
                 format!("{{\"sweep\":{sweep},\"rel_residual\":{rel:e}}}")
             });
             // Correction: dx = F^{-1} res; x += dx.
-            let dx = self.solve_replay(comm, &res);
+            self.solve_replay_into(comm, &res, &mut dx);
             for (xk, dk) in x.iter_mut().zip(&dx) {
                 xk.add_assign(dk);
             }
-            let (new_res, new_rel) = residual(comm, &x);
+            let new_rel = residual(comm, &x, &mut res);
             if !new_rel.is_finite() || new_rel >= rel {
                 // Diverging or stagnant: undo the last correction and stop.
                 for (xk, dk) in x.iter_mut().zip(&dx) {
@@ -166,11 +236,9 @@ impl ArdRankFactors {
                 }
                 break;
             }
-            res = new_res;
             rel = new_rel;
             history.push(rel);
         }
-        let _ = res;
         RefinedSolve {
             x_local: x,
             history,

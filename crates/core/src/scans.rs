@@ -20,7 +20,7 @@
 //! Scans support both directions; the *backward* scan (Phase 3) runs the
 //! identical algorithm on reversed logical ranks.
 
-use bt_dense::{gemm, Mat, Trans};
+use bt_dense::{gemm, Mat, Trans, Workspace};
 use bt_mpsim::Comm;
 
 use crate::companion::CompanionProduct;
@@ -187,12 +187,17 @@ pub fn affine_exscan_fresh(
 /// [`affine_exscan_fresh`] run on the same world size, direction, and
 /// coefficient matrix. Only `M x R` panels travel; combines cost
 /// `O(M^2 R)`.
+///
+/// This is the per-solve hot path, so every temporary comes from `ws`
+/// and messages travel as pooled [`bt_mpsim::PanelBuf`]s: once `ws` and
+/// the panel pool are warm, a replay performs zero heap allocations.
 pub fn affine_exscan_replay(
     comm: &mut Comm,
     dir: Direction,
     tag_base: u64,
     total_vec: Mat,
     trace: &ScanTrace,
+    ws: &mut Workspace,
 ) -> Option<Mat> {
     let p = comm.size();
     let me = dir.logical(comm.rank(), p);
@@ -208,10 +213,11 @@ pub fn affine_exscan_replay(
         });
         let tag = tag_base + step;
         if me + dist < p {
-            comm.send(dir.physical(me + dist, p), tag, v_acc.clone());
+            comm.send_panel(dir.physical(me + dist, p), tag, v_acc.as_ref());
         }
         if me >= dist {
-            let v_in: Mat = comm.recv(dir.physical(me - dist, p), tag);
+            let mut v_in = ws.take(m, r);
+            comm.recv_panel_into(dir.physical(me - dist, p), tag, v_in.as_mut());
             let m_acc = trace
                 .mats
                 .get(combine_idx)
@@ -219,6 +225,7 @@ pub fn affine_exscan_replay(
             combine_idx += 1;
             // v_acc = m_acc * v_in + v_acc (the O(M^2 R) combine).
             gemm(1.0, m_acc, Trans::No, &v_in, Trans::No, 1.0, &mut v_acc);
+            ws.put(v_in);
             comm.compute(AffinePair::apply_flops(m, r));
         }
         dist <<= 1;
@@ -226,10 +233,13 @@ pub fn affine_exscan_replay(
     }
     let tag = tag_base + step;
     if me + 1 < p {
-        comm.send(dir.physical(me + 1, p), tag, v_acc);
+        comm.send_panel(dir.physical(me + 1, p), tag, v_acc.as_ref());
     }
+    ws.put(v_acc);
     if me > 0 {
-        Some(comm.recv(dir.physical(me - 1, p), tag))
+        let mut out = ws.take(m, r);
+        comm.recv_panel_into(dir.physical(me - 1, p), tag, out.as_mut());
+        Some(out)
     } else {
         None
     }
@@ -340,12 +350,19 @@ mod tests {
                     let mut trace = ScanTrace::default();
                     let setup_pair = AffinePair {
                         mat: pairs2[rk].mat.clone(),
-                        vec: Mat::zeros(3, 0),
+                        vec: Mat::zero_width(3),
                     };
                     let _ = affine_exscan_fresh(comm, dir, 0, setup_pair, Some(&mut trace));
                     // Solve: replay with real vectors.
-                    let replayed =
-                        affine_exscan_replay(comm, dir, 100, pairs2[rk].vec.clone(), &trace);
+                    let mut ws = Workspace::new();
+                    let replayed = affine_exscan_replay(
+                        comm,
+                        dir,
+                        100,
+                        pairs2[rk].vec.clone(),
+                        &trace,
+                        &mut ws,
+                    );
                     // Reference: fresh scan with full pairs.
                     let fresh = affine_exscan_fresh(comm, dir, 200, pairs2[rk].clone(), None);
                     (replayed, fresh)
@@ -387,11 +404,18 @@ mod tests {
                 let pair = rank_pair(comm.rank(), m, r);
                 let setup = AffinePair {
                     mat: pair.mat.clone(),
-                    vec: Mat::zeros(m, 0),
+                    vec: Mat::zero_width(m),
                 };
                 let _ = affine_exscan_fresh(comm, Direction::Forward, 0, setup, Some(&mut trace));
                 let before = comm.stats().bytes_sent;
-                let _ = affine_exscan_replay(comm, Direction::Forward, 100, pair.vec, &trace);
+                let _ = affine_exscan_replay(
+                    comm,
+                    Direction::Forward,
+                    100,
+                    pair.vec,
+                    &trace,
+                    &mut Workspace::new(),
+                );
                 comm.stats().bytes_sent - before
             });
             out.results.iter().sum::<u64>()

@@ -15,8 +15,12 @@
 //! for every call, which is what makes it `O(R)` slower over `R`
 //! right-hand sides.
 
+use std::cell::RefCell;
+
 use bt_blocktri::{BlockRow, BlockRowSource, FactorError, RowPartition};
-use bt_dense::{gemm, gemm_flops, lu_flops, lu_solve_flops, LuFactors, Mat, Trans};
+use bt_dense::{
+    gemm, gemm_flops, lu_flops, lu_solve_flops, LuFactors, Mat, Trans, Workspace, WorkspaceStats,
+};
 use bt_mpsim::Comm;
 
 use crate::companion::{CompanionProduct, CompanionState, CompanionW};
@@ -172,6 +176,11 @@ pub struct ArdRankFactors {
     /// Worst boundary-extraction 1-norm condition estimate across ranks
     /// (1.0 for windowed mode / single-rank worlds).
     boundary_cond: f64,
+    /// Rank-owned buffer pool: every per-step temporary of the solve
+    /// paths is checked out of here, so a warm replay allocates nothing
+    /// (see DESIGN.md "Memory model"). `RefCell` keeps the `&self` solve
+    /// signatures; factors are owned by one rank thread, never shared.
+    ws: RefCell<Workspace>,
 }
 
 impl ArdRankFactors {
@@ -218,6 +227,9 @@ impl ArdRankFactors {
         let mut pending_err: Option<FactorError> = None;
         let mut total = CompanionProduct::identity(m);
         let scanning = mode == BoundaryMode::ExactScan;
+        // Setup-local buffer pool; becomes the rank-owned solve workspace
+        // at the end (already warm with M-sized buffers).
+        let mut ws = Workspace::new();
         let span_companion = bt_obs::span("solver", "phase1.local_companion");
         if scanning && comm.rank() + 1 < comm.size() {
             for i in sys.lo.max(1)..sys.hi {
@@ -225,7 +237,7 @@ impl ArdRankFactors {
                 match CompanionW::from_row(row) {
                     Ok(w) => {
                         comm.compute(CompanionW::build_flops(m));
-                        total.apply_left(&w);
+                        total.apply_left_ws(&w, &mut ws);
                         comm.compute(CompanionProduct::apply_left_flops(m));
                     }
                     Err(source) => {
@@ -254,7 +266,7 @@ impl ArdRankFactors {
         let span_factor = bt_obs::span("solver", "phase1.local_factor");
         let local = match pending_err {
             Some(e) => Err(e),
-            None => Self::local_factor_pass(comm, sys, excl.as_ref(), mode),
+            None => Self::local_factor_pass(comm, sys, excl.as_ref(), mode, &mut ws),
         };
         drop(span_factor);
 
@@ -312,9 +324,11 @@ impl ArdRankFactors {
             };
             fwd_prefix.push(pfx);
         }
-        let mut bwd_prefix: Vec<Mat> = vec![Mat::zeros(0, 0); nl];
+        // Built back-to-front by pushing in reverse, then reversed — no
+        // placeholder sentinels.
+        let mut bwd_prefix: Vec<Mat> = Vec::with_capacity(nl);
         for k in (0..nl).rev() {
-            bwd_prefix[k] = if k == nl - 1 {
+            let pfx = if k == nl - 1 {
                 g[nl - 1].clone()
             } else {
                 let mut p = Mat::zeros(m, m);
@@ -322,7 +336,7 @@ impl ArdRankFactors {
                     1.0,
                     &g[k],
                     Trans::No,
-                    &bwd_prefix[k + 1],
+                    bwd_prefix.last().expect("pushed above"),
                     Trans::No,
                     0.0,
                     &mut p,
@@ -330,7 +344,9 @@ impl ArdRankFactors {
                 comm.compute(gemm_flops(m, m, m));
                 p
             };
+            bwd_prefix.push(pfx);
         }
+        bwd_prefix.reverse();
 
         drop(span_prefixes);
 
@@ -342,7 +358,7 @@ impl ArdRankFactors {
             // message pattern while carrying no right-hand-side data.
             let fwd_total = AffinePair {
                 mat: fwd_prefix[nl - 1].clone(),
-                vec: Mat::zeros(m, 0),
+                vec: Mat::zero_width(m),
             };
             let _ = affine_exscan_fresh(
                 comm,
@@ -353,7 +369,7 @@ impl ArdRankFactors {
             );
             let bwd_total = AffinePair {
                 mat: bwd_prefix[0].clone(),
-                vec: Mat::zeros(m, 0),
+                vec: Mat::zero_width(m),
             };
             let _ = affine_exscan_fresh(
                 comm,
@@ -378,6 +394,7 @@ impl ArdRankFactors {
             bwd_trace,
             recorded: record_traces,
             boundary_cond,
+            ws: RefCell::new(ws),
         })
     }
 
@@ -405,6 +422,7 @@ impl ArdRankFactors {
         sys: &RankSystem,
         excl: Option<&CompanionProduct>,
         mode: BoundaryMode,
+        ws: &mut Workspace,
     ) -> Result<(Vec<LuFactors>, Vec<Mat>, Vec<Mat>, f64), FactorError> {
         let m = sys.m;
         let nl = sys.local_len();
@@ -425,7 +443,7 @@ impl ArdRankFactors {
                         .map_err(|source| FactorError { row: 0, source })?;
                     comm.compute(CompanionState::initial_flops(m));
                     if let Some(g_excl) = excl {
-                        state.apply_product(g_excl);
+                        state.apply_product_ws(g_excl, ws);
                         comm.compute(CompanionState::apply_product_flops(m));
                     }
                     // Extraction error amplifies by cond(V): record it so
@@ -572,6 +590,28 @@ impl ArdRankFactors {
         self.bwd_prefix = Vec::new();
     }
 
+    /// Cumulative counters of the rank-owned solve workspace. The
+    /// checkouts delta across a warm [`ArdRankFactors::solve_replay_into`]
+    /// call is the zero-allocation invariant `tests/workspace.rs` pins.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.ws.borrow().stats()
+    }
+
+    /// Drops every pooled workspace buffer (cumulative stats are kept),
+    /// so the next solve pays cold-allocation cost again. For benchmarks
+    /// that want a cold baseline.
+    pub fn reset_workspace(&self) {
+        self.ws.borrow_mut().reset();
+    }
+
+    /// Fresh `M x R` output panels matching a right-hand-side batch.
+    fn alloc_out(y_local: &[Mat]) -> Vec<Mat> {
+        y_local
+            .iter()
+            .map(|p| Mat::zeros(p.rows(), p.cols()))
+            .collect()
+    }
+
     /// Solves one right-hand-side batch by **replaying** the recorded
     /// scans — the accelerated path, `O(M^2 R (N/P + log P))`.
     ///
@@ -583,18 +623,37 @@ impl ArdRankFactors {
     /// Panics if setup was run with `record_traces = false`, or on panel
     /// shape mismatch.
     pub fn solve_replay(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
+        let mut out = Self::alloc_out(y_local);
+        self.solve_replay_into(comm, y_local, &mut out);
+        out
+    }
+
+    /// [`ArdRankFactors::solve_replay`] writing into caller-provided
+    /// panels: `out[k]` must be shaped like `y_local[k]`. With reused
+    /// `out` buffers and a warm workspace, a call performs **zero** heap
+    /// allocations — every temporary (including scan receive buffers)
+    /// recycles through the rank-owned [`Workspace`] and the
+    /// [`bt_mpsim::PanelBuf`] pool.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ArdRankFactors::solve_replay`], plus `out`
+    /// shape mismatch.
+    pub fn solve_replay_into(&self, comm: &mut Comm, y_local: &[Mat], out: &mut [Mat]) {
         assert!(
             self.recorded,
             "solve_replay requires setup(record_traces = true)"
         );
-        self.solve_impl(comm, y_local, true)
+        self.solve_into_impl(comm, y_local, out, true);
     }
 
     /// Solves one batch with **fresh** scans (classic recursive
     /// doubling's per-solve Phase 2/3): full pairs travel and every scan
     /// combine pays the `O(M^3)` product. Collective.
     pub fn solve_fresh(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
-        self.solve_impl(comm, y_local, false)
+        let mut out = Self::alloc_out(y_local);
+        self.solve_into_impl(comm, y_local, &mut out, false);
+        out
     }
 
     /// Memory-lean replay: identical flop count and message pattern to
@@ -610,58 +669,62 @@ impl ArdRankFactors {
     /// Panics if setup was run with `record_traces = false`, or on panel
     /// shape mismatch.
     pub fn solve_replay_lean(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
+        let mut out = Self::alloc_out(y_local);
+        self.solve_replay_lean_into(comm, y_local, &mut out);
+        out
+    }
+
+    /// [`ArdRankFactors::solve_replay_lean`] writing into caller-provided
+    /// panels; allocation-free once warm, like
+    /// [`ArdRankFactors::solve_replay_into`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ArdRankFactors::solve_replay_lean`], plus
+    /// `out` shape mismatch.
+    pub fn solve_replay_lean_into(&self, comm: &mut Comm, y_local: &[Mat], out: &mut [Mat]) {
         assert!(
             self.recorded,
             "solve_replay_lean requires setup(record_traces = true)"
         );
         let m = self.m;
         let nl = self.local_len();
-        assert_eq!(y_local.len(), nl, "rhs panel count mismatch");
-        let r = y_local[0].cols();
-        for (k, panel) in y_local.iter().enumerate() {
-            assert_eq!(panel.shape(), (m, r), "rhs panel {k} shape mismatch");
-        }
+        let r = Self::check_panels(m, nl, y_local, out);
+        let mut ws = self.ws.borrow_mut();
 
         // ---- Phase 2. On the logical-first rank the exclusive value is
         // empty, so z is computable before the scan and doubles as the
         // scan total; elsewhere, fold a total, scan, then run the
-        // recurrence from the boundary value z_{lo-1} = v_excl.
+        // recurrence from the boundary value z_{lo-1} = v_excl. `out`
+        // carries z (then h, then x) in place.
         let fwd_first = comm.rank() == 0;
         let span_fwd = bt_obs::span("solver", "solve.forward");
-        let z: Vec<Mat> = if fwd_first {
-            let mut z: Vec<Mat> = Vec::with_capacity(nl);
-            for k in 0..nl {
-                let mut zk = y_local[k].clone();
-                if k > 0 {
-                    gemm(
-                        1.0,
-                        &self.f[k],
-                        Trans::No,
-                        &z[k - 1],
-                        Trans::No,
-                        1.0,
-                        &mut zk,
-                    );
-                    comm.compute(gemm_flops(m, m, r));
-                }
-                z.push(zk);
+        if fwd_first {
+            out[0].as_mut().copy_from(y_local[0].as_ref());
+            for k in 1..nl {
+                let (done, rest) = out.split_at_mut(k);
+                let zk = &mut rest[0];
+                zk.as_mut().copy_from(y_local[k].as_ref());
+                gemm(1.0, &self.f[k], Trans::No, &done[k - 1], Trans::No, 1.0, zk);
+                comm.compute(gemm_flops(m, m, r));
             }
+            let total = ws.take_copy(out[nl - 1].as_ref());
             let none = affine_exscan_replay(
                 comm,
                 Direction::Forward,
                 tags::FWD_SOLVE,
-                z[nl - 1].clone(),
+                total,
                 &self.fwd_trace,
+                &mut ws,
             );
             debug_assert!(none.is_none());
-            z
         } else {
-            let mut total = y_local[0].clone();
+            let mut total = ws.take_copy(y_local[0].as_ref());
             for (yk, fk) in y_local.iter().zip(&self.f).skip(1) {
-                let mut v = yk.clone();
+                let mut v = ws.take_copy(yk.as_ref());
                 gemm(1.0, fk, Trans::No, &total, Trans::No, 1.0, &mut v);
                 comm.compute(gemm_flops(m, m, r));
-                total = v;
+                ws.put(std::mem::replace(&mut total, v));
             }
             let v_excl = affine_exscan_replay(
                 comm,
@@ -669,70 +732,65 @@ impl ArdRankFactors {
                 tags::FWD_SOLVE,
                 total,
                 &self.fwd_trace,
+                &mut ws,
             )
             .expect("non-first rank always has an exclusive value");
-            let mut z: Vec<Mat> = Vec::with_capacity(nl);
             for k in 0..nl {
-                let prev = if k == 0 { &v_excl } else { &z[k - 1] };
-                let mut zk = y_local[k].clone();
-                gemm(1.0, &self.f[k], Trans::No, prev, Trans::No, 1.0, &mut zk);
+                let (done, rest) = out.split_at_mut(k);
+                let zk = &mut rest[0];
+                let prev = if k == 0 { &v_excl } else { &done[k - 1] };
+                zk.as_mut().copy_from(y_local[k].as_ref());
+                gemm(1.0, &self.f[k], Trans::No, prev, Trans::No, 1.0, zk);
                 comm.compute(gemm_flops(m, m, r));
-                z.push(zk);
             }
-            z
-        };
+            ws.put(v_excl);
+        }
 
         drop(span_fwd);
 
-        // ---- h_i = D_i^{-1} z_i.
-        let h: Vec<Mat> = {
+        // ---- h_i = D_i^{-1} z_i, in place.
+        {
             let _span = bt_obs::span("solver", "solve.diag");
-            let mut out = Vec::with_capacity(nl);
-            for (k, zk) in z.iter().enumerate() {
-                let hk = self.d_lu[k].solve(zk);
+            for (k, zk) in out.iter_mut().enumerate() {
+                self.d_lu[k].solve_in_place(&mut *zk);
                 comm.compute(lu_solve_flops(m, r));
-                out.push(hk);
             }
-            out
-        };
+        }
 
         // ---- Phase 3: mirror image of Phase 2.
         let _span_bwd = bt_obs::span("solver", "solve.backward");
         let bwd_first = comm.rank() == comm.size() - 1;
         if bwd_first {
-            let mut x: Vec<Mat> = vec![Mat::zeros(0, 0); nl];
-            for k in (0..nl).rev() {
-                let mut xk = h[k].clone();
-                if k + 1 < nl {
-                    gemm(
-                        1.0,
-                        &self.g[k],
-                        Trans::No,
-                        &x[k + 1],
-                        Trans::No,
-                        1.0,
-                        &mut xk,
-                    );
-                    comm.compute(gemm_flops(m, m, r));
-                }
-                x[k] = xk;
+            for k in (0..nl - 1).rev() {
+                let (head, tail) = out.split_at_mut(k + 1);
+                gemm(
+                    1.0,
+                    &self.g[k],
+                    Trans::No,
+                    &tail[0],
+                    Trans::No,
+                    1.0,
+                    &mut head[k],
+                );
+                comm.compute(gemm_flops(m, m, r));
             }
+            let total = ws.take_copy(out[0].as_ref());
             let none = affine_exscan_replay(
                 comm,
                 Direction::Backward,
                 tags::BWD_SOLVE,
-                x[0].clone(),
+                total,
                 &self.bwd_trace,
+                &mut ws,
             );
             debug_assert!(none.is_none());
-            x
         } else {
-            let mut total = h[nl - 1].clone();
+            let mut total = ws.take_copy(out[nl - 1].as_ref());
             for k in (0..nl - 1).rev() {
-                let mut v = h[k].clone();
+                let mut v = ws.take_copy(out[k].as_ref());
                 gemm(1.0, &self.g[k], Trans::No, &total, Trans::No, 1.0, &mut v);
                 comm.compute(gemm_flops(m, m, r));
-                total = v;
+                ws.put(std::mem::replace(&mut total, v));
             }
             let w_excl = affine_exscan_replay(
                 comm,
@@ -740,164 +798,176 @@ impl ArdRankFactors {
                 tags::BWD_SOLVE,
                 total,
                 &self.bwd_trace,
+                &mut ws,
             )
             .expect("non-last rank always has a backward exclusive value");
-            let mut x: Vec<Mat> = vec![Mat::zeros(0, 0); nl];
             for k in (0..nl).rev() {
-                let next = if k == nl - 1 { &w_excl } else { &x[k + 1] };
-                let mut xk = h[k].clone();
-                gemm(1.0, &self.g[k], Trans::No, next, Trans::No, 1.0, &mut xk);
+                if k == nl - 1 {
+                    gemm(
+                        1.0,
+                        &self.g[k],
+                        Trans::No,
+                        &w_excl,
+                        Trans::No,
+                        1.0,
+                        &mut out[k],
+                    );
+                } else {
+                    let (head, tail) = out.split_at_mut(k + 1);
+                    gemm(
+                        1.0,
+                        &self.g[k],
+                        Trans::No,
+                        &tail[0],
+                        Trans::No,
+                        1.0,
+                        &mut head[k],
+                    );
+                }
                 comm.compute(gemm_flops(m, m, r));
-                x[k] = xk;
             }
-            x
+            ws.put(w_excl);
         }
     }
 
-    fn solve_impl(&self, comm: &mut Comm, y_local: &[Mat], replay: bool) -> Vec<Mat> {
-        let m = self.m;
-        let nl = self.local_len();
+    /// Shared shape validation for the `_into` solves; returns `R`.
+    fn check_panels(m: usize, nl: usize, y_local: &[Mat], out: &[Mat]) -> usize {
         assert_eq!(y_local.len(), nl, "rhs panel count mismatch");
+        assert_eq!(out.len(), nl, "output panel count mismatch");
         let r = y_local[0].cols();
         for (k, p) in y_local.iter().enumerate() {
             assert_eq!(p.shape(), (m, r), "rhs panel {k} shape mismatch");
         }
+        for (k, p) in out.iter().enumerate() {
+            assert_eq!(p.shape(), (m, r), "output panel {k} shape mismatch");
+        }
+        r
+    }
+
+    /// Shared body of [`ArdRankFactors::solve_replay_into`] and
+    /// [`ArdRankFactors::solve_fresh`]. `out` carries the working panels
+    /// through every stage (v_hat -> z -> h -> w_hat -> x in place); all
+    /// other temporaries cycle through the rank workspace.
+    fn solve_into_impl(&self, comm: &mut Comm, y_local: &[Mat], out: &mut [Mat], replay: bool) {
+        let m = self.m;
+        let nl = self.local_len();
+        let r = Self::check_panels(m, nl, y_local, out);
         let fwd_first = comm.rank() == 0;
         let bwd_first = comm.rank() == comm.size() - 1;
+        let mut ws = self.ws.borrow_mut();
 
         // ---- Phase 2: forward substitution z_i = F_i z_{i-1} + y_i. -----
         let span_fwd = bt_obs::span("solver", "solve.forward");
-        // Local vector recurrence.
-        let mut v_hat: Vec<Mat> = Vec::with_capacity(nl);
-        for k in 0..nl {
-            let v = if k == 0 {
-                y_local[0].clone()
-            } else {
-                let mut v = y_local[k].clone();
-                gemm(
-                    1.0,
-                    &self.f[k],
-                    Trans::No,
-                    &v_hat[k - 1],
-                    Trans::No,
-                    1.0,
-                    &mut v,
-                );
-                comm.compute(gemm_flops(m, m, r));
-                v
-            };
-            v_hat.push(v);
+        // Local vector recurrence, v_hat built in `out`.
+        out[0].as_mut().copy_from(y_local[0].as_ref());
+        for k in 1..nl {
+            let (done, rest) = out.split_at_mut(k);
+            let vk = &mut rest[0];
+            vk.as_mut().copy_from(y_local[k].as_ref());
+            gemm(1.0, &self.f[k], Trans::No, &done[k - 1], Trans::No, 1.0, vk);
+            comm.compute(gemm_flops(m, m, r));
         }
         // Cross-rank scan.
         let v_excl = if replay {
+            let total = ws.take_copy(out[nl - 1].as_ref());
             affine_exscan_replay(
                 comm,
                 Direction::Forward,
                 tags::FWD_SOLVE,
-                v_hat[nl - 1].clone(),
+                total,
                 &self.fwd_trace,
+                &mut ws,
             )
         } else {
             let total = AffinePair {
                 mat: self.fwd_prefix[nl - 1].clone(),
-                vec: v_hat[nl - 1].clone(),
+                vec: out[nl - 1].clone(),
             };
             affine_exscan_fresh(comm, Direction::Forward, tags::FWD_SOLVE, total, None)
         };
-        // Fixup: z_i = fwd_prefix_i * v_excl + v_hat_i.
-        let z: Vec<Mat> = match &v_excl {
-            None => {
-                debug_assert!(fwd_first);
-                v_hat
-            }
-            Some(vin) => (0..nl)
-                .map(|k| {
-                    let mut z = v_hat[k].clone();
+        // Fixup: z_i = fwd_prefix_i * v_excl + v_hat_i, in place.
+        match v_excl {
+            None => debug_assert!(fwd_first),
+            Some(vin) => {
+                for (k, zk) in out.iter_mut().enumerate() {
                     gemm(
                         1.0,
                         &self.fwd_prefix[k],
                         Trans::No,
-                        vin,
+                        &vin,
                         Trans::No,
                         1.0,
-                        &mut z,
+                        zk,
                     );
                     comm.compute(gemm_flops(m, m, r));
-                    z
-                })
-                .collect(),
-        };
+                }
+                if replay {
+                    ws.put(vin);
+                }
+            }
+        }
 
         drop(span_fwd);
 
-        // ---- h_i = D_i^{-1} z_i. ----------------------------------------
+        // ---- h_i = D_i^{-1} z_i, in place. ------------------------------
         let span_diag = bt_obs::span("solver", "solve.diag");
-        let h: Vec<Mat> = (0..nl)
-            .map(|k| {
-                let hk = self.d_lu[k].solve(&z[k]);
-                comm.compute(lu_solve_flops(m, r));
-                hk
-            })
-            .collect();
+        for (k, zk) in out.iter_mut().enumerate() {
+            self.d_lu[k].solve_in_place(&mut *zk);
+            comm.compute(lu_solve_flops(m, r));
+        }
         drop(span_diag);
 
         // ---- Phase 3: backward substitution x_i = G_i x_{i+1} + h_i. ----
         let _span_bwd = bt_obs::span("solver", "solve.backward");
-        let mut w_hat: Vec<Mat> = vec![Mat::zeros(0, 0); nl];
-        for k in (0..nl).rev() {
-            w_hat[k] = if k == nl - 1 {
-                h[nl - 1].clone()
-            } else {
-                let mut w = h[k].clone();
-                gemm(
-                    1.0,
-                    &self.g[k],
-                    Trans::No,
-                    &w_hat[k + 1],
-                    Trans::No,
-                    1.0,
-                    &mut w,
-                );
-                comm.compute(gemm_flops(m, m, r));
-                w
-            };
+        for k in (0..nl - 1).rev() {
+            let (head, tail) = out.split_at_mut(k + 1);
+            gemm(
+                1.0,
+                &self.g[k],
+                Trans::No,
+                &tail[0],
+                Trans::No,
+                1.0,
+                &mut head[k],
+            );
+            comm.compute(gemm_flops(m, m, r));
         }
         let w_excl = if replay {
+            let total = ws.take_copy(out[0].as_ref());
             affine_exscan_replay(
                 comm,
                 Direction::Backward,
                 tags::BWD_SOLVE,
-                w_hat[0].clone(),
+                total,
                 &self.bwd_trace,
+                &mut ws,
             )
         } else {
             let total = AffinePair {
                 mat: self.bwd_prefix[0].clone(),
-                vec: w_hat[0].clone(),
+                vec: out[0].clone(),
             };
             affine_exscan_fresh(comm, Direction::Backward, tags::BWD_SOLVE, total, None)
         };
-        match &w_excl {
-            None => {
-                debug_assert!(bwd_first);
-                w_hat
-            }
-            Some(win) => (0..nl)
-                .map(|k| {
-                    let mut x = w_hat[k].clone();
+        match w_excl {
+            None => debug_assert!(bwd_first),
+            Some(win) => {
+                for (k, xk) in out.iter_mut().enumerate() {
                     gemm(
                         1.0,
                         &self.bwd_prefix[k],
                         Trans::No,
-                        win,
+                        &win,
                         Trans::No,
                         1.0,
-                        &mut x,
+                        xk,
                     );
                     comm.compute(gemm_flops(m, m, r));
-                    x
-                })
-                .collect(),
+                }
+                if replay {
+                    ws.put(win);
+                }
+            }
         }
     }
 }

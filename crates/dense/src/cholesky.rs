@@ -8,6 +8,7 @@
 
 use crate::lu::SingularError;
 use crate::mat::Mat;
+use crate::view::{MatMut, MatRef};
 
 /// Observability instruments for the multi-RHS panel solves (no-ops
 /// unless `BT_OBS` is on); see the LU counterparts in [`crate::lu`].
@@ -98,7 +99,8 @@ impl CholFactors {
     /// # Panics
     ///
     /// Panics if `b.rows() != order()`.
-    pub fn solve_in_place(&self, b: &mut Mat) {
+    pub fn solve_in_place<'b>(&self, b: impl Into<MatMut<'b>>) {
+        let b = b.into();
         let n = self.order();
         assert_eq!(b.rows(), n, "solve rhs row count mismatch");
         OBS_CHOL_PANEL_SOLVES.incr();
@@ -108,6 +110,18 @@ impl CholFactors {
         if let Some(t0) = t0 {
             OBS_CHOL_PANEL_NS.record_duration(t0.elapsed());
         }
+    }
+
+    /// Solves `A X = B` into caller-provided storage: copies `b` into
+    /// `out`, then solves in place — no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch.
+    pub fn solve_into<'b, 'o>(&self, b: impl Into<MatRef<'b>>, out: impl Into<MatMut<'o>>) {
+        let mut out = out.into();
+        out.copy_from(b.into());
+        self.solve_in_place(out);
     }
 
     /// Forward (`L`) then backward (`L^T`) sweep on a single RHS column.
@@ -203,6 +217,17 @@ mod tests {
         let b = Mat::from_fn(4, 6, |i, j| (i * 6 + j) as f64 * 0.1);
         let x = ch.solve_transposed_system(&b);
         assert!(matmul(&x, &a).sub(&b).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = spd(9, &mut rng(11));
+        let ch = CholFactors::factor(&a).unwrap();
+        let b = Mat::from_fn(9, 4, |i, j| ((i * 4 + j) as f64 * 0.17).cos());
+        let expect = ch.solve(&b);
+        let mut out = Mat::zeros(9, 4);
+        ch.solve_into(&b, &mut out);
+        assert_eq!(out, expect);
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! suite's `M x M` blocks — use [`gemm_axpy`], a lean cache-blocked
 //! j-k-i kernel whose AXPY inner loops auto-vectorize.
 //!
+//! Every public kernel accepts `impl Into<MatRef>` / `impl Into<MatMut>`
+//! operands, so both owned matrices (`&Mat` / `&mut Mat`) and borrowed
+//! [`MatRef`]/[`MatMut`] views (including strided submatrix windows)
+//! work without copies. Packing scratch lives in thread-local buffers,
+//! so warm calls on a given thread allocate nothing.
+//!
 //! Both kernels accumulate every term unconditionally (no zero
 //! short-circuits), so non-finite inputs propagate into the output as
 //! IEEE-754 dictates. Both also fix the per-element summation order
@@ -19,6 +25,8 @@
 
 use crate::mat::Mat;
 use crate::threading;
+use crate::view::{MatMut, MatRef};
+use std::cell::RefCell;
 
 /// Observability counters (no-ops unless `BT_OBS` is on): dispatch counts
 /// for the packed-vs-AXPY split, total flops issued through this module,
@@ -41,7 +49,7 @@ pub enum Trans {
 
 impl Trans {
     /// Effective `(rows, cols)` of `op(m)`.
-    fn dims(self, m: &Mat) -> (usize, usize) {
+    fn dims(self, m: MatRef<'_>) -> (usize, usize) {
         match self {
             Trans::No => (m.rows(), m.cols()),
             Trans::Yes => (m.cols(), m.rows()),
@@ -72,6 +80,9 @@ const IC_MIN_ROWS: usize = 64;
 
 /// `C <- alpha * op(A) * op(B) + beta * C`.
 ///
+/// Operands may be `&Mat`, `&mut Mat`, or borrowed views
+/// ([`MatRef`]/[`MatMut`], including strided submatrix windows).
+///
 /// # Panics
 ///
 /// Panics if the operand shapes are not conformable with `C`.
@@ -87,7 +98,27 @@ const IC_MIN_ROWS: usize = 64;
 /// gemm(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
 /// assert_eq!(c, a);
 /// ```
-pub fn gemm(alpha: f64, a: &Mat, ta: Trans, b: &Mat, tb: Trans, beta: f64, c: &mut Mat) {
+pub fn gemm<'a, 'b, 'c>(
+    alpha: f64,
+    a: impl Into<MatRef<'a>>,
+    ta: Trans,
+    b: impl Into<MatRef<'b>>,
+    tb: Trans,
+    beta: f64,
+    c: impl Into<MatMut<'c>>,
+) {
+    gemm_ref(alpha, a.into(), ta, b.into(), tb, beta, c.into());
+}
+
+fn gemm_ref(
+    alpha: f64,
+    a: MatRef<'_>,
+    ta: Trans,
+    b: MatRef<'_>,
+    tb: Trans,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
     let (m, ka) = ta.dims(a);
     let (kb, n) = tb.dims(b);
     assert_eq!(ka, kb, "gemm inner dimension mismatch: {ka} vs {kb}");
@@ -121,15 +152,15 @@ pub fn gemm(alpha: f64, a: &Mat, ta: Trans, b: &Mat, tb: Trans, beta: f64, c: &m
             let a_eff = match ta {
                 Trans::No => a,
                 Trans::Yes => {
-                    ap = a.transpose();
-                    &ap
+                    ap = transpose_of(a);
+                    ap.as_ref()
                 }
             };
             let b_eff = match tb {
                 Trans::No => b,
                 Trans::Yes => {
-                    bp = b.transpose();
-                    &bp
+                    bp = transpose_of(b);
+                    bp.as_ref()
                 }
             };
             gemm_nn(alpha, a_eff, b_eff, c);
@@ -137,14 +168,25 @@ pub fn gemm(alpha: f64, a: &Mat, ta: Trans, b: &Mat, tb: Trans, beta: f64, c: &m
     }
 }
 
+/// Materializes the transpose of a view (for the `Trans::Yes` paths).
+fn transpose_of(v: MatRef<'_>) -> Mat {
+    let mut t = Mat::zeros(v.cols(), v.rows());
+    for j in 0..v.cols() {
+        for i in 0..v.rows() {
+            t.set(j, i, v.get(i, j));
+        }
+    }
+    t
+}
+
 /// `C += alpha * A * B` for plain column-major operands: dispatches
 /// between the packed and AXPY kernels on problem size.
-fn gemm_nn(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
+fn gemm_nn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     if 2 * m * k * n >= PACKED_MIN_FLOPS {
-        gemm_packed(alpha, a, b, c);
+        gemm_packed_ref(alpha, a, b, c);
     } else {
-        gemm_axpy(alpha, a, b, c);
+        gemm_axpy_ref(alpha, a, b, c);
     }
 }
 
@@ -155,7 +197,16 @@ fn gemm_nn(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
 /// # Panics
 ///
 /// Panics if shapes are not conformable.
-pub fn gemm_axpy(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
+pub fn gemm_axpy<'a, 'b, 'c>(
+    alpha: f64,
+    a: impl Into<MatRef<'a>>,
+    b: impl Into<MatRef<'b>>,
+    c: impl Into<MatMut<'c>>,
+) {
+    gemm_axpy_ref(alpha, a.into(), b.into(), c.into());
+}
+
+fn gemm_axpy_ref(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
     let m = a.rows();
     let k = a.cols();
     let n = b.cols();
@@ -163,21 +214,20 @@ pub fn gemm_axpy(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
     assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
     OBS_AXPY_CALLS.incr();
     OBS_GEMM_FLOPS.add(gemm_flops(m, k, n));
-    let a_buf = a.as_slice();
 
     for j0 in (0..n).step_by(NB) {
         let jb = NB.min(n - j0);
         for k0 in (0..k).step_by(KC) {
             let kb = KC.min(k - k0);
             for j in j0..j0 + jb {
-                let c_col = c.col_mut(j);
                 let b_col = b.col(j);
-                for kk in k0..k0 + kb {
+                let c_col = c.col_mut(j);
+                for (kk, bk) in b_col.iter().enumerate().skip(k0).take(kb) {
                     // No skip on zero weights: 0 * inf and 0 * NaN must
                     // reach C as NaN, matching IEEE-754 and the packed
                     // kernel.
-                    let w = alpha * b_col[kk];
-                    let a_col = &a_buf[kk * m..kk * m + m];
+                    let w = alpha * bk;
+                    let a_col = a.col(kk);
                     // AXPY: c_col += w * a_col -- contiguous, auto-vectorized.
                     for (ci, ai) in c_col.iter_mut().zip(a_col) {
                         *ci += w * *ai;
@@ -193,17 +243,28 @@ pub fn gemm_axpy(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
 ///
 /// A and B panels are repacked into contiguous `MR x KC` / `KC x NR`
 /// micro-panels (zero-padded at the edges) and combined by a
-/// register-tiled `MR x NR` microkernel. When the calling thread's
-/// budget ([`threading::current_threads`]) exceeds 1, the `jc` macro-loop
-/// (column blocks) — or, for single-column-block shapes, the `ic`
-/// macro-loop (row blocks) — is distributed across threads. Per-element
-/// summation order is fixed by the `KC` partition of `k` alone, so the
-/// result is bitwise identical for every thread count.
+/// register-tiled `MR x NR` microkernel. Packing scratch is checked out
+/// of thread-local buffers, so warm calls allocate nothing. When the
+/// calling thread's budget ([`threading::current_threads`]) exceeds 1,
+/// the `jc` macro-loop (column blocks) — or, for single-column-block
+/// shapes, the `ic` macro-loop (row blocks) — is distributed across
+/// threads. Per-element summation order is fixed by the `KC` partition
+/// of `k` alone, so the result is bitwise identical for every thread
+/// count.
 ///
 /// # Panics
 ///
 /// Panics if shapes are not conformable.
-pub fn gemm_packed(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
+pub fn gemm_packed<'a, 'b, 'c>(
+    alpha: f64,
+    a: impl Into<MatRef<'a>>,
+    b: impl Into<MatRef<'b>>,
+    c: impl Into<MatMut<'c>>,
+) {
+    gemm_packed_ref(alpha, a.into(), b.into(), c.into());
+}
+
+fn gemm_packed_ref(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
     let m = a.rows();
     let k = a.cols();
     let n = b.cols();
@@ -215,24 +276,39 @@ pub fn gemm_packed(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
     OBS_PACKED_CALLS.incr();
     OBS_GEMM_FLOPS.add(gemm_flops(m, k, n));
 
-    let a_buf = a.as_slice();
-    let b_buf = b.as_slice();
+    let (lda, ldb, ldc) = (a.col_stride(), b.col_stride(), c.col_stride());
+    let a_buf = a.data;
+    let b_buf = b.data;
     let threads = threading::current_threads();
     let jc_blocks = n.div_ceil(NB);
 
     if threads > 1 && jc_blocks > 1 {
-        // jc-parallel: disjoint NB-aligned column stripes of C (contiguous
-        // in column-major storage, so a plain chunks_mut suffices).
+        // jc-parallel: disjoint NB-aligned column stripes of C. The
+        // backing buffer is split at column boundaries (columns never
+        // interleave in column-major storage, whatever the stride), so
+        // each thread owns a contiguous sub-slice. The split points
+        // match the sequential stripe order exactly.
         let t = threads.min(jc_blocks);
         let cols_per = jc_blocks.div_ceil(t) * NB;
+        // Partial move of the view's fields (MatMut has no Drop): the
+        // raw buffer is what gets carved up across threads.
+        let mut rest = c.data;
         rayon::scope(|s| {
-            for (ci, c_chunk) in c.as_mut_slice().chunks_mut(cols_per * m).enumerate() {
-                let j0 = ci * cols_per;
-                let ncols = c_chunk.len() / m;
-                let b_chunk = &b_buf[j0 * k..(j0 + ncols) * k];
+            let mut j0 = 0;
+            while j0 < n {
+                let ncols = cols_per.min(n - j0);
+                let split = if j0 + ncols < n {
+                    ncols * ldc
+                } else {
+                    rest.len()
+                };
+                let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(split);
+                rest = tail;
+                let b_chunk = &b_buf[j0 * ldb..];
                 s.spawn(move |_| {
-                    packed_stripe(alpha, a_buf, m, 0, m, k, b_chunk, ncols, c_chunk, m);
+                    packed_stripe(alpha, a_buf, lda, 0, m, k, b_chunk, ldb, ncols, chunk, ldc);
                 });
+                j0 += ncols;
             }
         });
     } else if threads > 1 && m >= 2 * IC_MIN_ROWS {
@@ -241,6 +317,9 @@ pub fn gemm_packed(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
         // stripe and the main thread copies the stripes back; writebacks
         // inside the stripe happen in the same order as the direct path,
         // keeping the result bitwise independent of the thread count.
+        // (The stripe copies are allocated per call — this path only
+        // runs under a multi-thread budget, never on the zero-alloc
+        // replay path.)
         let t = threads.min(m / IC_MIN_ROWS).max(1);
         let rows_per = m.div_ceil(t).next_multiple_of(MR);
         let ranges: Vec<(usize, usize)> = (0..m)
@@ -260,7 +339,7 @@ pub fn gemm_packed(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
         rayon::scope(|s| {
             for (&(r0, mb), stripe) in ranges.iter().zip(stripes.iter_mut()) {
                 s.spawn(move |_| {
-                    packed_stripe(alpha, a_buf, m, r0, mb, k, b_buf, n, stripe, mb);
+                    packed_stripe(alpha, a_buf, lda, r0, mb, k, b_buf, ldb, n, stripe, mb);
                 });
             }
         });
@@ -270,9 +349,17 @@ pub fn gemm_packed(alpha: f64, a: &Mat, b: &Mat, c: &mut Mat) {
             }
         }
     } else {
-        let c_buf = c.as_mut_slice();
-        packed_stripe(alpha, a_buf, m, 0, m, k, b_buf, n, c_buf, m);
+        packed_stripe(alpha, a_buf, lda, 0, m, k, b_buf, ldb, n, c.data, ldc);
     }
+}
+
+thread_local! {
+    /// Per-thread packing scratch `(packed_a, packed_b)`: warm
+    /// `gemm_packed` calls on a given OS thread reuse these instead of
+    /// allocating. (The vendored rayon stub spawns fresh threads per
+    /// scope, so reuse currently pays off on the sequential path — the
+    /// thread budget of the zero-alloc replay loop.)
+    static PACK_BUFS: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// Sequential packed kernel over one stripe: rows `[row0, row0 + mb)` of
@@ -287,57 +374,64 @@ fn packed_stripe(
     mb_total: usize,
     k: usize,
     b: &[f64],
+    ldb: usize,
     ncols: usize,
     c: &mut [f64],
     ldc: usize,
 ) {
-    let mut packed_b = vec![0.0; KC * ncols.next_multiple_of(NR)];
-    let mut packed_a = vec![0.0; MC.min(mb_total).next_multiple_of(MR) * KC];
-    // Pack-time accounting: accumulate locally, publish once per stripe
-    // so the hot loop touches no shared state.
-    let obs = bt_obs::enabled();
-    let mut pack_ns = 0u64;
-    let mut timed = |work: &mut dyn FnMut()| {
-        if obs {
-            let t0 = std::time::Instant::now();
-            work();
-            pack_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        } else {
-            work();
-        }
-    };
+    PACK_BUFS.with(|bufs| {
+        let mut bufs = bufs.borrow_mut();
+        let (packed_a, packed_b) = &mut *bufs;
+        packed_b.clear();
+        packed_b.resize(KC * ncols.next_multiple_of(NR), 0.0);
+        packed_a.clear();
+        packed_a.resize(MC.min(mb_total).next_multiple_of(MR) * KC, 0.0);
+        // Pack-time accounting: accumulate locally, publish once per stripe
+        // so the hot loop touches no shared state.
+        let obs = bt_obs::enabled();
+        let mut pack_ns = 0u64;
+        let mut timed = |work: &mut dyn FnMut()| {
+            if obs {
+                let t0 = std::time::Instant::now();
+                work();
+                pack_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            } else {
+                work();
+            }
+        };
 
-    for pc in (0..k).step_by(KC) {
-        let kb = KC.min(k - pc);
-        timed(&mut || pack_b(b, k, pc, kb, ncols, &mut packed_b));
-        for ic in (0..mb_total).step_by(MC) {
-            let mbb = MC.min(mb_total - ic);
-            timed(&mut || pack_a(a, lda, row0 + ic, mbb, pc, kb, &mut packed_a));
-            let n_jr = ncols.div_ceil(NR);
-            let n_ir = mbb.div_ceil(MR);
-            for jr in 0..n_jr {
-                let jb = NR.min(ncols - jr * NR);
-                let pb = &packed_b[jr * kb * NR..][..kb * NR];
-                for ir in 0..n_ir {
-                    let ib = MR.min(mbb - ir * MR);
-                    let pa = &packed_a[ir * kb * MR..][..kb * MR];
-                    let mut acc = [0.0f64; MR * NR];
-                    microkernel(kb, pa, pb, &mut acc);
-                    // Writeback the valid ib x jb corner of the tile.
-                    for jj in 0..jb {
-                        let dst = &mut c[(jr * NR + jj) * ldc + ic + ir * MR..][..ib];
-                        let src = &acc[jj * MR..jj * MR + ib];
-                        for (ci, &av) in dst.iter_mut().zip(src) {
-                            *ci += alpha * av;
+        for pc in (0..k).step_by(KC) {
+            let kb = KC.min(k - pc);
+            timed(&mut || pack_b(b, ldb, pc, kb, ncols, packed_b));
+            for ic in (0..mb_total).step_by(MC) {
+                let mbb = MC.min(mb_total - ic);
+                timed(&mut || pack_a(a, lda, row0 + ic, mbb, pc, kb, packed_a));
+                let n_jr = ncols.div_ceil(NR);
+                let n_ir = mbb.div_ceil(MR);
+                for jr in 0..n_jr {
+                    let jb = NR.min(ncols - jr * NR);
+                    let pb = &packed_b[jr * kb * NR..][..kb * NR];
+                    for ir in 0..n_ir {
+                        let ib = MR.min(mbb - ir * MR);
+                        let pa = &packed_a[ir * kb * MR..][..kb * MR];
+                        let mut acc = [0.0f64; MR * NR];
+                        microkernel(kb, pa, pb, &mut acc);
+                        // Writeback the valid ib x jb corner of the tile.
+                        for jj in 0..jb {
+                            let dst = &mut c[(jr * NR + jj) * ldc + ic + ir * MR..][..ib];
+                            let src = &acc[jj * MR..jj * MR + ib];
+                            for (ci, &av) in dst.iter_mut().zip(src) {
+                                *ci += alpha * av;
+                            }
                         }
                     }
                 }
             }
         }
-    }
-    if obs {
-        OBS_PACK_NS.add(pack_ns);
-    }
+        if obs {
+            OBS_PACK_NS.add(pack_ns);
+        }
+    });
 }
 
 /// Packs rows `[row0, row0 + mb)` of the `KC`-deep A panel at `pc` into
@@ -406,7 +500,8 @@ pub fn matmul(a: &Mat, b: &Mat) -> Mat {
 /// # Panics
 ///
 /// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
-pub fn gemv(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn gemv<'a>(alpha: f64, a: impl Into<MatRef<'a>>, x: &[f64], beta: f64, y: &mut [f64]) {
+    let a = a.into();
     assert_eq!(x.len(), a.cols(), "gemv x length mismatch");
     assert_eq!(y.len(), a.rows(), "gemv y length mismatch");
     OBS_GEMV_CALLS.incr();
@@ -658,6 +753,105 @@ mod tests {
         let mut c = Mat::filled(2, 2, 5.0);
         gemm(1.0, &a, Trans::No, &b, Trans::No, 1.0, &mut c);
         assert_eq!(c, Mat::filled(2, 2, 5.0));
+    }
+
+    #[test]
+    fn strided_views_match_owned_blocks() {
+        // Kernels on submatrix views must agree with the same product on
+        // materialized blocks, for both dispatch paths.
+        let big_a = seq_mat(40, 40, 0.13);
+        let big_b = seq_mat(40, 40, 0.77);
+        let a_blk = big_a.block(3, 5, 20, 12);
+        let b_blk = big_b.block(7, 1, 12, 16);
+        let mut expect = Mat::zeros(20, 16);
+        gemm_axpy(1.0, &a_blk, &b_blk, &mut expect);
+
+        let mut got = Mat::zeros(20, 16);
+        gemm_axpy(
+            1.0,
+            big_a.submatrix(3, 5, 20, 12),
+            big_b.submatrix(7, 1, 12, 16),
+            &mut got,
+        );
+        assert_eq!(got, expect, "axpy strided mismatch");
+
+        let mut got_p = Mat::zeros(20, 16);
+        gemm_packed(
+            1.0,
+            big_a.submatrix(3, 5, 20, 12),
+            big_b.submatrix(7, 1, 12, 16),
+            &mut got_p,
+        );
+        let mut expect_p = Mat::zeros(20, 16);
+        gemm_packed(1.0, &a_blk, &b_blk, &mut expect_p);
+        assert_eq!(got_p, expect_p, "packed strided mismatch");
+
+        // Strided output window: C written through a submatrix view only
+        // touches the window.
+        let mut big_c = seq_mat(30, 30, 0.5);
+        let orig_c = big_c.clone();
+        gemm(
+            1.0,
+            &a_blk,
+            Trans::No,
+            &b_blk,
+            Trans::No,
+            0.0,
+            big_c.submatrix_mut(2, 4, 20, 16),
+        );
+        assert_eq!(big_c.block(2, 4, 20, 16), expect);
+        big_c
+            .as_mut()
+            .submatrix_mut(2, 4, 20, 16)
+            .copy_from(orig_c.submatrix(2, 4, 20, 16));
+        assert_eq!(big_c, orig_c, "gemm wrote outside the output window");
+    }
+
+    #[test]
+    fn strided_views_parallel_paths_match_sequential() {
+        // The jc/ic-parallel packed paths must handle non-unit strides
+        // (ldc > rows) and stay bitwise identical to one thread.
+        let big_a = seq_mat(420, 320, 0.31);
+        let big_b = seq_mat(320, 220, 0.61);
+        // (400, 300, 200) drives the jc-parallel split; (400, 150, 40)
+        // has a single column block and drives the ic-parallel split.
+        for &(m, k, n) in &[(400, 300, 200), (400, 150, 40)] {
+            let mut big_c1 = Mat::zeros(410, 210);
+            let mut big_ct = Mat::zeros(410, 210);
+            with_thread_budget(1, || {
+                gemm_packed(
+                    1.0,
+                    big_a.submatrix(9, 11, m, k),
+                    big_b.submatrix(5, 7, k, n),
+                    big_c1.submatrix_mut(3, 2, m, n),
+                );
+            });
+            for t in [2, 5] {
+                big_ct.fill_zero();
+                with_thread_budget(t, || {
+                    gemm_packed(
+                        1.0,
+                        big_a.submatrix(9, 11, m, k),
+                        big_b.submatrix(5, 7, k, n),
+                        big_ct.submatrix_mut(3, 2, m, n),
+                    );
+                });
+                assert_eq!(
+                    big_c1, big_ct,
+                    "budget {t} changed bits on strided {m}x{k}x{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_on_submatrix_view() {
+        let big = seq_mat(10, 10, 0.9);
+        let x: Vec<f64> = (0..4).map(|i| i as f64 - 1.5).collect();
+        let mut y_view = vec![0.0; 5];
+        gemv(1.0, big.submatrix(2, 3, 5, 4), &x, 0.0, &mut y_view);
+        let y_blk = matvec(&big.block(2, 3, 5, 4), &x);
+        assert_eq!(y_view, y_blk);
     }
 
     #[test]

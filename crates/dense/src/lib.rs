@@ -4,6 +4,9 @@
 //! this reproduction builds on (see DESIGN.md §3). Provides:
 //!
 //! * [`Mat`] — owned column-major matrix ([`mat`]);
+//! * [`MatRef`]/[`MatMut`] — borrowed column-major views ([`view`]);
+//! * [`Workspace`] — reusable buffer pool for allocation-free hot paths
+//!   ([`workspace`]);
 //! * [`gemm()`]/[`matmul`]/[`gemv`] — blocked matrix multiply (module [`mod@gemm`]);
 //! * [`LuFactors`] — partially pivoted LU with factor-once / solve-many
 //!   panel solves ([`lu`]);
@@ -33,6 +36,8 @@ pub mod mat;
 pub mod norms;
 pub mod random;
 pub mod threading;
+pub mod view;
+pub mod workspace;
 
 pub use cholesky::{cholesky_flops, CholFactors};
 pub use gemm::{gemm, gemm_axpy, gemm_flops, gemm_packed, gemv, matmul, matvec, Trans};
@@ -40,3 +45,5 @@ pub use lu::{invert, lu_flops, lu_solve_flops, solve, LuFactors, SingularError};
 pub use mat::Mat;
 pub use norms::{cond_1, fro_norm, inf_norm, one_norm, rel_diff, vec_norm2};
 pub use threading::{current_threads, set_thread_budget, with_thread_budget};
+pub use view::{MatMut, MatRef};
+pub use workspace::{Workspace, WorkspaceStats};

@@ -8,6 +8,7 @@
 //! right-hand-side panel solve is an `O(n^2 r)` triangular sweep.
 
 use crate::mat::Mat;
+use crate::view::{MatMut, MatRef};
 use std::fmt;
 
 /// Observability instruments for the multi-RHS panel solves (no-ops
@@ -183,7 +184,8 @@ impl LuFactors {
     /// # Panics
     ///
     /// Panics if `b.rows() != self.order()`.
-    pub fn solve_in_place(&self, b: &mut Mat) {
+    pub fn solve_in_place<'b>(&self, b: impl Into<MatMut<'b>>) {
+        let mut b = b.into();
         let n = self.order();
         assert_eq!(b.rows(), n, "solve rhs row count mismatch");
         OBS_LU_PANEL_SOLVES.incr();
@@ -192,13 +194,25 @@ impl LuFactors {
         // Apply the row permutation to B (sequential: touches all columns).
         for (k, &p) in self.piv.iter().enumerate() {
             if p != k {
-                swap_rows(b, k, p);
+                swap_rows_view(&mut b, k, p);
             }
         }
         crate::threading::for_each_column_parallel(b, 2 * n * n, |x| self.solve_column(x));
         if let Some(t0) = t0 {
             OBS_LU_PANEL_NS.record_duration(t0.elapsed());
         }
+    }
+
+    /// Solves `A X = B` into caller-provided storage: copies `b` into
+    /// `out`, then solves in place — no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch.
+    pub fn solve_into<'b, 'o>(&self, b: impl Into<MatRef<'b>>, out: impl Into<MatMut<'o>>) {
+        let mut out = out.into();
+        out.copy_from(b.into());
+        self.solve_in_place(out);
     }
 
     /// One forward + backward triangular sweep on a single permuted RHS
@@ -249,16 +263,17 @@ impl LuFactors {
 
     /// Solves `A^T X = B` in place. Multi-column panels split across the
     /// intra-rank thread budget like [`Self::solve_in_place`].
-    pub fn solve_transpose_in_place(&self, b: &mut Mat) {
+    pub fn solve_transpose_in_place<'b>(&self, b: impl Into<MatMut<'b>>) {
+        let mut b = b.into();
         let n = self.order();
         assert_eq!(b.rows(), n, "solve rhs row count mismatch");
-        crate::threading::for_each_column_parallel(b, 2 * n * n, |x| {
+        crate::threading::for_each_column_parallel(b.rb_mut(), 2 * n * n, |x| {
             self.solve_transpose_column(x);
         });
         // Undo the permutation last (sequential: touches all columns).
         for (k, &p) in self.piv.iter().enumerate().rev() {
             if p != k {
-                swap_rows(b, k, p);
+                swap_rows_view(&mut b, k, p);
             }
         }
     }
@@ -305,6 +320,16 @@ fn swap_rows(m: &mut Mat, i: usize, j: usize) {
     let cols = data.len() / rows;
     for c in 0..cols {
         data.swap(c * rows + i, c * rows + j);
+    }
+}
+
+/// Swaps rows `i` and `j` of a (possibly strided) view in place.
+pub(crate) fn swap_rows_view(m: &mut MatMut<'_>, i: usize, j: usize) {
+    if i == j {
+        return;
+    }
+    for c in 0..m.cols() {
+        m.col_mut(c).swap(i, j);
     }
 }
 
@@ -468,6 +493,23 @@ mod tests {
     fn flop_formulas() {
         assert_eq!(lu_flops(3), 18);
         assert_eq!(lu_solve_flops(3, 2), 36);
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let n = 8;
+        let a = test_mat(n, 0.8);
+        let lu = LuFactors::factor(&a).unwrap();
+        let b = Mat::from_fn(n, 3, |i, j| ((i * 3 + j) as f64 * 0.21).sin());
+        let expect = lu.solve(&b);
+        let mut out = Mat::zeros(n, 3);
+        lu.solve_into(&b, &mut out);
+        assert_eq!(out, expect);
+        // Strided output window inside a larger scratch matrix.
+        let mut scratch = Mat::filled(n + 4, 5, 9.0);
+        lu.solve_into(&b, scratch.submatrix_mut(2, 1, n, 3));
+        assert_eq!(scratch.block(2, 1, n, 3), expect);
+        assert_eq!(scratch[(0, 0)], 9.0, "solve_into wrote outside window");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! blocked GEMM and LU kernels in this crate and makes multi-right-hand-side
 //! panels (`M x R`) contiguous per right-hand side.
 
+use crate::view::{MatMut, MatRef};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -38,6 +39,38 @@ impl Mat {
             cols,
             data: vec![0.0; rows * cols],
         }
+    }
+
+    /// The canonical `0 x 0` empty matrix (no allocation).
+    ///
+    /// Use this — not `Mat::zeros(0, 0)` — where a slot is structurally
+    /// present but holds no data (e.g. the sub-diagonal factor of the
+    /// first block row). Any arithmetic that actually reads elements of
+    /// an empty matrix trips the usual shape assertions, so accidental
+    /// use fails fast instead of silently producing empty products.
+    pub fn empty() -> Self {
+        Self {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// A `rows x 0` matrix (no allocation): the identity element for
+    /// column-wise accumulation and the seed value of the scan kernels,
+    /// which require a row count but carry no columns yet.
+    pub fn zero_width(rows: usize) -> Self {
+        Self {
+            rows,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// True if the matrix holds no elements (either dimension is 0).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
     }
 
     /// Creates a matrix filled with `value`.
@@ -152,6 +185,49 @@ impl Mat {
     /// Consumes the matrix, returning the column-major buffer.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
+    }
+
+    /// Borrows the whole matrix as an immutable [`MatRef`] view.
+    #[allow(clippy::should_implement_trait)] // matrix view, not AsRef<T>
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_> {
+        MatRef {
+            data: &self.data,
+            rows: self.rows,
+            cols: self.cols,
+            col_stride: self.rows,
+        }
+    }
+
+    /// Borrows the whole matrix as a mutable [`MatMut`] view.
+    #[allow(clippy::should_implement_trait)] // matrix view, not AsMut<T>
+    #[inline]
+    pub fn as_mut(&mut self) -> MatMut<'_> {
+        MatMut {
+            data: &mut self.data,
+            rows: self.rows,
+            cols: self.cols,
+            col_stride: self.rows,
+        }
+    }
+
+    /// Borrows the `br x bc` submatrix at `(r0, c0)` as a strided view —
+    /// the no-copy counterpart of [`Mat::block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the matrix bounds.
+    pub fn submatrix(&self, r0: usize, c0: usize, br: usize, bc: usize) -> MatRef<'_> {
+        self.as_ref().submatrix(r0, c0, br, bc)
+    }
+
+    /// Mutable strided view of the `br x bc` submatrix at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the matrix bounds.
+    pub fn submatrix_mut(&mut self, r0: usize, c0: usize, br: usize, bc: usize) -> MatMut<'_> {
+        self.as_mut().submatrix_mut(r0, c0, br, bc)
     }
 
     /// Immutable view of column `j`.
@@ -540,6 +616,20 @@ mod tests {
         assert!(m.all_finite());
         m[(0, 1)] = f64::NAN;
         assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn empty_and_zero_width() {
+        let e = Mat::empty();
+        assert_eq!(e.shape(), (0, 0));
+        assert!(e.is_empty());
+        let z = Mat::zero_width(3);
+        assert_eq!(z.shape(), (3, 0));
+        assert!(z.is_empty());
+        assert!(!Mat::zeros(1, 1).is_empty());
+        // hstack accumulation with a zero-width identity element.
+        let a = Mat::identity(3);
+        assert_eq!(Mat::hstack(&z, &a), a);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! results are bitwise identical for any thread count (see DESIGN.md,
 //! "Threading model").
 
-use crate::mat::Mat;
+use crate::view::MatMut;
 use std::cell::Cell;
 use std::sync::OnceLock;
 
@@ -70,7 +70,7 @@ const PANEL_PAR_MIN_FLOPS: usize = 50_000;
 /// threshold. Columns are fully independent, so the result is identical
 /// (bitwise) to the sequential sweep for any thread count.
 pub(crate) fn for_each_column_parallel(
-    b: &mut Mat,
+    mut b: MatMut<'_>,
     flops_per_col: usize,
     f: impl Fn(&mut [f64]) + Sync,
 ) {
@@ -80,11 +80,14 @@ pub(crate) fn for_each_column_parallel(
         return;
     }
     let t = current_threads().min(r);
-    if t > 1 && flops_per_col.saturating_mul(r) >= PANEL_PAR_MIN_FLOPS {
+    // The chunked parallel split needs back-to-back columns; strided
+    // views take the sequential sweep (columns are independent either
+    // way, so results are identical).
+    if t > 1 && b.is_contiguous() && flops_per_col.saturating_mul(r) >= PANEL_PAR_MIN_FLOPS {
         let cols_per = r.div_ceil(t);
         let f = &f;
         rayon::scope(|s| {
-            for chunk in b.as_mut_slice().chunks_mut(cols_per * n) {
+            for chunk in b.data[..n * r].chunks_mut(cols_per * n) {
                 s.spawn(move |_| {
                     for x in chunk.chunks_exact_mut(n) {
                         f(x);
@@ -132,13 +135,34 @@ mod tests {
 
     #[test]
     fn panel_split_covers_every_column() {
+        use crate::mat::Mat;
         let mut m = Mat::from_fn(100, 7, |i, j| (i * 7 + j) as f64);
         let expect = m.scaled(2.0);
         with_thread_budget(3, || {
             // Huge per-column cost forces the parallel path.
-            for_each_column_parallel(&mut m, 1_000_000, |col| {
+            for_each_column_parallel(m.as_mut(), 1_000_000, |col| {
                 for v in col.iter_mut() {
                     *v *= 2.0;
+                }
+            });
+        });
+        assert_eq!(m, expect);
+    }
+
+    #[test]
+    fn panel_split_strided_view_falls_back_sequential() {
+        use crate::mat::Mat;
+        let mut m = Mat::from_fn(100, 9, |i, j| (i * 9 + j) as f64);
+        let mut expect = m.clone();
+        for j in 2..2 + 5 {
+            for i in 1..1 + 80 {
+                expect[(i, j)] *= 3.0;
+            }
+        }
+        with_thread_budget(3, || {
+            for_each_column_parallel(m.submatrix_mut(1, 2, 80, 5), 1_000_000, |col| {
+                for v in col.iter_mut() {
+                    *v *= 3.0;
                 }
             });
         });

@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use crossbeam::channel::{Receiver, Sender};
 
 use crate::model::CostModel;
-use crate::payload::Payload;
+use crate::payload::{PanelBuf, Payload};
 use crate::stats::RankStats;
 use crate::trace::TraceEvent;
 
@@ -149,6 +149,29 @@ impl Comm {
         self.senders[dest]
             .send(env)
             .unwrap_or_else(|_| panic!("rank {}: send to terminated rank {dest}", self.rank));
+    }
+
+    /// Sends a (possibly strided) matrix view to `dest` with `tag` as a
+    /// pooled [`PanelBuf`] — no per-message allocation once the pool is
+    /// warm. Pairs with [`Comm::recv_panel_into`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Comm::send`].
+    pub fn send_panel(&mut self, dest: usize, tag: u64, panel: bt_dense::MatRef<'_>) {
+        self.send(dest, tag, PanelBuf::pack(panel));
+    }
+
+    /// Receives a panel from `src` with matching `tag` directly into
+    /// caller-provided scratch, returning the backing buffer to the
+    /// [`PanelBuf`] pool. Pairs with [`Comm::send_panel`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Comm::recv`], plus a shape mismatch between
+    /// the sent panel and `out`.
+    pub fn recv_panel_into(&mut self, src: usize, tag: u64, out: bt_dense::MatMut<'_>) {
+        self.recv::<PanelBuf>(src, tag).unpack_into(out);
     }
 
     /// Receives a `T` from `src` with matching `tag`, blocking until it
