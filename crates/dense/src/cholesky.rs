@@ -8,6 +8,7 @@
 
 use crate::lu::SingularError;
 use crate::mat::Mat;
+use crate::simd;
 use crate::view::{MatMut, MatRef};
 
 /// Observability instruments for the multi-RHS panel solves (no-ops
@@ -43,25 +44,30 @@ impl CholFactors {
         let tiny = (n as f64) * f64::EPSILON * a.max_abs();
 
         for k in 0..n {
-            // d = a_kk - sum_{j<k} l_kj^2
-            let mut d = l.get(k, k);
+            // Left-looking column update, diagonal included: subtract the
+            // contribution of every finished column j < k from rows k..n
+            // of column k —
+            //   l[k.., k] -= l[k, j] * l[k.., j]
+            // Each term is a contiguous AXPY on the SIMD dispatch path;
+            // the per-element accumulation order over j matches the old
+            // row-dot formulation exactly. No zero-weight skip: non-finite
+            // entries must reach the pivot check below.
+            let (head, tail) = l.as_mut_slice().split_at_mut(k * n);
+            let colk = &mut tail[k..n];
             for j in 0..k {
-                let v = l.get(k, j);
-                d -= v * v;
+                let colj = &head[j * n + k..j * n + n];
+                simd::axpy(-colj[0], colj, colk);
             }
+            let d = colk[0];
             if d <= tiny || !d.is_finite() {
                 return Err(SingularError { step: k, pivot: d });
             }
             let lkk = d.sqrt();
-            l.set(k, k, lkk);
+            colk[0] = lkk;
             let inv = 1.0 / lkk;
             // Column k below the diagonal.
-            for i in k + 1..n {
-                let mut s = l.get(i, k);
-                for j in 0..k {
-                    s -= l.get(i, j) * l.get(k, j);
-                }
-                l.set(i, k, s * inv);
+            for v in &mut colk[1..] {
+                *v *= inv;
             }
         }
         // Zero the strict upper triangle so `factor_matrix` is clean.
@@ -125,6 +131,8 @@ impl CholFactors {
     }
 
     /// Forward (`L`) then backward (`L^T`) sweep on a single RHS column.
+    /// The forward sweep is a column AXPY, the backward sweep a dot
+    /// product — both on the SIMD dispatch path ([`crate::simd`]).
     fn solve_column(&self, x: &mut [f64]) {
         let n = self.order();
         // L w = b
@@ -133,18 +141,13 @@ impl CholFactors {
             let xk = x[k] / lcol[k];
             x[k] = xk;
             if xk != 0.0 {
-                for (xi, li) in x[k + 1..].iter_mut().zip(&lcol[k + 1..]) {
-                    *xi -= li * xk;
-                }
+                simd::axpy(-xk, &lcol[k + 1..], &mut x[k + 1..]);
             }
         }
         // L^T x = w
         for k in (0..n).rev() {
             let lcol = self.l.col(k);
-            let mut s = x[k];
-            for (xi, li) in x[k + 1..].iter().zip(&lcol[k + 1..]) {
-                s -= li * xi;
-            }
+            let s = x[k] - simd::dot(&x[k + 1..], &lcol[k + 1..]);
             x[k] = s / lcol[k];
         }
     }

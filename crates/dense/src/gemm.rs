@@ -2,14 +2,22 @@
 //!
 //! The workhorse is [`gemm`], a BLAS-3-style update
 //! `C <- alpha * op(A) * op(B) + beta * C` with optional transposition of
-//! either operand. Large products go through [`gemm_packed`], a BLIS-style
-//! packed kernel: operand panels are repacked into contiguous `MR`-tall /
-//! `NR`-wide micro-panels and multiplied by a register-tiled `MR x NR`
-//! microkernel, with the `jc` (column-block) and `ic` (row-block)
-//! macro-loops parallelized over the intra-rank thread budget
-//! ([`crate::threading`]). Small products — the common case for this
-//! suite's `M x M` blocks — use [`gemm_axpy`], a lean cache-blocked
-//! j-k-i kernel whose AXPY inner loops auto-vectorize.
+//! either operand, dispatched over three kernels by measured crossover
+//! (see the constants below):
+//!
+//! * [`gemm_small`] — fully unrolled whole-block kernels for exact
+//!   `M x M x M` products with `M` in {4, 8, 16}, the block orders that
+//!   dominate ARD workloads. No packing, no blocking loops.
+//! * [`gemm_axpy`] — a lean cache-blocked j-k-i kernel whose AXPY inner
+//!   loops go through the runtime-dispatched SIMD primitives
+//!   ([`crate::simd`]).
+//! * [`gemm_packed`] — a BLIS-style packed kernel: operand panels are
+//!   repacked into contiguous `MR`-tall / `NR`-wide micro-panels and
+//!   multiplied by a register-tiled `MR x NR` microkernel (in
+//!   [`crate::simd`], FMA-vectorized where the CPU
+//!   allows), with the `jc` (column-block) and `ic` (row-block)
+//!   macro-loops parallelized over the intra-rank thread budget
+//!   ([`crate::threading`]).
 //!
 //! Every public kernel accepts `impl Into<MatRef>` / `impl Into<MatMut>`
 //! operands, so both owned matrices (`&Mat` / `&mut Mat`) and borrowed
@@ -24,19 +32,26 @@
 //! result is bitwise identical whether the kernel runs on 1 thread or 16.
 
 use crate::mat::Mat;
+use crate::simd::{self, Isa};
 use crate::threading;
 use crate::view::{MatMut, MatRef};
 use std::cell::RefCell;
 
 /// Observability counters (no-ops unless `BT_OBS` is on): dispatch counts
-/// for the packed-vs-AXPY split, total flops issued through this module,
-/// and nanoseconds spent repacking operand panels — the raw inputs for
+/// for the small/packed/AXPY split, how many dispatches ran on a SIMD
+/// instruction set, total flops issued through this module, and
+/// nanoseconds spent repacking operand panels — the raw inputs for
 /// checking the CostModel's compute term against real kernel behaviour.
 static OBS_PACKED_CALLS: bt_obs::Counter = bt_obs::Counter::new("bt_dense.gemm.packed_calls");
 static OBS_AXPY_CALLS: bt_obs::Counter = bt_obs::Counter::new("bt_dense.gemm.axpy_calls");
+static OBS_SMALL_CALLS: bt_obs::Counter = bt_obs::Counter::new("bt_dense.gemm.small_calls");
+static OBS_SIMD_CALLS: bt_obs::Counter = bt_obs::Counter::new("bt_dense.gemm.simd_calls");
 static OBS_GEMV_CALLS: bt_obs::Counter = bt_obs::Counter::new("bt_dense.gemm.gemv_calls");
 static OBS_GEMM_FLOPS: bt_obs::Counter = bt_obs::Counter::new("bt_dense.gemm.flops");
 static OBS_PACK_NS: bt_obs::Counter = bt_obs::Counter::new("bt_dense.gemm.pack_ns");
+/// Last-dispatched instruction set, encoded per [`Isa::index`]
+/// (0 = scalar, 1 = avx2+fma, 2 = neon).
+static OBS_DISPATCH_ISA: bt_obs::Gauge = bt_obs::Gauge::new("bt_dense.gemm.dispatch_isa");
 
 /// Operand transposition selector for [`gemm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,14 +81,27 @@ const KC: usize = 128;
 /// packed `MC x KC` A-panel is 256 KiB, sized for outer-cache residency.
 const MC: usize = 256;
 /// Microkernel tile height: one register accumulator column per cache
-/// line of C.
-const MR: usize = 8;
+/// line of C (two AVX2 vectors, four NEON vectors).
+pub(crate) const MR: usize = 8;
 /// Microkernel tile width.
-const NR: usize = 4;
+pub(crate) const NR: usize = 4;
 
-/// Dispatch threshold: below ~`100k` flops (`2 m k n`), packing overhead
-/// beats the cache savings and the AXPY kernel wins.
-const PACKED_MIN_FLOPS: usize = 100_000;
+/// Packed-vs-AXPY crossover on SIMD dispatch paths, in flops (`2 m k n`).
+/// Measured on the AVX2+FMA reference host (`cargo bench -p bt-bench
+/// --bench kernels`, see `BENCH_gemm.json`): the FMA microkernel beats
+/// the (also FMA-vectorized) AXPY kernel at every swept size from
+/// m = k = n = 8 (1 kflop, 1.08x) through m = 256 (3.7x), while AXPY
+/// wins at m = 4 (128 flop, 2.2x — the pack pass dominates). 512 flops
+/// splits that gap; exact 4/8/16 cubes are grabbed by the small-block
+/// kernels before this test is reached.
+const PACKED_MIN_FLOPS_SIMD: usize = 512;
+
+/// Packed-vs-AXPY crossover on the scalar fallback path. The same sweep
+/// under `BT_DENSE_SIMD=0` shows the autovectorized AXPY loop winning
+/// through m = 48 (221 kflop, 1.3x) and the scalar microkernel taking
+/// over from m = 63 (500 kflop, 1.18x) up to m = 256 (1.45x), with
+/// m = 32 and m = 65 a wash. The crossover sits right at `2 * 63^3`.
+const PACKED_MIN_FLOPS_SCALAR: usize = 500_000;
 
 /// Minimum rows per intra-rank thread for the `ic`-parallel path.
 const IC_MIN_ROWS: usize = 64;
@@ -180,14 +208,53 @@ fn transpose_of(v: MatRef<'_>) -> Mat {
 }
 
 /// `C += alpha * A * B` for plain column-major operands: dispatches
-/// between the packed and AXPY kernels on problem size.
-fn gemm_nn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>) {
+/// between the small-block, packed and AXPY kernels on problem shape
+/// and size (measured crossover — see `PACKED_MIN_FLOPS_*`).
+fn gemm_nn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    if 2 * m * k * n >= PACKED_MIN_FLOPS {
+    let isa = simd::active();
+    if bt_obs::enabled() {
+        OBS_DISPATCH_ISA.set(f64::from(isa.index()));
+        if isa != Isa::Scalar {
+            OBS_SIMD_CALLS.incr();
+        }
+    }
+    if m == n && simd::gemm_small(alpha, a, b, &mut c) {
+        OBS_SMALL_CALLS.incr();
+        OBS_GEMM_FLOPS.add(gemm_flops(m, k, n));
+        return;
+    }
+    let packed_min = if isa == Isa::Scalar {
+        PACKED_MIN_FLOPS_SCALAR
+    } else {
+        PACKED_MIN_FLOPS_SIMD
+    };
+    if 2 * m * k * n >= packed_min {
         gemm_packed_ref(alpha, a, b, c);
     } else {
         gemm_axpy_ref(alpha, a, b, c);
     }
+}
+
+/// Whole-block `C += alpha * A * B` for exact `M x M` operands with
+/// `M` in {4, 8, 16} — the fully unrolled small-block specialization
+/// the dispatcher prefers for ARD-sized blocks. Returns `false` without
+/// touching `C` when the shape is not an exact small block (callers
+/// fall back to [`gemm`]); exposed so benches can time it against the
+/// other kernels directly.
+pub fn gemm_small<'a, 'b, 'c>(
+    alpha: f64,
+    a: impl Into<MatRef<'a>>,
+    b: impl Into<MatRef<'b>>,
+    c: impl Into<MatMut<'c>>,
+) -> bool {
+    let (a, b, mut c) = (a.into(), b.into(), c.into());
+    let hit = simd::gemm_small(alpha, a, b, &mut c);
+    if hit {
+        OBS_SMALL_CALLS.incr();
+        OBS_GEMM_FLOPS.add(gemm_flops(a.rows(), a.rows(), a.rows()));
+    }
+    hit
 }
 
 /// Cache-blocked `C += alpha * A * B` with AXPY inner loops (j-k-i loop
@@ -227,11 +294,10 @@ fn gemm_axpy_ref(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
                     // reach C as NaN, matching IEEE-754 and the packed
                     // kernel.
                     let w = alpha * bk;
-                    let a_col = a.col(kk);
-                    // AXPY: c_col += w * a_col -- contiguous, auto-vectorized.
-                    for (ci, ai) in c_col.iter_mut().zip(a_col) {
-                        *ci += w * *ai;
-                    }
+                    // AXPY: c_col += w * a_col — contiguous columns through
+                    // the runtime-dispatched SIMD primitive (FMA per
+                    // element where the CPU allows).
+                    simd::axpy(w, a.col(kk), c_col);
                 }
             }
         }
@@ -415,7 +481,7 @@ fn packed_stripe(
                         let ib = MR.min(mbb - ir * MR);
                         let pa = &packed_a[ir * kb * MR..][..kb * MR];
                         let mut acc = [0.0f64; MR * NR];
-                        microkernel(kb, pa, pb, &mut acc);
+                        simd::microkernel(kb, pa, pb, &mut acc);
                         // Writeback the valid ib x jb corner of the tile.
                         for jj in 0..jb {
                             let dst = &mut c[(jr * NR + jj) * ldc + ic + ir * MR..][..ib];
@@ -467,23 +533,6 @@ fn pack_b(b: &[f64], ldb: usize, pc: usize, kb: usize, ncols: usize, out: &mut [
     }
 }
 
-/// Register-tiled `MR x NR` rank-`kb` update on packed micro-panels. The
-/// fixed-size tile keeps the accumulator in registers; the fixed-bound
-/// inner loops unroll and vectorize.
-#[inline(always)]
-fn microkernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MR * NR]) {
-    for p in 0..kb {
-        let ap: &[f64; MR] = pa[p * MR..p * MR + MR].try_into().expect("MR panel");
-        let bp: &[f64; NR] = pb[p * NR..p * NR + NR].try_into().expect("NR panel");
-        for jj in 0..NR {
-            let bv = bp[jj];
-            for ii in 0..MR {
-                acc[jj * MR + ii] += ap[ii] * bv;
-            }
-        }
-    }
-}
-
 /// Returns `a * b` as a freshly allocated matrix.
 ///
 /// # Panics
@@ -517,9 +566,7 @@ pub fn gemv<'a>(alpha: f64, a: impl Into<MatRef<'a>>, x: &[f64], beta: f64, y: &
         // No skip on zero weights (see gemm_axpy): non-finite entries of
         // A must propagate even when the matching x entry is zero.
         let w = alpha * xj;
-        for (yi, ai) in y.iter_mut().zip(a.col(j)) {
-            *yi += w * *ai;
-        }
+        simd::axpy(w, a.col(j), y);
     }
 }
 

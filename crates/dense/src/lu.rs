@@ -8,6 +8,7 @@
 //! right-hand-side panel solve is an `O(n^2 r)` triangular sweep.
 
 use crate::mat::Mat;
+use crate::simd;
 use crate::view::{MatMut, MatRef};
 use std::fmt;
 
@@ -134,9 +135,9 @@ impl LuFactors {
                 if ukj == 0.0 {
                     continue;
                 }
-                for (v, &m) in colj[k + 1..].iter_mut().zip(mults) {
-                    *v -= m * ukj;
-                }
+                // Rank-1 update of column j: colj[k+1..] -= ukj * mults,
+                // through the SIMD AXPY primitive.
+                simd::axpy(-ukj, mults, &mut colj[k + 1..]);
             }
         }
 
@@ -216,7 +217,8 @@ impl LuFactors {
     }
 
     /// One forward + backward triangular sweep on a single permuted RHS
-    /// column.
+    /// column. Both substitutions are column-oriented AXPY updates, so
+    /// they run on the SIMD dispatch path ([`crate::simd`]).
     fn solve_column(&self, x: &mut [f64]) {
         let n = self.order();
         // Forward substitution with unit lower triangular L.
@@ -226,9 +228,7 @@ impl LuFactors {
                 continue;
             }
             let lcol = self.lu.col(k);
-            for (xi, li) in x[k + 1..].iter_mut().zip(&lcol[k + 1..]) {
-                *xi -= li * xk;
-            }
+            simd::axpy(-xk, &lcol[k + 1..], &mut x[k + 1..]);
         }
         // Backward substitution with U.
         for k in (0..n).rev() {
@@ -238,9 +238,7 @@ impl LuFactors {
             if xk == 0.0 {
                 continue;
             }
-            for (xi, ui) in x[..k].iter_mut().zip(&ucol[..k]) {
-                *xi -= ui * xk;
-            }
+            simd::axpy(-xk, &ucol[..k], &mut x[..k]);
         }
     }
 
@@ -280,24 +278,19 @@ impl LuFactors {
 
     /// One `U^T`/`L^T` sweep on a single RHS column:
     /// `A^T = (P^T L U)^T = U^T L^T P`, so solve `U^T w = b`, then
-    /// `L^T v = w` (the caller applies `x = P^T v` afterwards).
+    /// `L^T v = w` (the caller applies `x = P^T v` afterwards). The
+    /// inner products run on the SIMD dot-product path.
     fn solve_transpose_column(&self, x: &mut [f64]) {
         let n = self.order();
         for k in 0..n {
             let ucol = self.lu.col(k);
-            let mut s = x[k];
-            for (xi, ui) in x[..k].iter().zip(&ucol[..k]) {
-                s -= ui * xi;
-            }
+            let s = x[k] - simd::dot(&x[..k], &ucol[..k]);
             x[k] = s / ucol[k];
         }
         for k in (0..n).rev() {
             let lcol = self.lu.col(k);
-            let mut s = x[k];
-            for (xi, li) in x[k + 1..].iter().zip(&lcol[k + 1..]) {
-                s -= li * xi;
-            }
-            x[k] = s;
+            let s = simd::dot(&x[k + 1..], &lcol[k + 1..]);
+            x[k] -= s;
         }
     }
 

@@ -1,0 +1,796 @@
+//! Runtime-dispatched SIMD primitives for the dense kernels.
+//!
+//! Every flop in the suite funnels through a handful of inner loops: the
+//! packed GEMM microkernel, the AXPY update (`y += w * x`) shared by
+//! `gemm_axpy`/`gemv`/the LU and Cholesky sweeps, the dot product of the
+//! transpose/backward sweeps, and the whole-block small-M GEMM
+//! specializations. This module provides one explicitly vectorized
+//! implementation of each, selected **at runtime** from the CPU:
+//!
+//! * **x86_64** — AVX2 + FMA (`_mm256_fmadd_pd`, 4 lanes of `f64`),
+//!   detected with `is_x86_feature_detected!`;
+//! * **aarch64** — NEON (`vfmaq_f64`, 2 lanes), always present on
+//!   aarch64 but still routed through the same dispatch point;
+//! * **fallback** — portable scalar loops with hoisted bounds checks,
+//!   identical in summation order to the pre-SIMD kernels.
+//!
+//! The decision is made once, cached in an atomic, and exposed as
+//! [`active`]. The `BT_DENSE_SIMD` environment variable overrides it:
+//! `0` forces the scalar path (CI runs the whole workspace this way),
+//! any other value — or unset — keeps hardware detection. Tests can pin
+//! a path in-process with [`force`].
+//!
+//! # Safety invariants
+//!
+//! All `unsafe` here is confined to `#[target_feature]` kernels and is
+//! justified by exactly two obligations, both discharged by safe code:
+//!
+//! 1. **CPU features** — a feature-gated kernel is only reachable through
+//!    a dispatch `match` on [`active`], which returns [`Isa::Avx2Fma`] /
+//!    [`Isa::Neon`] only after the corresponding runtime detection (or a
+//!    test override, which is documented as unsound-if-lied-to on
+//!    [`force`]).
+//! 2. **In-bounds pointers** — every kernel receives plain slices and the
+//!    safe wrappers assert the length contracts up front (`pa.len() >=
+//!    kb * MR`, equal `x`/`y` lengths, `4 | 8 | 16`-row columns). The
+//!    packed-panel contract is guaranteed by `pack_a`/`pack_b`, which
+//!    zero-pad every micro-panel to full `MR`/`NR` size; the small-M
+//!    kernels rely on [`crate::view`] columns being contiguous
+//!    `rows`-long slices whatever the column stride.
+//!
+//! FMA contracts `a * b + c` into one rounding, so SIMD results differ
+//! from the scalar path by well-understood ULP-level amounts; the
+//! proptests in `tests/simd_kernels.rs` pin the two paths together under
+//! a `k`-scaled tolerance. Within one process the selected path is
+//! fixed, so results remain bitwise deterministic across repeat runs and
+//! thread budgets.
+
+use crate::gemm::{MR, NR};
+use crate::view::{MatMut, MatRef};
+use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+
+/// Instruction set the dense kernels dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Isa {
+    /// Portable scalar loops (also the `BT_DENSE_SIMD=0` path).
+    Scalar = 0,
+    /// AVX2 + FMA on x86_64 (4 x f64 per vector).
+    Avx2Fma = 1,
+    /// NEON on aarch64 (2 x f64 per vector).
+    Neon = 2,
+}
+
+impl Isa {
+    /// Human-readable name (used by benches and the metrics gauge docs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2Fma => "avx2+fma",
+            Isa::Neon => "neon",
+        }
+    }
+
+    /// Stable numeric encoding for the `bt_dense.gemm.dispatch_isa`
+    /// gauge: 0 = scalar, 1 = avx2+fma, 2 = neon.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+}
+
+/// Cached dispatch decision: `UNRESOLVED` until first use.
+static ACTIVE: AtomicU8 = AtomicU8::new(UNRESOLVED);
+const UNRESOLVED: u8 = u8::MAX;
+
+fn decode(v: u8) -> Isa {
+    match v {
+        1 => Isa::Avx2Fma,
+        2 => Isa::Neon,
+        _ => Isa::Scalar,
+    }
+}
+
+/// Hardware + environment detection (no caching; see [`active`]).
+fn detect() -> Isa {
+    // BT_DENSE_SIMD=0 forces the scalar path; anything else (including
+    // unset or `1`) keeps hardware detection.
+    if std::env::var("BT_DENSE_SIMD").is_ok_and(|v| v.trim() == "0") {
+        return Isa::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return Isa::Avx2Fma;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return Isa::Neon;
+        }
+    }
+    Isa::Scalar
+}
+
+/// The instruction set every dispatched kernel currently uses.
+///
+/// First call runs detection (environment override, then CPU features)
+/// and caches the result; later calls are one relaxed atomic load.
+#[inline]
+pub fn active() -> Isa {
+    let v = ACTIVE.load(Relaxed);
+    if v == UNRESOLVED {
+        let isa = detect();
+        ACTIVE.store(isa.index(), Relaxed);
+        isa
+    } else {
+        decode(v)
+    }
+}
+
+/// Overrides the dispatch decision in-process (primarily for tests and
+/// benches). `Some(isa)` pins every subsequent kernel to that path;
+/// `None` re-runs detection (environment, then CPU features). Returns
+/// the previously active ISA.
+///
+/// Forcing [`Isa::Avx2Fma`] or [`Isa::Neon`] on hardware without those
+/// features makes later kernel calls execute unsupported instructions —
+/// only force upward what [`active`] already reports, or [`Isa::Scalar`]
+/// (always safe).
+pub fn force(isa: Option<Isa>) -> Isa {
+    let prev = active();
+    match isa {
+        Some(isa) => ACTIVE.store(isa.index(), Relaxed),
+        None => ACTIVE.store(detect().index(), Relaxed),
+    }
+    prev
+}
+
+// ---------------------------------------------------------------------
+// AXPY: y[i] += w * x[i]
+// ---------------------------------------------------------------------
+
+/// `y += w * x`, elementwise over equal-length slices.
+///
+/// Never skips `w == 0.0` (`0 * NaN` must reach `y`), matching the
+/// non-finite propagation contract of the GEMM kernels. On SIMD paths
+/// each element is one fused multiply-add; lanes never reassociate
+/// across elements, so the result per element is independent of the
+/// vector width.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn axpy(w: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active()` only reports Avx2Fma after runtime AVX2+FMA
+        // detection; slice lengths were just checked equal.
+        Isa::Avx2Fma => unsafe { x86::axpy(w, x, y) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: `active()` only reports Neon after runtime detection.
+        Isa::Neon => unsafe { neon::axpy(w, x, y) },
+        _ => {
+            for (yi, xi) in y.iter_mut().zip(x) {
+                *yi += w * *xi;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DOT: sum_i x[i] * y[i]
+// ---------------------------------------------------------------------
+
+/// Dot product of equal-length slices.
+///
+/// SIMD paths keep independent per-lane accumulators and combine them
+/// once at the end, so the summation order differs from the scalar
+/// sweep (and from the pre-SIMD kernels) by ULP-level reassociation;
+/// for a fixed dispatch path the order is fixed, keeping results
+/// deterministic run to run.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma implies runtime-detected AVX2+FMA; lengths equal.
+        Isa::Avx2Fma => unsafe { x86::dot(x, y) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: Neon implies runtime-detected NEON; lengths equal.
+        Isa::Neon => unsafe { neon::dot(x, y) },
+        _ => x.iter().zip(y).map(|(a, b)| a * b).sum(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packed MR x NR microkernel
+// ---------------------------------------------------------------------
+
+/// Register-tiled `MR x NR` rank-`kb` update on packed micro-panels:
+/// `acc[jj * MR + ii] += sum_p pa[p * MR + ii] * pb[p * NR + jj]`.
+///
+/// `pa`/`pb` are the zero-padded panels produced by `pack_a`/`pack_b`,
+/// so every `MR`-tall / `NR`-wide stripe is fully populated — the
+/// kernels run with zero bounds checks in the `kb` loop.
+///
+/// # Panics
+///
+/// Panics if a panel is shorter than `kb` full micro-rows.
+#[inline]
+pub(crate) fn microkernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MR * NR]) {
+    assert!(pa.len() >= kb * MR, "packed A panel too short");
+    assert!(pb.len() >= kb * NR, "packed B panel too short");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma implies runtime-detected AVX2+FMA; the panel
+        // length contracts were just asserted.
+        Isa::Avx2Fma => unsafe { x86::microkernel(kb, pa, pb, acc) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: Neon implies runtime-detected NEON; lengths asserted.
+        Isa::Neon => unsafe { neon::microkernel(kb, pa, pb, acc) },
+        _ => microkernel_scalar(kb, pa, pb, acc),
+    }
+}
+
+/// Portable microkernel: same summation order as the SIMD tiles, array
+/// conversions hoisted out of the inner loops (`chunks_exact` hands the
+/// compiler fixed-length panels, so the `jj`/`ii` loops are
+/// bounds-check-free and autovectorize).
+fn microkernel_scalar(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MR * NR]) {
+    let pa = &pa[..kb * MR];
+    let pb = &pb[..kb * NR];
+    for (ap, bp) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)) {
+        let ap: &[f64; MR] = ap.try_into().expect("MR panel stripe");
+        let bp: &[f64; NR] = bp.try_into().expect("NR panel stripe");
+        for jj in 0..NR {
+            let bv = bp[jj];
+            for ii in 0..MR {
+                acc[jj * MR + ii] += ap[ii] * bv;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Small-M whole-block GEMM specializations
+// ---------------------------------------------------------------------
+
+/// Block orders served by the whole-block kernels. These are the block
+/// sizes that dominate ARD workloads (DESIGN.md §6.8); the dispatcher in
+/// `gemm` routes exact `M x M x M` products here, skipping packing
+/// entirely.
+pub(crate) const SMALL_DIMS: [usize; 3] = [4, 8, 16];
+
+/// Whole-block `C += alpha * A * B` for square `M x M` operands with
+/// `M` in [`SMALL_DIMS`]. Returns `false` (computing nothing) when the
+/// shape is not an exact small block. Operands may be strided views —
+/// only columns are addressed, and view columns are always contiguous.
+pub(crate) fn gemm_small(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: &mut MatMut<'_>) -> bool {
+    let m = a.rows();
+    if !SMALL_DIMS.contains(&m) || a.cols() != m || b.shape() != (m, m) || c.shape() != (m, m) {
+        return false;
+    }
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma implies runtime-detected AVX2+FMA; the shape
+        // check above guarantees M-long columns with M = 4 * NV.
+        Isa::Avx2Fma => unsafe {
+            match m {
+                4 => x86::small::<4, 1>(alpha, a, b, c),
+                8 => x86::small::<8, 2>(alpha, a, b, c),
+                _ => x86::small::<16, 4>(alpha, a, b, c),
+            }
+        },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: Neon implies runtime-detected NEON; M = 2 * NV.
+        Isa::Neon => unsafe {
+            match m {
+                4 => neon::small::<4, 2>(alpha, a, b, c),
+                8 => neon::small::<8, 4>(alpha, a, b, c),
+                _ => neon::small::<16, 8>(alpha, a, b, c),
+            }
+        },
+        _ => match m {
+            4 => small_scalar::<4>(alpha, a, b, c),
+            8 => small_scalar::<8>(alpha, a, b, c),
+            _ => small_scalar::<16>(alpha, a, b, c),
+        },
+    }
+    true
+}
+
+/// Portable whole-block kernel: fixed-size array views make every loop
+/// bound a compile-time constant, so the body fully unrolls and
+/// autovectorizes without bounds checks.
+fn small_scalar<const M: usize>(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: &mut MatMut<'_>) {
+    for j in 0..M {
+        let bcol: &[f64; M] = b.col(j).try_into().expect("B column");
+        let mut acc = [0.0f64; M];
+        for (k, &bkj) in bcol.iter().enumerate() {
+            let acol: &[f64; M] = a.col(k).try_into().expect("A column");
+            for i in 0..M {
+                acc[i] += acol[i] * bkj;
+            }
+        }
+        let ccol: &mut [f64; M] = c.col_mut(j).try_into().expect("C column");
+        for i in 0..M {
+            ccol[i] += alpha * acc[i];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// x86_64: AVX2 + FMA
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MatMut, MatRef, MR, NR};
+    use core::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_set1_pd,
+        _mm256_setzero_pd, _mm256_storeu_pd,
+    };
+
+    /// Lanes per vector.
+    const V: usize = 4;
+
+    /// `MR x NR` packed microkernel: the 8 x 4 accumulator tile lives in
+    /// eight YMM registers (two per output column), fed by two A loads
+    /// and four B broadcasts per `kb` step — 32 flops per iteration with
+    /// no memory traffic beyond the contiguous packed panels.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA, `pa.len() >= kb * MR` and `pb.len() >= kb * NR`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn microkernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MR * NR]) {
+        debug_assert!(pa.len() >= kb * MR && pb.len() >= kb * NR);
+        let mut c00 = _mm256_setzero_pd();
+        let mut c10 = _mm256_setzero_pd();
+        let mut c01 = _mm256_setzero_pd();
+        let mut c11 = _mm256_setzero_pd();
+        let mut c02 = _mm256_setzero_pd();
+        let mut c12 = _mm256_setzero_pd();
+        let mut c03 = _mm256_setzero_pd();
+        let mut c13 = _mm256_setzero_pd();
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        for _ in 0..kb {
+            let a0 = _mm256_loadu_pd(ap);
+            let a1 = _mm256_loadu_pd(ap.add(V));
+            let b0 = _mm256_set1_pd(*bp);
+            c00 = _mm256_fmadd_pd(a0, b0, c00);
+            c10 = _mm256_fmadd_pd(a1, b0, c10);
+            let b1 = _mm256_set1_pd(*bp.add(1));
+            c01 = _mm256_fmadd_pd(a0, b1, c01);
+            c11 = _mm256_fmadd_pd(a1, b1, c11);
+            let b2 = _mm256_set1_pd(*bp.add(2));
+            c02 = _mm256_fmadd_pd(a0, b2, c02);
+            c12 = _mm256_fmadd_pd(a1, b2, c12);
+            let b3 = _mm256_set1_pd(*bp.add(3));
+            c03 = _mm256_fmadd_pd(a0, b3, c03);
+            c13 = _mm256_fmadd_pd(a1, b3, c13);
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        let out = acc.as_mut_ptr();
+        _mm256_storeu_pd(out, c00);
+        _mm256_storeu_pd(out.add(V), c10);
+        _mm256_storeu_pd(out.add(MR), c01);
+        _mm256_storeu_pd(out.add(MR + V), c11);
+        _mm256_storeu_pd(out.add(2 * MR), c02);
+        _mm256_storeu_pd(out.add(2 * MR + V), c12);
+        _mm256_storeu_pd(out.add(3 * MR), c03);
+        _mm256_storeu_pd(out.add(3 * MR + V), c13);
+    }
+
+    /// `y += w * x` with one fused multiply-add per element.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA and `x.len() == y.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn axpy(w: f64, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = y.len();
+        let wv = _mm256_set1_pd(w);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let mut i = 0;
+        while i + 2 * V <= n {
+            let y0 = _mm256_fmadd_pd(wv, _mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)));
+            let y1 = _mm256_fmadd_pd(
+                wv,
+                _mm256_loadu_pd(xp.add(i + V)),
+                _mm256_loadu_pd(yp.add(i + V)),
+            );
+            _mm256_storeu_pd(yp.add(i), y0);
+            _mm256_storeu_pd(yp.add(i + V), y1);
+            i += 2 * V;
+        }
+        if i + V <= n {
+            let y0 = _mm256_fmadd_pd(wv, _mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)));
+            _mm256_storeu_pd(yp.add(i), y0);
+            i += V;
+        }
+        while i < n {
+            // Scalar fused tail: same one-rounding semantics as the lanes.
+            *yp.add(i) = w.mul_add(*xp.add(i), *yp.add(i));
+            i += 1;
+        }
+    }
+
+    /// Dot product with two independent lane accumulators.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA and `x.len() == y.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 2 * V <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)), acc0);
+            acc1 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(xp.add(i + V)),
+                _mm256_loadu_pd(yp.add(i + V)),
+                acc1,
+            );
+            i += 2 * V;
+        }
+        if i + V <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)), acc0);
+            i += V;
+        }
+        let acc = _mm256_add_pd(acc0, acc1);
+        let mut lanes = [0.0f64; V];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+        let mut s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        while i < n {
+            s = (*xp.add(i)).mul_add(*yp.add(i), s);
+            i += 1;
+        }
+        s
+    }
+
+    /// Whole-block `C += alpha * A * B` for `M x M` operands, `M = 4 * NV`.
+    /// One output column is accumulated in `NV` YMM registers while the
+    /// `M` rank-1 terms stream through broadcasts of B — no packing, no
+    /// scratch.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA; `a`, `b`, `c` must be `M x M` views (their
+    /// columns are contiguous `M`-long slices by the view invariant).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn small<const M: usize, const NV: usize>(
+        alpha: f64,
+        a: MatRef<'_>,
+        b: MatRef<'_>,
+        c: &mut MatMut<'_>,
+    ) {
+        debug_assert!(M == 4 * NV && a.shape() == (M, M));
+        let alphav = _mm256_set1_pd(alpha);
+        for j in 0..M {
+            let bcol = b.col(j);
+            let mut acc = [_mm256_setzero_pd(); NV];
+            for (k, bkj) in bcol.iter().enumerate() {
+                let ap = a.col(k).as_ptr();
+                let bv = _mm256_set1_pd(*bkj);
+                for (v, accv) in acc.iter_mut().enumerate() {
+                    *accv = _mm256_fmadd_pd(_mm256_loadu_pd(ap.add(V * v)), bv, *accv);
+                }
+            }
+            let cp = c.col_mut(j).as_mut_ptr();
+            for (v, &accv) in acc.iter().enumerate() {
+                let cv: __m256d = _mm256_loadu_pd(cp.add(V * v));
+                _mm256_storeu_pd(cp.add(V * v), _mm256_fmadd_pd(alphav, accv, cv));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// aarch64: NEON
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::{MatMut, MatRef, MR, NR};
+    use core::arch::aarch64::{vaddq_f64, vdupq_n_f64, vfmaq_f64, vld1q_f64, vst1q_f64};
+
+    /// Lanes per vector.
+    const V: usize = 2;
+
+    /// `MR x NR` packed microkernel: 16 two-lane accumulators (four per
+    /// output column).
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON, `pa.len() >= kb * MR` and `pb.len() >= kb * NR`.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn microkernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MR * NR]) {
+        debug_assert!(pa.len() >= kb * MR && pb.len() >= kb * NR);
+        let mut tile = [[vdupq_n_f64(0.0); MR / V]; NR];
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        for _ in 0..kb {
+            let a = [
+                vld1q_f64(ap),
+                vld1q_f64(ap.add(V)),
+                vld1q_f64(ap.add(2 * V)),
+                vld1q_f64(ap.add(3 * V)),
+            ];
+            for (jj, col) in tile.iter_mut().enumerate() {
+                let bv = vdupq_n_f64(*bp.add(jj));
+                for (v, accv) in col.iter_mut().enumerate() {
+                    *accv = vfmaq_f64(*accv, a[v], bv);
+                }
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        let out = acc.as_mut_ptr();
+        for (jj, col) in tile.iter().enumerate() {
+            for (v, &accv) in col.iter().enumerate() {
+                vst1q_f64(out.add(jj * MR + v * V), accv);
+            }
+        }
+    }
+
+    /// `y += w * x` with one fused multiply-add per element.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON and `x.len() == y.len()`.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn axpy(w: f64, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = y.len();
+        let wv = vdupq_n_f64(w);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let mut i = 0;
+        while i + 2 * V <= n {
+            let y0 = vfmaq_f64(vld1q_f64(yp.add(i)), vld1q_f64(xp.add(i)), wv);
+            let y1 = vfmaq_f64(vld1q_f64(yp.add(i + V)), vld1q_f64(xp.add(i + V)), wv);
+            vst1q_f64(yp.add(i), y0);
+            vst1q_f64(yp.add(i + V), y1);
+            i += 2 * V;
+        }
+        if i + V <= n {
+            let y0 = vfmaq_f64(vld1q_f64(yp.add(i)), vld1q_f64(xp.add(i)), wv);
+            vst1q_f64(yp.add(i), y0);
+            i += V;
+        }
+        while i < n {
+            *yp.add(i) = w.mul_add(*xp.add(i), *yp.add(i));
+            i += 1;
+        }
+    }
+
+    /// Dot product with two independent lane accumulators.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON and `x.len() == y.len()`.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let mut acc0 = vdupq_n_f64(0.0);
+        let mut acc1 = vdupq_n_f64(0.0);
+        let mut i = 0;
+        while i + 2 * V <= n {
+            acc0 = vfmaq_f64(acc0, vld1q_f64(xp.add(i)), vld1q_f64(yp.add(i)));
+            acc1 = vfmaq_f64(acc1, vld1q_f64(xp.add(i + V)), vld1q_f64(yp.add(i + V)));
+            i += 2 * V;
+        }
+        if i + V <= n {
+            acc0 = vfmaq_f64(acc0, vld1q_f64(xp.add(i)), vld1q_f64(yp.add(i)));
+            i += V;
+        }
+        let acc = vaddq_f64(acc0, acc1);
+        let mut lanes = [0.0f64; V];
+        vst1q_f64(lanes.as_mut_ptr(), acc);
+        let mut s = lanes[0] + lanes[1];
+        while i < n {
+            s = (*xp.add(i)).mul_add(*yp.add(i), s);
+            i += 1;
+        }
+        s
+    }
+
+    /// Whole-block `C += alpha * A * B` for `M x M` operands, `M = 2 * NV`.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON; `a`, `b`, `c` must be `M x M` views.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn small<const M: usize, const NV: usize>(
+        alpha: f64,
+        a: MatRef<'_>,
+        b: MatRef<'_>,
+        c: &mut MatMut<'_>,
+    ) {
+        debug_assert!(M == 2 * NV && a.shape() == (M, M));
+        let alphav = vdupq_n_f64(alpha);
+        for j in 0..M {
+            let bcol = b.col(j);
+            let mut acc = [vdupq_n_f64(0.0); NV];
+            for (k, bkj) in bcol.iter().enumerate() {
+                let ap = a.col(k).as_ptr();
+                let bv = vdupq_n_f64(*bkj);
+                for (v, accv) in acc.iter_mut().enumerate() {
+                    *accv = vfmaq_f64(*accv, vld1q_f64(ap.add(V * v)), bv);
+                }
+            }
+            let cp = c.col_mut(j).as_mut_ptr();
+            for (v, &accv) in acc.iter().enumerate() {
+                let cv = vld1q_f64(cp.add(V * v));
+                vst1q_f64(cp.add(V * v), vfmaq_f64(cv, alphav, accv));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    /// Serializes tests that touch the process-global dispatch state.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Restores the previously active ISA on drop.
+    struct IsaGuard(Isa);
+    impl Drop for IsaGuard {
+        fn drop(&mut self) {
+            force(Some(self.0));
+        }
+    }
+    fn pin(isa: Isa) -> IsaGuard {
+        IsaGuard(force(Some(isa)))
+    }
+
+    #[test]
+    fn detection_is_cached_and_forcible() {
+        let _l = lock();
+        let detected = active();
+        {
+            let _g = pin(Isa::Scalar);
+            assert_eq!(active(), Isa::Scalar);
+        }
+        assert_eq!(active(), detected, "force(None) re-detects");
+    }
+
+    #[test]
+    fn axpy_matches_scalar_reference() {
+        let _l = lock();
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 31, 64, 100] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let y0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+            let w = -1.75;
+            let mut expect = y0.clone();
+            for (e, xv) in expect.iter_mut().zip(&x) {
+                *e += w * xv;
+            }
+            let mut got = y0.clone();
+            axpy(w, &x, &mut got);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((g - e).abs() <= 1e-15 * e.abs().max(1.0), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_propagates_zero_times_nan() {
+        let _l = lock();
+        let x = [f64::NAN, f64::INFINITY, 1.0];
+        let mut y = [0.0; 3];
+        axpy(0.0, &x, &mut y);
+        assert!(y[0].is_nan() && y[1].is_nan());
+        assert_eq!(y[2], 0.0);
+    }
+
+    #[test]
+    fn dot_matches_scalar_reference() {
+        let _l = lock();
+        for n in [0usize, 1, 2, 5, 8, 13, 16, 33, 100] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+            let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).cos()).collect();
+            let expect: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let got = dot(&x, &y);
+            assert!(
+                (got - expect).abs() <= 1e-13 * expect.abs().max(1.0),
+                "n={n}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn microkernel_paths_agree() {
+        let _l = lock();
+        let kb = 37;
+        let pa: Vec<f64> = (0..kb * MR).map(|i| (i as f64 * 0.17).sin()).collect();
+        let pb: Vec<f64> = (0..kb * NR).map(|i| (i as f64 * 0.29).cos()).collect();
+        let mut scalar = [0.0f64; MR * NR];
+        {
+            let _g = pin(Isa::Scalar);
+            microkernel(kb, &pa, &pb, &mut scalar);
+        }
+        let mut active_path = [0.0f64; MR * NR];
+        microkernel(kb, &pa, &pb, &mut active_path);
+        for (s, v) in scalar.iter().zip(&active_path) {
+            assert!((s - v).abs() <= 1e-13 * s.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn small_kernel_paths_agree_and_respect_alpha() {
+        let _l = lock();
+        for m in SMALL_DIMS {
+            let a = Mat::from_fn(m, m, |i, j| ((i * m + j) as f64 * 0.31).sin());
+            let b = Mat::from_fn(m, m, |i, j| ((i + 2 * j) as f64 * 0.17).cos());
+            let c0 = Mat::from_fn(m, m, |i, j| (i as f64 - j as f64) * 0.05);
+            let mut scalar = c0.clone();
+            {
+                let _g = pin(Isa::Scalar);
+                assert!(gemm_small(
+                    -1.5,
+                    a.as_ref(),
+                    b.as_ref(),
+                    &mut scalar.as_mut()
+                ));
+            }
+            let mut active_path = c0.clone();
+            assert!(gemm_small(
+                -1.5,
+                a.as_ref(),
+                b.as_ref(),
+                &mut active_path.as_mut()
+            ));
+            assert!(
+                scalar.sub(&active_path).max_abs() <= 1e-13 * m as f64,
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_kernel_rejects_unsupported_shapes() {
+        let _l = lock();
+        let a = Mat::zeros(5, 5);
+        let b = Mat::zeros(5, 5);
+        let mut c = Mat::zeros(5, 5);
+        assert!(!gemm_small(1.0, a.as_ref(), b.as_ref(), &mut c.as_mut()));
+        let a8 = Mat::zeros(8, 8);
+        let b84 = Mat::zeros(8, 4);
+        let mut c84 = Mat::zeros(8, 4);
+        assert!(!gemm_small(
+            1.0,
+            a8.as_ref(),
+            b84.as_ref(),
+            &mut c84.as_mut()
+        ));
+    }
+}
