@@ -153,9 +153,16 @@ fn main() {
     let generated_unix_s = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
+    // Run metadata following the bt-bench-gemm-v2 convention: detected
+    // SIMD path and the environment's kernel thread budget, so stale or
+    // cross-host JSON is recognizable.
+    let simd = bt_dense::simd::active().name();
+    let bt_dense_threads = bt_dense::threading::default_threads();
     let json = format!(
-        "{{\n  \"bench\": \"ard_solve_replay_workspace\",\n  \"schema\": \"bt-bench-solve-v1\",\n  \
-         \"generated_unix_s\": {generated_unix_s},\n  \"n\": {n},\n  \"m\": {m},\n  \"p\": {p},\n  \
+        "{{\n  \"bench\": \"ard_solve_replay_workspace\",\n  \"schema\": \"bt-bench-solve-v2\",\n  \
+         \"generated_unix_s\": {generated_unix_s},\n  \
+         \"simd\": \"{simd}\",\n  \"bt_dense_threads\": {bt_dense_threads},\n  \
+         \"n\": {n},\n  \"m\": {m},\n  \"p\": {p},\n  \
          \"reps\": {reps},\n  \"smoke\": {smoke},\n  \
          \"note\": \"best-of-N wall clock, slowest-rank times; 'cold' drains the \
          workspace and panel pools per call (pre-workspace allocate-per-call \

@@ -167,25 +167,41 @@ impl PcrRankFactors {
         let mut level_idx = 0u64;
         let mut pending_err: Option<FactorError> = None;
         while s < n {
-            // ---- Halo exchange of current (A, B, C) rows. -----------
+            // ---- Halo exchange of current (A, B, C) rows: the stencil
+            // is symmetric (I need rows from exactly the peers that need
+            // mine, row-for-row), so each peer is one paired
+            // `exchange_panel` of row-stacked `count*M x 3M` panels
+            // `[A | B | C]`. Sorted peer order on both sides plus
+            // eager-buffered sends make the pairing deadlock-free.
             let (needs, gives) = halo_plan(&part, comm.rank(), s);
             let tag = tags::SETUP + 2 * level_idx;
-            for (dst, idxs) in &gives {
-                let payload: Vec<(usize, Mat, Mat, Mat)> = idxs
-                    .iter()
-                    .map(|&j| {
-                        let r = &rows[j - sys.lo];
-                        (j, r.a.clone(), r.b.clone(), r.c.clone())
-                    })
-                    .collect();
-                comm.send(*dst, tag, payload);
-            }
+            debug_assert_eq!(needs.len(), gives.len());
             let mut remote: Vec<(usize, RowCoef)> = Vec::new();
-            for (src, idxs) in &needs {
-                let payload: Vec<(usize, Mat, Mat, Mat)> = comm.recv(*src, tag);
-                debug_assert_eq!(payload.len(), idxs.len());
-                for (j, a, b, c) in payload {
-                    remote.push((j, RowCoef { a, b, c }));
+            for ((src, need_rows), (dst, give_rows)) in needs.iter().zip(&gives) {
+                debug_assert_eq!(src, dst);
+                debug_assert_eq!(need_rows.len(), give_rows.len());
+                let mut sbuf = Mat::zeros(give_rows.len() * m, 3 * m);
+                for (t, &j) in give_rows.iter().enumerate() {
+                    let r = &rows[j - sys.lo];
+                    sbuf.set_block(t * m, 0, &r.a);
+                    sbuf.set_block(t * m, m, &r.b);
+                    sbuf.set_block(t * m, 2 * m, &r.c);
+                }
+                let mut rbuf = Mat::zeros(need_rows.len() * m, 3 * m);
+                comm.exchange_panel(
+                    tag,
+                    Some((*dst, sbuf.as_ref())),
+                    Some((*src, rbuf.as_mut())),
+                );
+                for (t, &j) in need_rows.iter().enumerate() {
+                    remote.push((
+                        j,
+                        RowCoef {
+                            a: rbuf.block(t * m, 0, m, m),
+                            b: rbuf.block(t * m, m, m, m),
+                            c: rbuf.block(t * m, 2 * m, m, m),
+                        },
+                    ));
                 }
             }
             let fetch = |j: usize| -> &RowCoef {
@@ -357,17 +373,27 @@ impl PcrRankFactors {
 
         let mut s = 1usize;
         for (level_idx, coef) in self.levels.iter().enumerate() {
+            // Same symmetric paired exchange as setup, with row-stacked
+            // `count*M x R` right-hand-side panels.
             let (needs, gives) = halo_plan(&self.part, comm.rank(), s);
             let tag = tags::SOLVE + 2 * level_idx as u64;
-            for (dst, idxs) in &gives {
-                let payload: Vec<(usize, Mat)> =
-                    idxs.iter().map(|&j| (j, y[j - self.lo].clone())).collect();
-                comm.send(*dst, tag, payload);
-            }
+            debug_assert_eq!(needs.len(), gives.len());
             let mut remote: Vec<(usize, Mat)> = Vec::new();
-            for (src, _) in &needs {
-                let payload: Vec<(usize, Mat)> = comm.recv(*src, tag);
-                remote.extend(payload);
+            for ((src, need_rows), (dst, give_rows)) in needs.iter().zip(&gives) {
+                debug_assert_eq!(src, dst);
+                let mut sbuf = Mat::zeros(give_rows.len() * m, r);
+                for (t, &j) in give_rows.iter().enumerate() {
+                    sbuf.set_block(t * m, 0, &y[j - self.lo]);
+                }
+                let mut rbuf = Mat::zeros(need_rows.len() * m, r);
+                comm.exchange_panel(
+                    tag,
+                    Some((*dst, sbuf.as_ref())),
+                    Some((*src, rbuf.as_mut())),
+                );
+                for (t, &j) in need_rows.iter().enumerate() {
+                    remote.push((j, rbuf.block(t * m, 0, m, r)));
+                }
             }
             let fetch = |j: usize| -> &Mat {
                 if (self.lo..self.hi).contains(&j) {

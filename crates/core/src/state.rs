@@ -26,7 +26,8 @@ use bt_mpsim::Comm;
 use crate::companion::{CompanionProduct, CompanionState, CompanionW};
 use crate::pairs::AffinePair;
 use crate::scans::{
-    affine_exscan_fresh, affine_exscan_replay, companion_exscan, Direction, ScanTrace,
+    affine_exscan_fresh, affine_exscan_replay_tiled, auto_rhs_tile, companion_exscan, Direction,
+    ScanTrace,
 };
 
 /// Tag bases for the point-to-point scans (each scan uses `base + step`).
@@ -604,6 +605,20 @@ impl ArdRankFactors {
         self.ws.borrow_mut().reset();
     }
 
+    /// Replay-pipeline RHS tile width for an `M x R` batch: the
+    /// `BT_ARD_RHS_TILE` override when set (`0`/unset means auto), else
+    /// the cost-model calibration in [`auto_rhs_tile`].
+    fn resolve_rhs_tile(comm: &Comm, m: usize, r: usize) -> usize {
+        static ENV_TILE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+        let env = *ENV_TILE.get_or_init(|| {
+            std::env::var("BT_ARD_RHS_TILE")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&t| t > 0)
+        });
+        env.unwrap_or_else(|| auto_rhs_tile(&comm.model(), m, r))
+    }
+
     /// Fresh `M x R` output panels matching a right-hand-side batch.
     fn alloc_out(y_local: &[Mat]) -> Vec<Mat> {
         y_local
@@ -640,11 +655,33 @@ impl ArdRankFactors {
     /// Same conditions as [`ArdRankFactors::solve_replay`], plus `out`
     /// shape mismatch.
     pub fn solve_replay_into(&self, comm: &mut Comm, y_local: &[Mat], out: &mut [Mat]) {
+        let r = y_local.first().map_or(0, |p| p.cols());
+        let tile = Self::resolve_rhs_tile(comm, self.m, r);
+        self.solve_replay_into_tiled(comm, y_local, out, tile);
+    }
+
+    /// [`ArdRankFactors::solve_replay_into`] with an explicit RHS tile
+    /// width for the scan pipeline (see
+    /// [`affine_exscan_replay_tiled`]); output is bitwise identical for
+    /// every `tile`. Exposed for benches and tile-sweep tests — normal
+    /// callers should use [`ArdRankFactors::solve_replay_into`], which
+    /// resolves the tile from `BT_ARD_RHS_TILE` or the cost model.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ArdRankFactors::solve_replay_into`].
+    pub fn solve_replay_into_tiled(
+        &self,
+        comm: &mut Comm,
+        y_local: &[Mat],
+        out: &mut [Mat],
+        tile: usize,
+    ) {
         assert!(
             self.recorded,
             "solve_replay requires setup(record_traces = true)"
         );
-        self.solve_into_impl(comm, y_local, out, true);
+        self.solve_into_impl(comm, y_local, out, true, tile);
     }
 
     /// Solves one batch with **fresh** scans (classic recursive
@@ -652,7 +689,8 @@ impl ArdRankFactors {
     /// combine pays the `O(M^3)` product. Collective.
     pub fn solve_fresh(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
         let mut out = Self::alloc_out(y_local);
-        self.solve_into_impl(comm, y_local, &mut out, false);
+        let r = y_local.first().map_or(0, |p| p.cols());
+        self.solve_into_impl(comm, y_local, &mut out, false, r.max(1));
         out
     }
 
@@ -683,6 +721,26 @@ impl ArdRankFactors {
     /// Same conditions as [`ArdRankFactors::solve_replay_lean`], plus
     /// `out` shape mismatch.
     pub fn solve_replay_lean_into(&self, comm: &mut Comm, y_local: &[Mat], out: &mut [Mat]) {
+        let r = y_local.first().map_or(0, |p| p.cols());
+        let tile = Self::resolve_rhs_tile(comm, self.m, r);
+        self.solve_replay_lean_into_tiled(comm, y_local, out, tile);
+    }
+
+    /// [`ArdRankFactors::solve_replay_lean_into`] with an explicit RHS
+    /// tile width for the scan pipeline; output is bitwise identical
+    /// for every `tile`. See
+    /// [`ArdRankFactors::solve_replay_into_tiled`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ArdRankFactors::solve_replay_lean_into`].
+    pub fn solve_replay_lean_into_tiled(
+        &self,
+        comm: &mut Comm,
+        y_local: &[Mat],
+        out: &mut [Mat],
+        tile: usize,
+    ) {
         assert!(
             self.recorded,
             "solve_replay_lean requires setup(record_traces = true)"
@@ -709,13 +767,14 @@ impl ArdRankFactors {
                 comm.compute(gemm_flops(m, m, r));
             }
             let total = ws.take_copy(out[nl - 1].as_ref());
-            let none = affine_exscan_replay(
+            let none = affine_exscan_replay_tiled(
                 comm,
                 Direction::Forward,
                 tags::FWD_SOLVE,
                 total,
                 &self.fwd_trace,
                 &mut ws,
+                tile,
             );
             debug_assert!(none.is_none());
         } else {
@@ -726,13 +785,14 @@ impl ArdRankFactors {
                 comm.compute(gemm_flops(m, m, r));
                 ws.put(std::mem::replace(&mut total, v));
             }
-            let v_excl = affine_exscan_replay(
+            let v_excl = affine_exscan_replay_tiled(
                 comm,
                 Direction::Forward,
                 tags::FWD_SOLVE,
                 total,
                 &self.fwd_trace,
                 &mut ws,
+                tile,
             )
             .expect("non-first rank always has an exclusive value");
             for k in 0..nl {
@@ -775,13 +835,14 @@ impl ArdRankFactors {
                 comm.compute(gemm_flops(m, m, r));
             }
             let total = ws.take_copy(out[0].as_ref());
-            let none = affine_exscan_replay(
+            let none = affine_exscan_replay_tiled(
                 comm,
                 Direction::Backward,
                 tags::BWD_SOLVE,
                 total,
                 &self.bwd_trace,
                 &mut ws,
+                tile,
             );
             debug_assert!(none.is_none());
         } else {
@@ -792,13 +853,14 @@ impl ArdRankFactors {
                 comm.compute(gemm_flops(m, m, r));
                 ws.put(std::mem::replace(&mut total, v));
             }
-            let w_excl = affine_exscan_replay(
+            let w_excl = affine_exscan_replay_tiled(
                 comm,
                 Direction::Backward,
                 tags::BWD_SOLVE,
                 total,
                 &self.bwd_trace,
                 &mut ws,
+                tile,
             )
             .expect("non-last rank always has a backward exclusive value");
             for k in (0..nl).rev() {
@@ -848,7 +910,14 @@ impl ArdRankFactors {
     /// [`ArdRankFactors::solve_fresh`]. `out` carries the working panels
     /// through every stage (v_hat -> z -> h -> w_hat -> x in place); all
     /// other temporaries cycle through the rank workspace.
-    fn solve_into_impl(&self, comm: &mut Comm, y_local: &[Mat], out: &mut [Mat], replay: bool) {
+    fn solve_into_impl(
+        &self,
+        comm: &mut Comm,
+        y_local: &[Mat],
+        out: &mut [Mat],
+        replay: bool,
+        tile: usize,
+    ) {
         let m = self.m;
         let nl = self.local_len();
         let r = Self::check_panels(m, nl, y_local, out);
@@ -870,13 +939,14 @@ impl ArdRankFactors {
         // Cross-rank scan.
         let v_excl = if replay {
             let total = ws.take_copy(out[nl - 1].as_ref());
-            affine_exscan_replay(
+            affine_exscan_replay_tiled(
                 comm,
                 Direction::Forward,
                 tags::FWD_SOLVE,
                 total,
                 &self.fwd_trace,
                 &mut ws,
+                tile,
             )
         } else {
             let total = AffinePair {
@@ -934,13 +1004,14 @@ impl ArdRankFactors {
         }
         let w_excl = if replay {
             let total = ws.take_copy(out[0].as_ref());
-            affine_exscan_replay(
+            affine_exscan_replay_tiled(
                 comm,
                 Direction::Backward,
                 tags::BWD_SOLVE,
                 total,
                 &self.bwd_trace,
                 &mut ws,
+                tile,
             )
         } else {
             let total = AffinePair {

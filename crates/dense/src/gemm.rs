@@ -257,6 +257,62 @@ pub fn gemm_small<'a, 'b, 'c>(
     hit
 }
 
+/// A kernel choice frozen from a *full* problem shape, applicable to
+/// any column slice of that problem.
+///
+/// The dispatcher in [`gemm`] picks packed vs. AXPY from `2*m*k*n`, so
+/// naively calling `gemm` per column-tile of a wide panel can cross the
+/// crossover threshold (or, for square tiles, hit the small-block
+/// kernels) and change the kernel — and with it the bitwise result —
+/// as a function of the tile width. `ColsplitPlan` freezes the decision
+/// once, from the full `(m, k, n)`: both selectable kernels accumulate
+/// each output column independently in fixed `k`-order (packed's NR
+/// zero-padding is inert, AXPY's column loop is outermost), so applying
+/// the same plan tile-by-tile is bitwise identical to one full-width
+/// call. Used by the RHS-tiled replay pipeline in bt-ard.
+///
+/// The small-block kernels are deliberately never chosen: they require
+/// exact `M x M` shapes, which a partial tile cannot guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColsplitPlan {
+    packed: bool,
+}
+
+/// Freezes the packed-vs-AXPY kernel choice for the full `(m, k, n)`
+/// problem, for column-tiled application via [`ColsplitPlan::apply`].
+pub fn colsplit_plan(m: usize, k: usize, n: usize) -> ColsplitPlan {
+    let packed_min = if simd::active() == Isa::Scalar {
+        PACKED_MIN_FLOPS_SCALAR
+    } else {
+        PACKED_MIN_FLOPS_SIMD
+    };
+    ColsplitPlan {
+        packed: 2 * m * k * n >= packed_min,
+    }
+}
+
+impl ColsplitPlan {
+    /// `C += alpha * A * B` with the frozen kernel. `b`/`c` may be any
+    /// column slice of the planned problem (same `m` and `k`, any `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not conformable.
+    pub fn apply<'a, 'b, 'c>(
+        &self,
+        alpha: f64,
+        a: impl Into<MatRef<'a>>,
+        b: impl Into<MatRef<'b>>,
+        c: impl Into<MatMut<'c>>,
+    ) {
+        if self.packed {
+            gemm_packed_ref(alpha, a.into(), b.into(), c.into());
+        } else {
+            gemm_axpy_ref(alpha, a.into(), b.into(), c.into());
+        }
+    }
+}
+
 /// Cache-blocked `C += alpha * A * B` with AXPY inner loops (j-k-i loop
 /// order). The small-problem kernel; exposed for benchmarking against
 /// [`gemm_packed`].
@@ -905,5 +961,44 @@ mod tests {
     fn flop_count_formula() {
         assert_eq!(gemm_flops(2, 3, 4), 48);
         assert_eq!(gemm_flops(0, 3, 4), 0);
+    }
+
+    #[test]
+    fn colsplit_plan_tiled_is_bitwise_identical() {
+        // Column-tiled application of a frozen plan must reproduce the
+        // full-width product bit for bit, for every tile width — the
+        // invariant the RHS-tiled replay pipeline rests on. Shapes span
+        // both sides of the packed crossover, including square m == n
+        // cases the top-level dispatcher would send to the small kernels.
+        for &(m, k, n) in &[(4, 4, 4), (8, 8, 8), (5, 7, 23), (16, 16, 64), (32, 32, 33)] {
+            let a = seq_mat(m, k, 0.3);
+            let b = seq_mat(k, n, 0.7);
+            let plan = colsplit_plan(m, k, n);
+            let mut full = Mat::zeros(m, n);
+            plan.apply(1.5, &a, &b, &mut full);
+            for tile in [1, 2, 3, n.div_ceil(2), n, n + 5] {
+                let mut tiled = Mat::zeros(m, n);
+                let mut c0 = 0;
+                while c0 < n {
+                    let w = tile.min(n - c0);
+                    plan.apply(
+                        1.5,
+                        &a,
+                        b.as_ref().submatrix(0, c0, k, w),
+                        tiled.as_mut().submatrix_mut(0, c0, m, w),
+                    );
+                    c0 += w;
+                }
+                assert_eq!(full, tiled, "{m}x{k}x{n} tile={tile}");
+            }
+        }
+    }
+
+    #[test]
+    fn colsplit_plan_matches_dispatch_threshold() {
+        // Tiny problem: AXPY side of the crossover on every ISA.
+        assert_eq!(colsplit_plan(2, 2, 2), ColsplitPlan { packed: false });
+        // Huge problem: packed on every ISA (2 * 128^3 > 500k).
+        assert_eq!(colsplit_plan(128, 128, 128), ColsplitPlan { packed: true });
     }
 }

@@ -30,6 +30,102 @@ use crate::trace::TraceEvent;
 /// First tag value reserved for collectives; user tags must be below this.
 pub const USER_TAG_LIMIT: u64 = 1 << 48;
 
+/// Depth of this rank's nonblocking-receive queue at each
+/// [`Comm::irecv_panel_into`] post (no-op unless `BT_OBS` is on).
+static OBS_INFLIGHT_DEPTH: bt_obs::Histogram =
+    bt_obs::Histogram::new("bt_mpsim.comm.inflight_depth");
+
+/// Handle for a posted [`Comm::isend_panel`]. Sends in this runtime are
+/// buffered-eager (the payload is fully packed into a pooled
+/// [`PanelBuf`] at post time), so the request is complete the moment it
+/// exists; the handle keeps MPI-style call symmetry so SPMD programs
+/// read like their MPI counterparts.
+#[derive(Debug)]
+#[must_use = "MPI-style requests should be completed with wait()"]
+pub struct SendRequest {
+    _private: (),
+}
+
+impl SendRequest {
+    /// Always true: buffered sends complete at post time.
+    pub fn test(&self, _comm: &mut Comm) -> bool {
+        true
+    }
+
+    /// Completes the (already complete) send.
+    pub fn wait(self, _comm: &mut Comm) {}
+}
+
+/// Handle for a posted [`Comm::irecv_panel_into`].
+///
+/// The request owns the destination buffer; [`RecvRequest::wait`]
+/// blocks for the matching message, unpacks it into the buffer and
+/// returns it. Requests posted on the same `(source, tag)` pair
+/// complete in post order (the runtime delivers per-`(src, dst, tag)`
+/// FIFO), which is what lets a software pipeline share one tag across
+/// all tiles of a scan round.
+///
+/// Dropping a request without waiting panics — an outstanding receive
+/// at rank exit is a lost message and almost certainly a pipeline bug.
+#[derive(Debug)]
+#[must_use = "an irecv must be completed with wait() (dropping panics)"]
+pub struct RecvRequest {
+    src: usize,
+    tag: u64,
+    /// Virtual time the receive was posted.
+    posted_at: f64,
+    /// Destination buffer; `None` once waited.
+    out: Option<bt_dense::Mat>,
+}
+
+impl RecvRequest {
+    /// Virtual time at which this receive was posted.
+    #[inline]
+    pub fn posted_at(&self) -> f64 {
+        self.posted_at
+    }
+
+    /// True when the matching message has physically arrived **and** is
+    /// virtually available (`avail_at <= comm.virtual_time()`). Does not
+    /// advance the clock or consume the message.
+    ///
+    /// Note the physical-arrival half makes a bare `while !test {}` spin
+    /// nondeterministic (and, under virtual time, potentially endless:
+    /// the clock only advances through compute/wait). Use it to
+    /// opportunistically drain, not to synchronize — that is
+    /// [`RecvRequest::wait`]'s job.
+    pub fn test(&self, comm: &mut Comm) -> bool {
+        comm.probe(self.src, self.tag)
+    }
+
+    /// Completes the receive: blocks until the matching message arrives,
+    /// charges the virtual clock `max(now, avail_at)` (communication
+    /// time that elapsed behind compute since the post is *not* re-paid
+    /// — this is the overlap accounting), unpacks the panel into the
+    /// owned buffer and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`Comm::recv`], plus a shape
+    /// mismatch between the sent panel and the posted buffer.
+    pub fn wait(mut self, comm: &mut Comm) -> bt_dense::Mat {
+        let mut out = self.out.take().expect("request not yet waited");
+        comm.complete_irecv(&self, out.as_mut());
+        out
+    }
+}
+
+impl Drop for RecvRequest {
+    fn drop(&mut self) {
+        if self.out.is_some() && !std::thread::panicking() {
+            panic!(
+                "RecvRequest (src {}, tag {}) dropped without wait()",
+                self.src, self.tag
+            );
+        }
+    }
+}
+
 /// A message in flight.
 pub(crate) struct Envelope {
     pub tag: u64,
@@ -50,6 +146,18 @@ pub struct Comm {
     pub(crate) stats: RankStats,
     /// Virtual clock (seconds since program start).
     pub(crate) clock: f64,
+    /// Per-destination virtual time until which this rank's outgoing
+    /// link is occupied by earlier messages (the serialization term of
+    /// the overlap model — see [`CostModel`]).
+    link_busy: Vec<f64>,
+    /// Outstanding nonblocking receives (posted, not yet waited).
+    inflight_recvs: usize,
+    /// Virtual seconds nonblocking receives spent in flight after their
+    /// post (denominator of the overlap ratio).
+    inflight_s: f64,
+    /// Virtual seconds of that in-flight time hidden behind compute
+    /// (numerator of the overlap ratio).
+    overlap_s: f64,
     model: CostModel,
     /// Sequence number ensuring successive collectives use distinct tags.
     pub(crate) collective_seq: u64,
@@ -73,6 +181,10 @@ impl Comm {
             pending: (0..size).map(|_| VecDeque::new()).collect(),
             stats: RankStats::default(),
             clock: 0.0,
+            link_busy: vec![0.0; size],
+            inflight_recvs: 0,
+            inflight_s: 0.0,
+            overlap_s: 0.0,
             model,
             collective_seq: 0,
             tracer: None,
@@ -140,12 +252,21 @@ impl Comm {
                 bytes,
             });
         }
+        // Link serialization: back-to-back messages to the same
+        // destination queue behind each other's *transfer* (beta) term,
+        // so splitting a panel into T tiles cannot buy wire-level
+        // parallelism — the last tile of a tiled burst becomes available
+        // no earlier than one monolithic message would have (the alpha
+        // terms of consecutive tiles do overlap, as they would under
+        // MPI's pipelined rendezvous).
+        let inject = self.clock.max(self.link_busy[dest]);
         let env = Envelope {
             tag,
             bytes,
-            avail_at: self.clock + self.model.msg_time(bytes),
+            avail_at: inject + self.model.msg_time(bytes),
             payload: Box::new(value),
         };
+        self.link_busy[dest] = inject + self.model.per_byte_s * bytes as f64;
         self.senders[dest]
             .send(env)
             .unwrap_or_else(|_| panic!("rank {}: send to terminated rank {dest}", self.rank));
@@ -172,6 +293,172 @@ impl Comm {
     /// the sent panel and `out`.
     pub fn recv_panel_into(&mut self, src: usize, tag: u64, out: bt_dense::MatMut<'_>) {
         self.recv::<PanelBuf>(src, tag).unpack_into(out);
+    }
+
+    /// Nonblocking panel send. Identical wire behaviour to
+    /// [`Comm::send_panel`] — sends are buffered-eager, so the payload
+    /// is packed (into a pooled [`PanelBuf`]) and queued immediately and
+    /// the returned request is already complete. The handle exists for
+    /// MPI-call symmetry; the crossed-isend deadlock freedom MPI only
+    /// *allows* is guaranteed here.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Comm::send`].
+    pub fn isend_panel(
+        &mut self,
+        dest: usize,
+        tag: u64,
+        panel: bt_dense::MatRef<'_>,
+    ) -> SendRequest {
+        self.send_panel(dest, tag, panel);
+        SendRequest { _private: () }
+    }
+
+    /// Posts a nonblocking receive of a panel from `src` with `tag`,
+    /// taking ownership of the destination buffer `out` (typically a
+    /// [`bt_dense::Workspace`] checkout). Completion —
+    /// [`RecvRequest::wait`] — blocks for the message, unpacks it into
+    /// the buffer and hands the buffer back.
+    ///
+    /// Posting does not advance the clock; the virtual-time charge at
+    /// completion is `max(now, avail_at)`, so message transfer time that
+    /// elapsed under compute issued between post and wait is charged as
+    /// `max(compute, comm)` rather than `compute + comm`. Requests on
+    /// the same `(src, tag)` complete in post order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src >= size()` or `tag` is in the collective-reserved
+    /// range.
+    pub fn irecv_panel_into(&mut self, src: usize, tag: u64, out: bt_dense::Mat) -> RecvRequest {
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} is reserved for collectives"
+        );
+        assert!(
+            src < self.size,
+            "irecv from rank {src} in a world of size {}",
+            self.size
+        );
+        self.inflight_recvs += 1;
+        if bt_obs::enabled() {
+            OBS_INFLIGHT_DEPTH.record(self.inflight_recvs as u64);
+        }
+        if let Some(tr) = &mut self.tracer {
+            tr.push(TraceEvent::IrecvPost {
+                at: self.clock,
+                src,
+                tag,
+            });
+        }
+        RecvRequest {
+            src,
+            tag,
+            posted_at: self.clock,
+            out: Some(out),
+        }
+    }
+
+    /// Number of posted-but-not-yet-waited nonblocking receives.
+    #[inline]
+    pub fn inflight_recvs(&self) -> usize {
+        self.inflight_recvs
+    }
+
+    /// Virtual seconds nonblocking receives spent in flight between
+    /// post and completion (the overlap ratio's denominator).
+    #[inline]
+    pub fn inflight_seconds(&self) -> f64 {
+        self.inflight_s
+    }
+
+    /// Virtual seconds of in-flight communication hidden behind compute
+    /// — in-flight time this rank did **not** spend blocked in `wait`.
+    /// `overlap_seconds() / inflight_seconds()` is the run's overlap
+    /// ratio: 0 for a post-then-immediately-wait pattern, approaching 1
+    /// for a perfectly hidden pipeline.
+    #[inline]
+    pub fn overlap_seconds(&self) -> f64 {
+        self.overlap_s
+    }
+
+    /// Shared completion path for [`RecvRequest::wait`].
+    fn complete_irecv(&mut self, req: &RecvRequest, out: bt_dense::MatMut<'_>) {
+        let start = self.clock;
+        let env = self.wait_for(req.src, req.tag);
+        self.stats.msgs_recv += 1;
+        self.stats.bytes_recv += env.bytes;
+        self.stats.nb_recvs += 1;
+        self.clock = self.clock.max(env.avail_at);
+        let blocked = self.clock - start;
+        // Time the message spent in flight after the post; the part not
+        // spent blocked here was hidden behind compute.
+        let in_flight = (env.avail_at - req.posted_at).max(0.0);
+        let hidden = (in_flight - blocked).max(0.0);
+        self.inflight_s += in_flight;
+        self.overlap_s += hidden;
+        self.stats.overlap_ns += (hidden * 1e9).round() as u64;
+        self.inflight_recvs = self.inflight_recvs.saturating_sub(1);
+        if let Some(tr) = &mut self.tracer {
+            tr.push(TraceEvent::IrecvWait {
+                posted: req.posted_at,
+                start,
+                wait: blocked,
+                src: req.src,
+                tag: req.tag,
+                bytes: env.bytes,
+            });
+        }
+        let buf: PanelBuf = *env.payload.downcast::<PanelBuf>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving tag {} from rank {}: expected PanelBuf",
+                self.rank, req.tag, req.src
+            )
+        });
+        buf.unpack_into(out);
+    }
+
+    /// True when a message matching `(src, tag)` has physically arrived
+    /// and is virtually available at the current clock. Drains the
+    /// channel into the pending buffer; never blocks, never consumes.
+    pub(crate) fn probe(&mut self, src: usize, tag: u64) -> bool {
+        let avail = |e: &Envelope, now: f64| e.tag == tag && e.avail_at <= now;
+        if self.pending[src].iter().any(|e| avail(e, self.clock)) {
+            return true;
+        }
+        while let Ok(env) = self.receivers[src].try_recv() {
+            let hit = avail(&env, self.clock);
+            self.pending[src].push_back(env);
+            if hit {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// MPI_Sendrecv-style paired exchange of panels under one tag:
+    /// optionally sends to `send_to` and optionally receives from
+    /// `recv_from`, in the send-first order that is unconditionally
+    /// deadlock-free under this runtime's buffered sends. The building
+    /// block of doubling rounds and halo exchanges, replacing
+    /// hand-rolled rank-parity orderings.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Comm::send_panel`] / [`Comm::recv_panel_into`].
+    pub fn exchange_panel(
+        &mut self,
+        tag: u64,
+        send_to: Option<(usize, bt_dense::MatRef<'_>)>,
+        recv_from: Option<(usize, bt_dense::MatMut<'_>)>,
+    ) {
+        if let Some((dst, panel)) = send_to {
+            self.send_panel(dst, tag, panel);
+        }
+        if let Some((src, out)) = recv_from {
+            self.recv_panel_into(src, tag, out);
+        }
     }
 
     /// Receives a `T` from `src` with matching `tag`, blocking until it

@@ -40,7 +40,7 @@ pub mod stats;
 pub mod trace;
 
 pub use calibrate::calibrate;
-pub use comm::{Comm, USER_TAG_LIMIT};
+pub use comm::{Comm, RecvRequest, SendRequest, USER_TAG_LIMIT};
 pub use model::CostModel;
 pub use payload::{panel_pool_drain, PanelBuf, Payload};
 pub use runner::{run_spmd, run_spmd_default, run_spmd_traced, SpmdOutput, MAX_RANKS};

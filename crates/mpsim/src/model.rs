@@ -3,11 +3,29 @@
 //! The runtime tracks, per rank, a virtual clock advanced by two rules:
 //!
 //! * local computation of `f` flops costs `f / flop_rate` seconds;
-//! * a message of `b` bytes sent at sender-time `t_s` becomes available to
-//!   the receiver at `t_s + alpha + beta * b` (the classic
+//! * a message of `b` bytes injected at sender-time `t_i` becomes
+//!   available to the receiver at `t_i + alpha + beta * b` (the classic
 //!   latency/bandwidth "alpha-beta" model, the simplification of LogGP
 //!   used throughout the parallel algorithms literature — including the
 //!   complexity analysis reproduced here).
+//!
+//! Two refinements make the model honest about *pipelined* traffic:
+//!
+//! * **Link serialization.** A sender's injections toward one
+//!   destination serialize on the outgoing link: the injection time of a
+//!   message is `max(clock, link_busy[dest])` and the link stays busy for
+//!   `beta * b` after it. Alpha overlaps with the predecessor's transfer
+//!   (pipelined-rendezvous semantics), so splitting a panel into `T`
+//!   back-to-back tiles delivers the last byte at exactly the same time
+//!   as one combined message — tiling by itself is modeled as free, and
+//!   any win must come from overlap.
+//! * **Overlap accounting.** A blocking receive charges the receiver
+//!   `max(clock, avail_at)` at the call; a nonblocking receive
+//!   ([`crate::Comm::irecv_panel_into`]) posts without advancing the
+//!   clock and charges the same `max` only at `wait`, so message
+//!   transfer hidden under compute issued between post and wait costs
+//!   `max(compute, comm)` rather than `compute + comm`. The hidden
+//!   seconds are reported per rank as `RankStats::overlap_ns`.
 //!
 //! The modeled parallel runtime of an SPMD program is the maximum final
 //! clock over all ranks. This lets the suite explore processor counts far
