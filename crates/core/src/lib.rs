@@ -55,6 +55,7 @@ pub mod pairs;
 pub mod pcr;
 pub mod refine;
 pub mod scans;
+pub mod service;
 pub mod session;
 pub mod solver;
 pub mod spike;
@@ -67,6 +68,9 @@ pub use driver::{
 };
 pub use pcr::PcrRankFactors;
 pub use refine::{ard_solve_refined, RefinedSolve};
+pub use service::{
+    MatrixKey, ServiceConfig, ServiceError, ServiceStats, SolveResponse, SolveTicket, SolverService,
+};
 pub use session::ArdSession;
 pub use solver::{PcrSession, RankSolver, Session, SpikeSession};
 pub use spike::SpikeRankFactors;

@@ -1,0 +1,756 @@
+//! # Long-lived solver service: factor cache + RHS coalescing
+//!
+//! [`ArdSession`] answers "factor once, replay many" for a *single*
+//! matrix owned by a single caller. A real workload (the paper's driving
+//! applications — tracking, Kalman smoothing, spectral embarrassments of
+//! independent solves) looks different: many clients submit single
+//! right-hand-side solves against a *set* of recurring matrices, and the
+//! `O(M^2 R)` replay bound only pays off if those single-column requests
+//! are batched into wide panels before they hit the SPMD solver.
+//!
+//! [`SolverService`] is that layer:
+//!
+//! * **Factorization cache** — matrices are identified by a content
+//!   fingerprint ([`MatrixKey`]: FNV-1a over `N`, `M` and every block
+//!   entry's bit pattern). [`SolverService::register`] returns the cached
+//!   [`ArdSession`]'s key on a hit and factors on a miss; entries are
+//!   evicted least-recently-used once stored factor bytes exceed the
+//!   configured budget (the most recent entry is never evicted, and
+//!   in-flight solves keep their entry alive via `Arc`, so eviction can
+//!   never invalidate a queued request).
+//! * **RHS coalescer** — [`SolverService::submit`] enqueues a request
+//!   and returns a [`SolveTicket`]; a dispatcher thread groups queued
+//!   requests by matrix and flushes a group when its total width reaches
+//!   `max_batch` **or** the oldest request has waited `max_delay`,
+//!   whichever comes first. The group is stacked into one wide panel,
+//!   solved with a single replay, and split back per request — so `k`
+//!   concurrent single-RHS clients pay one `O(M^2 k)` replay instead of
+//!   `k` serialized `O(M^2)` solves, each with its own `O(log P)` latency
+//!   chain.
+//!
+//! Metrics (under `BT_OBS=1`): `bt_service.cache.{hit,miss,evict}`,
+//! `bt_service.cache.bytes`, `bt_service.batch.dispatches`,
+//! `bt_service.batch.width`, `bt_service.queue.wait_ns`. Unconditional
+//! counters are available via [`SolverService::stats`].
+//!
+//! A solve that panics inside the SPMD world is contained: the batch's
+//! tickets all resolve to [`ServiceError::SolveFailed`], the dispatcher
+//! survives, and other cached matrices are unaffected (the panicked
+//! session's factors are lost, as documented in [`crate::session`]).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use bt_blocktri::{BlockRowSource, BlockVec, FactorError};
+use bt_mpsim::CostModel;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::session::ArdSession;
+
+static OBS_CACHE_HIT: bt_obs::Counter = bt_obs::Counter::new("bt_service.cache.hit");
+static OBS_CACHE_MISS: bt_obs::Counter = bt_obs::Counter::new("bt_service.cache.miss");
+static OBS_CACHE_EVICT: bt_obs::Counter = bt_obs::Counter::new("bt_service.cache.evict");
+static OBS_CACHE_BYTES: bt_obs::Gauge = bt_obs::Gauge::new("bt_service.cache.bytes");
+static OBS_DISPATCHES: bt_obs::Counter = bt_obs::Counter::new("bt_service.batch.dispatches");
+static OBS_BATCH_WIDTH: bt_obs::Histogram = bt_obs::Histogram::new("bt_service.batch.width");
+static OBS_QUEUE_WAIT: bt_obs::Histogram = bt_obs::Histogram::new("bt_service.queue.wait_ns");
+
+/// Content fingerprint identifying a registered matrix.
+///
+/// 64-bit FNV-1a over `(N, M, every block entry's `f64` bit pattern)` in
+/// row order. Two matrices with identical contents hash to the same key
+/// regardless of how their [`BlockRowSource`] is implemented; distinct
+/// matrices collide with probability ~2^-64, which the service treats as
+/// negligible (a collision would silently reuse the wrong factors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixKey(u64);
+
+impl MatrixKey {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Fingerprints a matrix by content. `O(N M^2)` — cheap next to the
+    /// `O(M^3 N / P)` factorization it deduplicates.
+    pub fn fingerprint<S: BlockRowSource + ?Sized>(src: &S) -> Self {
+        let mut h = Self::FNV_OFFSET;
+        let mut mix = |w: u64| {
+            for byte in w.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(Self::FNV_PRIME);
+            }
+        };
+        mix(src.n() as u64);
+        mix(src.m() as u64);
+        for i in 0..src.n() {
+            let row = src.row(i);
+            for blk in [&row.a, &row.b, &row.c] {
+                for &v in blk.as_slice() {
+                    mix(v.to_bits());
+                }
+            }
+        }
+        Self(h)
+    }
+
+    /// The raw 64-bit fingerprint.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MatrixKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Configuration for a [`SolverService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// SPMD world size every cached session is factored for.
+    pub ranks: usize,
+    /// Cost model for factorization and replay.
+    pub model: CostModel,
+    /// Factor-byte budget for the cache. The least-recently-used entry
+    /// is evicted while the total exceeds this, but the most recently
+    /// touched entry always stays (one matrix must remain servable).
+    pub cache_bytes: u64,
+    /// Width trigger: a per-matrix group of queued requests is flushed
+    /// as soon as its total RHS column count reaches this.
+    pub max_batch: usize,
+    /// Deadline trigger: a queued request is dispatched at most this
+    /// long after it was submitted, batched with whatever same-matrix
+    /// requests have accumulated behind it.
+    pub max_delay: Duration,
+    /// Run cached sessions on persistent [`bt_mpsim::SpmdWorld`]s
+    /// instead of spawning `ranks` threads per dispatch.
+    pub world_reuse: bool,
+    /// When set, trim each rank's pooled solve workspace back to this
+    /// many bytes after every dispatch, so one oversized batch does not
+    /// pin its high-water allocation for the life of the service.
+    pub ws_trim_bytes: Option<u64>,
+}
+
+impl ServiceConfig {
+    /// Defaults: 256 MiB factor cache, width-32 batches, 2 ms deadline,
+    /// persistent worlds on, no workspace trimming.
+    pub fn new(ranks: usize, model: CostModel) -> Self {
+        Self {
+            ranks,
+            model,
+            cache_bytes: 256 << 20,
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+            world_reuse: true,
+            ws_trim_bytes: None,
+        }
+    }
+}
+
+/// Error from the service layer.
+#[derive(Debug, Clone)]
+pub enum ServiceError {
+    /// Factorization failed while registering a matrix.
+    Factorization(FactorError),
+    /// The matrix has fewer block rows than the configured world size.
+    TooFewRows {
+        /// Block rows in the offending matrix.
+        n: usize,
+        /// Configured world size.
+        p: usize,
+    },
+    /// The key was never registered or its entry has been evicted.
+    UnknownKey(MatrixKey),
+    /// The right-hand side's `(N, M)` does not match the registered
+    /// matrix. Mismatched requests are rejected at submit time — they
+    /// are never silently batched with compatible ones.
+    ShapeMismatch {
+        /// `(N, M)` of the registered matrix.
+        expected: (usize, usize),
+        /// `(N, M)` of the submitted right-hand side.
+        got: (usize, usize),
+    },
+    /// The SPMD solve panicked; the message is the panic payload. The
+    /// session's factors are lost — re-register the matrix to recover.
+    SolveFailed(String),
+    /// The service dropped before this request completed.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Factorization(e) => write!(f, "factorization failed: {e}"),
+            Self::TooFewRows { n, p } => {
+                write!(
+                    f,
+                    "matrix has {n} block rows but the service runs {p} ranks"
+                )
+            }
+            Self::UnknownKey(k) => write!(f, "matrix key {k} is not cached"),
+            Self::ShapeMismatch { expected, got } => write!(
+                f,
+                "rhs shape (N, M) = {got:?} does not match registered matrix {expected:?}"
+            ),
+            Self::SolveFailed(msg) => write!(f, "solve failed: {msg}"),
+            Self::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Factorization(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Completed solve handed back through a [`SolveTicket`].
+#[derive(Debug)]
+pub struct SolveResponse {
+    /// The solution panel for this request's right-hand side.
+    pub x: BlockVec,
+    /// Total column count of the coalesced batch this request rode in.
+    pub batch_width: usize,
+    /// Time the request spent queued before its batch dispatched.
+    pub queue_wait: Duration,
+    /// Wall time of the batched SPMD solve (shared by the whole batch).
+    pub solve_time: Duration,
+}
+
+/// Handle to an in-flight solve; redeem with [`SolveTicket::wait`].
+#[derive(Debug)]
+pub struct SolveTicket {
+    rx: Receiver<Result<SolveResponse, ServiceError>>,
+    enqueued: Instant,
+}
+
+impl SolveTicket {
+    /// Blocks until the batched solve completes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::SolveFailed`] if the SPMD solve panicked,
+    /// [`ServiceError::ShuttingDown`] if the service dropped first.
+    pub fn wait(self) -> Result<SolveResponse, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+    }
+
+    /// When the request entered the queue.
+    pub fn enqueued_at(&self) -> Instant {
+        self.enqueued
+    }
+}
+
+/// Unconditional counters (independent of `BT_OBS`), snapshot via
+/// [`SolverService::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// `register` calls answered from the cache.
+    pub cache_hits: u64,
+    /// `register` calls that factored a new session.
+    pub cache_misses: u64,
+    /// Entries evicted under the byte budget.
+    pub evictions: u64,
+    /// Requests accepted by `submit`.
+    pub requests: u64,
+    /// Batches dispatched to the SPMD solver.
+    pub dispatches: u64,
+    /// Total RHS columns dispatched (sum of batch widths).
+    pub dispatched_columns: u64,
+    /// Widest batch dispatched so far.
+    pub max_batch_width: u64,
+    /// Workspace bytes released by post-dispatch trims.
+    pub ws_trimmed_bytes: u64,
+    /// Factor bytes currently cached.
+    pub cache_bytes: u64,
+    /// Entries currently cached.
+    pub cached_entries: u64,
+}
+
+#[derive(Default)]
+struct AtomicCounters {
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    evictions: AtomicU64,
+    requests: AtomicU64,
+    dispatches: AtomicU64,
+    dispatched_columns: AtomicU64,
+    max_batch_width: AtomicU64,
+    ws_trimmed_bytes: AtomicU64,
+}
+
+struct CacheEntry {
+    key: MatrixKey,
+    session: ArdSession,
+    bytes: u64,
+}
+
+struct CacheSlot {
+    entry: Arc<CacheEntry>,
+    last_use: u64,
+}
+
+#[derive(Default)]
+struct CacheState {
+    map: HashMap<MatrixKey, CacheSlot>,
+    seq: u64,
+    bytes: u64,
+}
+
+struct Pending {
+    entry: Arc<CacheEntry>,
+    rhs: BlockVec,
+    enqueued: Instant,
+    tx: Sender<Result<SolveResponse, ServiceError>>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    cache: Mutex<CacheState>,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    counters: AtomicCounters,
+}
+
+/// Long-lived solver front end: factorization cache plus asynchronous
+/// right-hand-side coalescer. See the [module docs](self).
+pub struct SolverService {
+    inner: Arc<Inner>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SolverService {
+    /// Starts the service (spawns the dispatcher thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.ranks == 0` or `cfg.max_batch == 0`.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        assert!(cfg.ranks > 0, "service needs at least one rank");
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        let inner = Arc::new(Inner {
+            cfg,
+            cache: Mutex::new(CacheState::default()),
+            queue: Mutex::new(QueueState::default()),
+            queue_cv: Condvar::new(),
+            counters: AtomicCounters::default(),
+        });
+        let worker = Arc::clone(&inner);
+        let dispatcher = std::thread::Builder::new()
+            .name("bt-service-dispatch".into())
+            .spawn(move || dispatcher_loop(&worker))
+            .expect("spawn service dispatcher");
+        Self {
+            inner,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Ensures `src` is factored and cached; returns its key.
+    ///
+    /// On a cache hit this costs one fingerprint pass. On a miss the
+    /// matrix is factored **outside** the cache lock (other threads keep
+    /// hitting the cache meanwhile); if two threads race to register the
+    /// same matrix, one factorization wins and the other is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::TooFewRows`] if `src.n() < ranks`,
+    /// [`ServiceError::Factorization`] if setup breaks down.
+    pub fn register<S: BlockRowSource + Sync>(&self, src: &S) -> Result<MatrixKey, ServiceError> {
+        let key = MatrixKey::fingerprint(src);
+        {
+            let mut cache = lock(&self.inner.cache);
+            cache.seq += 1;
+            let seq = cache.seq;
+            if let Some(slot) = cache.map.get_mut(&key) {
+                slot.last_use = seq;
+                self.inner.counters.cache_hits.fetch_add(1, Relaxed);
+                OBS_CACHE_HIT.incr();
+                return Ok(key);
+            }
+        }
+        self.inner.counters.cache_misses.fetch_add(1, Relaxed);
+        OBS_CACHE_MISS.incr();
+        if src.n() < self.inner.cfg.ranks {
+            return Err(ServiceError::TooFewRows {
+                n: src.n(),
+                p: self.inner.cfg.ranks,
+            });
+        }
+        let session = ArdSession::create(self.inner.cfg.ranks, self.inner.cfg.model, src)
+            .map_err(ServiceError::Factorization)?;
+        session.set_world_reuse(self.inner.cfg.world_reuse);
+        let bytes = session.factor_bytes();
+        let entry = Arc::new(CacheEntry {
+            key,
+            session,
+            bytes,
+        });
+        self.inner.insert(entry);
+        Ok(key)
+    }
+
+    /// Enqueues one solve request; the dispatcher batches it with other
+    /// requests against the same matrix. Returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownKey`] if `key` is not cached (never
+    /// registered, or evicted — re-[`register`](Self::register)),
+    /// [`ServiceError::ShapeMismatch`] if `y` does not match the
+    /// registered matrix (checked here, so a bad request can never
+    /// corrupt a batch), [`ServiceError::ShuttingDown`] after drop began.
+    pub fn submit(&self, key: MatrixKey, y: &BlockVec) -> Result<SolveTicket, ServiceError> {
+        let entry = self
+            .inner
+            .lookup(key)
+            .ok_or(ServiceError::UnknownKey(key))?;
+        let expected = (entry.session.n(), entry.session.m());
+        let got = (y.n(), y.m());
+        if expected != got {
+            return Err(ServiceError::ShapeMismatch { expected, got });
+        }
+        let (tx, rx) = unbounded();
+        let enqueued = Instant::now();
+        {
+            let mut q = lock(&self.inner.queue);
+            if q.shutdown {
+                return Err(ServiceError::ShuttingDown);
+            }
+            q.pending.push_back(Pending {
+                entry,
+                rhs: y.clone(),
+                enqueued,
+                tx,
+            });
+        }
+        self.inner.counters.requests.fetch_add(1, Relaxed);
+        self.inner.queue_cv.notify_all();
+        Ok(SolveTicket { rx, enqueued })
+    }
+
+    /// [`submit`](Self::submit) + [`SolveTicket::wait`]: blocks until
+    /// the batched solve completes.
+    ///
+    /// # Errors
+    ///
+    /// Union of the submit- and wait-side errors.
+    pub fn solve(&self, key: MatrixKey, y: &BlockVec) -> Result<SolveResponse, ServiceError> {
+        self.submit(key, y)?.wait()
+    }
+
+    /// Whether `key` currently has a cached factorization.
+    pub fn contains(&self, key: MatrixKey) -> bool {
+        lock(&self.inner.cache).map.contains_key(&key)
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.inner.counters;
+        let (cache_bytes, cached_entries) = {
+            let cache = lock(&self.inner.cache);
+            (cache.bytes, cache.map.len() as u64)
+        };
+        ServiceStats {
+            cache_hits: c.cache_hits.load(Relaxed),
+            cache_misses: c.cache_misses.load(Relaxed),
+            evictions: c.evictions.load(Relaxed),
+            requests: c.requests.load(Relaxed),
+            dispatches: c.dispatches.load(Relaxed),
+            dispatched_columns: c.dispatched_columns.load(Relaxed),
+            max_batch_width: c.max_batch_width.load(Relaxed),
+            ws_trimmed_bytes: c.ws_trimmed_bytes.load(Relaxed),
+            cache_bytes,
+            cached_entries,
+        }
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.cfg
+    }
+
+    /// Test hook: marks `key`'s cached factors as lost so the next
+    /// dispatched solve against it panics inside the session layer
+    /// (exercising the dispatcher's containment path). Returns whether
+    /// the key was cached.
+    #[doc(hidden)]
+    pub fn lose_factors_for_test(&self, key: MatrixKey) -> bool {
+        match self.inner.lookup(key) {
+            Some(entry) => {
+                entry.session.lose_factors_for_test();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Drop for SolverService {
+    /// Flushes every queued request (none are abandoned), then joins the
+    /// dispatcher.
+    fn drop(&mut self) {
+        lock(&self.inner.queue).shutdown = true;
+        self.inner.queue_cv.notify_all();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Inner {
+    /// Cache lookup that refreshes LRU order.
+    fn lookup(&self, key: MatrixKey) -> Option<Arc<CacheEntry>> {
+        let mut cache = lock(&self.cache);
+        cache.seq += 1;
+        let seq = cache.seq;
+        let slot = cache.map.get_mut(&key)?;
+        slot.last_use = seq;
+        Some(Arc::clone(&slot.entry))
+    }
+
+    /// Inserts a freshly factored entry and evicts LRU entries over
+    /// budget. If a racing `register` already inserted the same key, the
+    /// existing entry is kept and the newcomer dropped.
+    fn insert(&self, entry: Arc<CacheEntry>) {
+        let mut cache = lock(&self.cache);
+        cache.seq += 1;
+        let seq = cache.seq;
+        let key = entry.key;
+        if !cache.map.contains_key(&key) {
+            cache.bytes += entry.bytes;
+            cache.map.insert(
+                key,
+                CacheSlot {
+                    entry,
+                    last_use: seq,
+                },
+            );
+        } else {
+            cache.map.get_mut(&key).expect("just checked").last_use = seq;
+        }
+        while cache.bytes > self.cfg.cache_bytes && cache.map.len() > 1 {
+            let victim = cache
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_use)
+                .map(|(k, _)| *k)
+                .expect("non-empty cache");
+            if victim == key {
+                break; // never evict the entry just inserted/touched
+            }
+            let slot = cache.map.remove(&victim).expect("victim exists");
+            cache.bytes -= slot.entry.bytes;
+            self.counters.evictions.fetch_add(1, Relaxed);
+            OBS_CACHE_EVICT.incr();
+            // An in-flight solve may still hold the Arc; the factors are
+            // freed when the last pending request against them drains.
+        }
+        OBS_CACHE_BYTES.set(cache.bytes as f64);
+    }
+}
+
+/// Dispatcher thread body: pull a flushable batch, solve, respond.
+fn dispatcher_loop(inner: &Inner) {
+    while let Some(batch) = next_batch(inner) {
+        dispatch(inner, batch);
+    }
+}
+
+/// Blocks until some per-matrix group of queued requests is flushable:
+/// its width reached `max_batch`, the oldest queued request aged past
+/// `max_delay`, or shutdown began (which flushes everything left).
+/// Returns `None` only when the queue is empty *and* shut down.
+fn next_batch(inner: &Inner) -> Option<Vec<Pending>> {
+    let mut q = lock(&inner.queue);
+    loop {
+        if q.pending.is_empty() {
+            if q.shutdown {
+                return None;
+            }
+            q = inner
+                .queue_cv
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
+            continue;
+        }
+        if let Some(key) = full_group(&q, inner.cfg.max_batch) {
+            return Some(extract_group(&mut q, key, inner.cfg.max_batch));
+        }
+        let oldest = q.pending.front().expect("non-empty queue");
+        let deadline = oldest.enqueued + inner.cfg.max_delay;
+        let now = Instant::now();
+        if q.shutdown || now >= deadline {
+            let key = oldest.entry.key;
+            return Some(extract_group(&mut q, key, inner.cfg.max_batch));
+        }
+        let (guard, _) = inner
+            .queue_cv
+            .wait_timeout(q, deadline - now)
+            .unwrap_or_else(PoisonError::into_inner);
+        q = guard;
+    }
+}
+
+/// First matrix key whose queued requests total at least `max_batch`
+/// columns, if any.
+fn full_group(q: &QueueState, max_batch: usize) -> Option<MatrixKey> {
+    let mut widths: HashMap<MatrixKey, usize> = HashMap::new();
+    for p in &q.pending {
+        let w = widths.entry(p.entry.key).or_insert(0);
+        *w += p.rhs.r();
+        if *w >= max_batch {
+            return Some(p.entry.key);
+        }
+    }
+    None
+}
+
+/// Removes the FIFO prefix of `key`'s group, up to `max_batch` columns
+/// (a single wider-than-budget request still dispatches alone). Stops at
+/// the first same-key request that does not fit, preserving per-matrix
+/// FIFO order.
+fn extract_group(q: &mut QueueState, key: MatrixKey, max_batch: usize) -> Vec<Pending> {
+    let mut taken = Vec::new();
+    let mut width = 0;
+    let mut closed = false;
+    let mut rest = VecDeque::with_capacity(q.pending.len());
+    for p in q.pending.drain(..) {
+        let fits = taken.is_empty() || width + p.rhs.r() <= max_batch;
+        if p.entry.key == key && !closed && fits {
+            width += p.rhs.r();
+            taken.push(p);
+            closed = width >= max_batch;
+        } else {
+            closed |= p.entry.key == key;
+            rest.push_back(p);
+        }
+    }
+    q.pending = rest;
+    taken
+}
+
+/// Solves one coalesced batch and distributes results to its tickets.
+fn dispatch(inner: &Inner, batch: Vec<Pending>) {
+    debug_assert!(!batch.is_empty());
+    let entry = Arc::clone(&batch[0].entry);
+    let widths: Vec<usize> = batch.iter().map(|p| p.rhs.r()).collect();
+    let total: usize = widths.iter().sum();
+    let dispatched_at = Instant::now();
+
+    inner.counters.dispatches.fetch_add(1, Relaxed);
+    inner
+        .counters
+        .dispatched_columns
+        .fetch_add(total as u64, Relaxed);
+    inner
+        .counters
+        .max_batch_width
+        .fetch_max(total as u64, Relaxed);
+    OBS_DISPATCHES.incr();
+    OBS_BATCH_WIDTH.record(total as u64);
+    for p in &batch {
+        OBS_QUEUE_WAIT.record_duration(dispatched_at.duration_since(p.enqueued));
+    }
+
+    let wide;
+    let y = if batch.len() == 1 {
+        &batch[0].rhs
+    } else {
+        wide = hstack(&batch);
+        &wide
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| entry.session.solve(y)));
+    let solve_time = dispatched_at.elapsed();
+
+    match result {
+        Ok(Ok(x_wide)) => {
+            let mut parts = if widths.len() == 1 {
+                vec![x_wide]
+            } else {
+                split(&x_wide, &widths)
+            };
+            for p in batch.into_iter().rev() {
+                let x = parts.pop().expect("one part per request");
+                let queue_wait = dispatched_at.duration_since(p.enqueued);
+                let _ = p.tx.send(Ok(SolveResponse {
+                    x,
+                    batch_width: total,
+                    queue_wait,
+                    solve_time,
+                }));
+            }
+        }
+        Ok(Err(e)) => {
+            for p in batch {
+                let _ = p.tx.send(Err(ServiceError::Factorization(e.clone())));
+            }
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "solve panicked".into());
+            for p in batch {
+                let _ = p.tx.send(Err(ServiceError::SolveFailed(msg.clone())));
+            }
+        }
+    }
+
+    if let Some(budget) = inner.cfg.ws_trim_bytes {
+        let released = entry.session.trim_workspaces(budget);
+        inner.counters.ws_trimmed_bytes.fetch_add(released, Relaxed);
+    }
+}
+
+/// Stacks the batch's right-hand sides into one `M x total` panel per
+/// block row, in batch order.
+fn hstack(batch: &[Pending]) -> BlockVec {
+    let n = batch[0].rhs.n();
+    let m = batch[0].rhs.m();
+    let total: usize = batch.iter().map(|p| p.rhs.r()).sum();
+    let mut wide = BlockVec::zeros(n, m, total);
+    for i in 0..n {
+        let mut c0 = 0;
+        for p in batch {
+            wide.blocks[i].set_block(0, c0, &p.rhs.blocks[i]);
+            c0 += p.rhs.r();
+        }
+    }
+    wide
+}
+
+/// Splits a wide solution panel back into per-request block vectors.
+fn split(wide: &BlockVec, widths: &[usize]) -> Vec<BlockVec> {
+    let m = wide.m();
+    let mut out = Vec::with_capacity(widths.len());
+    let mut c0 = 0;
+    for &w in widths {
+        let blocks = wide
+            .blocks
+            .iter()
+            .map(|panel| panel.block(0, c0, m, w))
+            .collect();
+        out.push(BlockVec::from_blocks(blocks));
+        c0 += w;
+    }
+    out
+}

@@ -6,20 +6,61 @@
 //! right-hand sides one at a time, often *computed from previous
 //! solutions*. An [`ArdSession`] holds the per-rank factor state between
 //! calls: `create` runs the collective setup once, and each
-//! [`ArdSession::solve`] launches a fresh SPMD world that reuses the
-//! stored factors — `O(M^2 R (N/P + log P))` per call, no matrix work
-//! ever again.
+//! [`ArdSession::solve`] launches an SPMD world that reuses the stored
+//! factors — `O(M^2 R (N/P + log P))` per call, no matrix work ever
+//! again.
 //!
-//! The factors are plain `Send` data, so this is entirely safe Rust; the
-//! per-call cost beyond the solve itself is the world's thread spawn
-//! (tens of microseconds per rank).
+//! ## Concurrency semantics
+//!
+//! A session is `Sync`; any number of threads may call
+//! [`ArdSession::solve`] concurrently. The per-rank factors exist in one
+//! copy, so concurrent solves **queue**: each call checks the factors
+//! out under a short lock (microseconds), runs the whole SPMD solve
+//! *unlocked*, and returns them through an RAII lease that restores the
+//! state — and wakes the next waiter — even if the solve panics. The
+//! session's internal lock is therefore never held across a solve, and a
+//! panicking solve can never leave the state empty: either every rank's
+//! factors come back (the session stays usable) or a rank died holding
+//! them, in which case the session enters a terminal *lost* state whose
+//! subsequent solves panic with a descriptive message instead of
+//! deadlocking. Callers wanting true solve parallelism should batch
+//! right-hand sides into one wide panel (see [`crate::service`]) — that
+//! is also the faster shape by the paper's `O(R)` amortization argument.
+//!
+//! ## World reuse
+//!
+//! By default each solve launches a fresh SPMD world (tens of
+//! microseconds of thread spawn per rank). For high-call-rate use —
+//! thousands of small replay solves per second through a
+//! [`crate::service::SolverService`] — [`ArdSession::set_world_reuse`]
+//! keeps a persistent [`SpmdWorld`] alive between calls, removing the
+//! spawn cost from every solve. Results are identical either way.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
 
 use bt_blocktri::{BlockRowSource, BlockVec, FactorError, RowPartition};
 use bt_dense::Mat;
-use bt_mpsim::{run_spmd, CostModel};
-use parking_lot::Mutex;
+use bt_mpsim::{run_spmd, Comm, CostModel, SpmdWorld};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::state::{ArdRankFactors, BoundaryMode, RankSystem};
+
+/// Per-rank state checked out by a solve: the rank's system slice and
+/// its recorded factors.
+type RankState = (RankSystem, ArdRankFactors);
+
+/// The factor store a session guards.
+enum FactorStore {
+    /// Factors at rest; a solve may check them out.
+    Available(Vec<RankState>),
+    /// A solve is running with the factors.
+    CheckedOut,
+    /// A panicked solve took a rank's factors down with it; the session
+    /// is permanently unusable (but callers get a message, not a hang).
+    Lost,
+}
 
 /// A reusable accelerated-solver session.
 ///
@@ -49,9 +90,103 @@ pub struct ArdSession {
     m: usize,
     model: CostModel,
     part: RowPartition,
-    /// Per-rank factors and system slices, handed out to worlds on each
-    /// solve and returned afterwards.
-    state: Mutex<Vec<(RankSystem, ArdRankFactors)>>,
+    /// Total stored factor bytes, captured at creation (so the getter
+    /// never has to touch the factor lock).
+    factor_bytes: u64,
+    /// Per-rank factors, handed out to worlds on each solve and returned
+    /// afterwards. Held only for checkout/restore — never across a solve.
+    state: Mutex<FactorStore>,
+    /// Wakes solves queued behind a checked-out store.
+    state_cv: Condvar,
+    /// When world reuse is on, the persistent world (built lazily).
+    world: Mutex<Option<SpmdWorld>>,
+    world_reuse: AtomicBool,
+}
+
+/// RAII checkout of a session's per-rank factors.
+///
+/// Holds the state as `Arc`'d per-rank slots so an SPMD world (possibly
+/// a persistent one requiring `'static` jobs) can take and return each
+/// rank's share. On drop — **including unwinds** — whatever came back is
+/// restored to the session and waiters are notified; if any rank's
+/// factors were destroyed mid-solve the store transitions to
+/// [`FactorStore::Lost`] instead of silently shrinking.
+struct FactorLease<'a> {
+    session: &'a ArdSession,
+    slots: Option<Arc<Vec<parking_lot::Mutex<Option<RankState>>>>>,
+}
+
+impl<'a> FactorLease<'a> {
+    /// Blocks until the factors are available, then checks them out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an earlier solve lost the factors.
+    fn checkout(session: &'a ArdSession) -> Self {
+        let mut guard = session
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            match &*guard {
+                FactorStore::Available(_) => break,
+                FactorStore::CheckedOut => {
+                    guard = session
+                        .state_cv
+                        .wait(guard)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                FactorStore::Lost => panic!(
+                    "ArdSession factors were lost by an earlier panicked solve; \
+                     recreate the session"
+                ),
+            }
+        }
+        let state = match std::mem::replace(&mut *guard, FactorStore::CheckedOut) {
+            FactorStore::Available(state) => state,
+            _ => unreachable!("loop above exits only on Available"),
+        };
+        drop(guard);
+        let slots: Vec<parking_lot::Mutex<Option<RankState>>> = state
+            .into_iter()
+            .map(|s| parking_lot::Mutex::new(Some(s)))
+            .collect();
+        Self {
+            session,
+            slots: Some(Arc::new(slots)),
+        }
+    }
+
+    /// The per-rank slots, for handing to an SPMD world.
+    fn slots(&self) -> &Arc<Vec<parking_lot::Mutex<Option<RankState>>>> {
+        self.slots.as_ref().expect("slots present until drop")
+    }
+}
+
+impl Drop for FactorLease<'_> {
+    fn drop(&mut self) {
+        let slots = self.slots.take().expect("dropped once");
+        // All world jobs have completed (run_spmd/SpmdWorld::run join all
+        // ranks before returning, even when propagating a panic), so this
+        // lease holds the only reference — unless a rank died between
+        // taking its slot and restoring it, in which case its factors are
+        // gone and the session is lost.
+        let restored: Option<Vec<RankState>> = Arc::try_unwrap(slots)
+            .ok()
+            .map(|v| v.into_iter().map(parking_lot::Mutex::into_inner).collect())
+            .and_then(|v: Vec<Option<RankState>>| v.into_iter().collect());
+        let mut guard = self
+            .session
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *guard = match restored {
+            Some(state) if state.len() == self.session.p => FactorStore::Available(state),
+            _ => FactorStore::Lost,
+        };
+        drop(guard);
+        self.session.state_cv.notify_all();
+    }
 }
 
 impl ArdSession {
@@ -89,29 +224,29 @@ impl ArdSession {
             n >= p,
             "need at least one block row per rank (N={n}, P={p})"
         );
-        let out = run_spmd(
-            p,
-            model,
-            |comm| -> Result<(RankSystem, ArdRankFactors), FactorError> {
-                let sys = match boundary {
-                    BoundaryMode::ExactScan => RankSystem::from_source(src, p, comm.rank()),
-                    BoundaryMode::Windowed(w) => {
-                        RankSystem::from_source_windowed(src, p, comm.rank(), w)
-                    }
-                };
-                let factors = ArdRankFactors::setup_with(comm, &sys, true, boundary)?;
-                Ok((sys, factors))
-            },
-        );
-        let state: Vec<(RankSystem, ArdRankFactors)> =
-            out.results.into_iter().collect::<Result<_, _>>()?;
+        let out = run_spmd(p, model, |comm| -> Result<RankState, FactorError> {
+            let sys = match boundary {
+                BoundaryMode::ExactScan => RankSystem::from_source(src, p, comm.rank()),
+                BoundaryMode::Windowed(w) => {
+                    RankSystem::from_source_windowed(src, p, comm.rank(), w)
+                }
+            };
+            let factors = ArdRankFactors::setup_with(comm, &sys, true, boundary)?;
+            Ok((sys, factors))
+        });
+        let state: Vec<RankState> = out.results.into_iter().collect::<Result<_, _>>()?;
+        let factor_bytes = state.iter().map(|(_, f)| f.storage_bytes()).sum();
         Ok(Self {
             p,
             n,
             m,
             model,
             part: RowPartition::new(n, p),
-            state: Mutex::new(state),
+            factor_bytes,
+            state: Mutex::new(FactorStore::Available(state)),
+            state_cv: Condvar::new(),
+            world: Mutex::new(None),
+            world_reuse: AtomicBool::new(false),
         })
     }
 
@@ -120,13 +255,71 @@ impl ArdSession {
         self.p
     }
 
-    /// Total stored factor bytes across ranks.
+    /// Number of block rows `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Block order `M`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The cost model solves run under.
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// Total stored factor bytes across ranks (captured at creation).
     pub fn factor_bytes(&self) -> u64 {
-        self.state
+        self.factor_bytes
+    }
+
+    /// Switches persistent-world reuse on or off. When on, solves run on
+    /// a lazily built, long-lived [`SpmdWorld`] instead of spawning `P`
+    /// threads per call; when switched off, any persistent world is torn
+    /// down. Results are identical either way.
+    pub fn set_world_reuse(&self, on: bool) {
+        self.world_reuse.store(on, Ordering::Relaxed);
+        if !on {
+            *self
+                .world
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+        }
+    }
+
+    /// Test hook: marks the factors as lost, exactly as if an earlier
+    /// solve had panicked mid-flight with the factors checked out. The
+    /// next solve panics loudly (see the module docs). Used by the
+    /// service layer's panic-containment regression tests.
+    #[doc(hidden)]
+    pub fn lose_factors_for_test(&self) {
+        *self
+            .state
             .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = FactorStore::Lost;
+        self.state_cv.notify_all();
+    }
+
+    /// Trims each rank's pooled solve workspace to at most
+    /// `per_rank_pooled_bytes` (largest buffers dropped first), returning
+    /// the total bytes released. Waits for any in-flight solve, so the
+    /// pool high-water mark of one oversized batch does not stay pinned
+    /// for the life of the session. See [`bt_dense::Workspace::trim_to`].
+    pub fn trim_workspaces(&self, per_rank_pooled_bytes: u64) -> u64 {
+        let lease = FactorLease::checkout(self);
+        let trimmed = lease
+            .slots()
             .iter()
-            .map(|(_, f)| f.storage_bytes())
-            .sum()
+            .map(|slot| {
+                slot.lock()
+                    .as_ref()
+                    .map_or(0, |(_, f)| f.trim_workspace(per_rank_pooled_bytes))
+            })
+            .sum();
+        drop(lease);
+        trimmed
     }
 
     /// Solves one right-hand-side batch with the stored factors.
@@ -138,7 +331,8 @@ impl ArdSession {
     ///
     /// # Panics
     ///
-    /// Panics on shape mismatch.
+    /// Panics on shape mismatch, or if an earlier panicked solve lost
+    /// the factors (see the module docs on concurrency).
     pub fn solve(&self, y: &BlockVec) -> Result<BlockVec, FactorError> {
         Ok(self.solve_inner(y, 0, 0.0)?.0)
     }
@@ -153,7 +347,7 @@ impl ArdSession {
     ///
     /// # Panics
     ///
-    /// Panics on shape mismatch.
+    /// Same conditions as [`ArdSession::solve`].
     pub fn solve_refined(
         &self,
         y: &BlockVec,
@@ -171,37 +365,43 @@ impl ArdSession {
     ) -> Result<(BlockVec, Vec<f64>), FactorError> {
         assert_eq!(y.n(), self.n, "rhs block count mismatch");
         assert_eq!(y.m(), self.m, "rhs block order mismatch");
-        let mut guard = self.state.lock();
-        // Move the per-rank state into the world and take it back after.
-        let state: Vec<(RankSystem, ArdRankFactors)> = std::mem::take(&mut *guard);
-        let state_slots: Vec<Mutex<Option<(RankSystem, ArdRankFactors)>>> =
-            state.into_iter().map(|s| Mutex::new(Some(s))).collect();
 
-        let part = &self.part;
-        let out = run_spmd(self.p, self.model, |comm| {
-            let (sys, factors) = state_slots[comm.rank()]
+        // Pre-slice the right-hand side per rank (one copy, same as the
+        // per-rank clones the world used to make) so the job closure can
+        // be `'static` for a persistent world.
+        let y_slices: Arc<Vec<parking_lot::Mutex<Option<Vec<Mat>>>>> = Arc::new(
+            (0..self.p)
+                .map(|rank| {
+                    parking_lot::Mutex::new(Some(
+                        self.part.range(rank).map(|i| y.blocks[i].clone()).collect(),
+                    ))
+                })
+                .collect(),
+        );
+
+        // Short lock: factors leave the session here and come back when
+        // `lease` drops — even if the solve below unwinds.
+        let lease = FactorLease::checkout(self);
+        let slots = Arc::clone(lease.slots());
+
+        let job = move |comm: &mut Comm| {
+            let (sys, factors) = slots[comm.rank()].lock().take().expect("state present");
+            let y_local: Vec<Mat> = y_slices[comm.rank()]
                 .lock()
                 .take()
-                .expect("state present");
-            let y_local: Vec<Mat> = part
-                .range(comm.rank())
-                .map(|i| y.blocks[i].clone())
-                .collect();
+                .expect("rhs slice present");
             let (x_local, history) = if max_sweeps == 0 {
                 (factors.solve_replay(comm, &y_local), Vec::new())
             } else {
                 let refined = factors.solve_replay_refined(comm, &sys, &y_local, max_sweeps, tol);
                 (refined.x_local, refined.history)
             };
-            *state_slots[comm.rank()].lock() = Some((sys, factors));
+            *slots[comm.rank()].lock() = Some((sys, factors));
             (x_local, history)
-        });
+        };
 
-        // Return the state to the session.
-        *guard = state_slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("state returned"))
-            .collect();
+        let out = self.run_world(job);
+        drop(lease); // factors restored; waiters wake
 
         let mut x = BlockVec::zeros(self.n, self.m, y.r());
         let mut history = Vec::new();
@@ -213,6 +413,36 @@ impl ArdSession {
             history = h;
         }
         Ok((x, history))
+    }
+
+    /// Runs `job` on the persistent world when reuse is on (rebuilding a
+    /// dead one is pointless — a panic loses factors anyway), else on a
+    /// fresh `run_spmd` world.
+    fn run_world<T, F>(&self, job: F) -> bt_mpsim::SpmdOutput<T>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> T + Send + Sync + 'static,
+    {
+        if self.world_reuse.load(Ordering::Relaxed) {
+            let mut wg = self
+                .world
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let world = wg.get_or_insert_with(|| SpmdWorld::new(self.p, self.model));
+            let out = catch_unwind(AssertUnwindSafe(|| world.run(job)));
+            match out {
+                Ok(out) => out,
+                Err(e) => {
+                    // The world is dead; drop it so a future session user
+                    // (after recreating factors) does not trip over it.
+                    *wg = None;
+                    drop(wg);
+                    resume_unwind(e);
+                }
+            }
+        } else {
+            run_spmd(self.p, self.model, job)
+        }
     }
 }
 
@@ -235,6 +465,7 @@ mod tests {
         let t = materialize(&src);
         let session = ArdSession::create(4, ZERO, &src).unwrap();
         assert_eq!(session.ranks(), 4);
+        assert_eq!((session.n(), session.m()), (60, 4));
         assert!(session.factor_bytes() > 0);
         for seed in 0..5 {
             let y = random_rhs(60, 4, 3, seed);
@@ -296,5 +527,113 @@ mod tests {
         let session = ArdSession::create(2, ZERO, &src).unwrap();
         let bad = random_rhs(8, 3, 1, 0);
         let _ = session.solve(&bad);
+    }
+
+    #[test]
+    fn concurrent_solves_from_two_threads() {
+        // Regression for the lock-across-the-solve bug: concurrent
+        // callers queue on the factor checkout (short lock + condvar),
+        // not on a mutex held for the whole SPMD solve, and both get
+        // correct answers.
+        let src = ClusteredToeplitz::standard(48, 4, 11);
+        let t = materialize(&src);
+        let session = ArdSession::create(4, ZERO, &src).unwrap();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|tid| {
+                    let session = &session;
+                    let t = &t;
+                    scope.spawn(move || {
+                        for round in 0..4 {
+                            let y = random_rhs(48, 4, 2, 100 * tid + round);
+                            let x = session.solve(&y).unwrap();
+                            assert!(t.rel_residual(&x, &y) < 1e-11, "thread {tid} round {round}");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        // The session is still healthy afterwards.
+        let y = random_rhs(48, 4, 1, 999);
+        assert!(t.rel_residual(&session.solve(&y).unwrap(), &y) < 1e-11);
+    }
+
+    #[test]
+    fn concurrent_solves_with_world_reuse() {
+        let src = ClusteredToeplitz::standard(36, 3, 5);
+        let t = materialize(&src);
+        let session = ArdSession::create(3, ZERO, &src).unwrap();
+        session.set_world_reuse(true);
+        std::thread::scope(|scope| {
+            for tid in 0..3 {
+                let (session, t) = (&session, &t);
+                scope.spawn(move || {
+                    for round in 0..3 {
+                        let y = random_rhs(36, 3, 1, 7 * tid + round);
+                        let x = session.solve(&y).unwrap();
+                        assert!(t.rel_residual(&x, &y) < 1e-11);
+                    }
+                });
+            }
+        });
+        session.set_world_reuse(false); // tears the world down cleanly
+        let y = random_rhs(36, 3, 1, 42);
+        assert!(t.rel_residual(&session.solve(&y).unwrap(), &y) < 1e-11);
+    }
+
+    #[test]
+    fn world_reuse_matches_fresh_worlds() {
+        let src = ClusteredToeplitz::standard(40, 4, 3);
+        let session = ArdSession::create(4, ZERO, &src).unwrap();
+        let y = random_rhs(40, 4, 5, 17);
+        let fresh = session.solve(&y).unwrap();
+        session.set_world_reuse(true);
+        let reused = session.solve(&y).unwrap();
+        assert_eq!(fresh, reused, "world reuse must not change results");
+    }
+
+    #[test]
+    fn lease_restores_factors_on_unwind() {
+        // A panic between checkout and restore must put the factors back
+        // (RAII), so the next solve succeeds instead of hanging or
+        // finding an empty state.
+        let src = ClusteredToeplitz::standard(24, 3, 9);
+        let t = materialize(&src);
+        let session = ArdSession::create(2, ZERO, &src).unwrap();
+        let unwound = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _lease = FactorLease::checkout(&session);
+            panic!("simulated failure while the factors are checked out");
+        }));
+        assert!(unwound.is_err());
+        let y = random_rhs(24, 3, 2, 0);
+        let x = session.solve(&y).unwrap();
+        assert!(t.rel_residual(&x, &y) < 1e-11, "factors were not restored");
+    }
+
+    #[test]
+    fn lost_factors_fail_loudly_not_silently() {
+        // If a rank's factors are destroyed while checked out (a panic
+        // inside the SPMD solve), later solves must panic with a clear
+        // message — not deadlock on the condvar or see an empty vec.
+        let src = ClusteredToeplitz::standard(16, 3, 1);
+        let session = ArdSession::create(2, ZERO, &src).unwrap();
+        let unwound = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let lease = FactorLease::checkout(&session);
+            lease.slots()[0].lock().take(); // rank 0's factors die with the "world"
+            panic!("simulated mid-solve rank death");
+        }));
+        assert!(unwound.is_err());
+        let y = random_rhs(16, 3, 1, 0);
+        let next = std::panic::catch_unwind(AssertUnwindSafe(|| session.solve(&y)));
+        let payload = next.expect_err("lost factors must not look healthy");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or(payload.downcast_ref::<String>().map(String::as_str))
+            .expect("string payload");
+        assert!(msg.contains("lost"), "got: {msg}");
     }
 }

@@ -598,11 +598,20 @@ impl ArdRankFactors {
         self.ws.borrow().stats()
     }
 
-    /// Drops every pooled workspace buffer (cumulative stats are kept),
-    /// so the next solve pays cold-allocation cost again. For benchmarks
+    /// Drops every pooled workspace buffer (cumulative stats are kept;
+    /// released bytes count into [`WorkspaceStats::trimmed_bytes`]), so
+    /// the next solve pays cold-allocation cost again. For benchmarks
     /// that want a cold baseline.
     pub fn reset_workspace(&self) {
         self.ws.borrow_mut().reset();
+    }
+
+    /// Shrinks the pooled solve workspace to at most `max_pooled_bytes`
+    /// of idle capacity (largest buffers dropped first), returning the
+    /// bytes released. Bounds the memory a single oversized batch pins
+    /// for the session's lifetime — see [`Workspace::trim_to`].
+    pub fn trim_workspace(&self, max_pooled_bytes: u64) -> u64 {
+        self.ws.borrow_mut().trim_to(max_pooled_bytes)
     }
 
     /// Replay-pipeline RHS tile width for an `M x R` batch: the

@@ -1,0 +1,306 @@
+//! Integration tests for the [`bt_ard::SolverService`] layer: cache
+//! hit/miss/eviction semantics, batching triggers (width and deadline),
+//! shape rejection, eviction racing in-flight solves, and panic
+//! containment in the dispatcher.
+
+use std::time::{Duration, Instant};
+
+use bt_ard::{MatrixKey, ServiceConfig, ServiceError, SolverService};
+use bt_blocktri::gen::{materialize, random_rhs, ClusteredToeplitz};
+use bt_blocktri::BlockVec;
+use bt_mpsim::CostModel;
+
+const N: usize = 24;
+const M: usize = 3;
+const P: usize = 4;
+
+fn src(seed: u64) -> ClusteredToeplitz {
+    ClusteredToeplitz::standard(N, M, seed)
+}
+
+fn cfg() -> ServiceConfig {
+    ServiceConfig::new(P, CostModel::default())
+}
+
+#[test]
+fn register_is_idempotent_and_solve_round_trips() {
+    let svc = SolverService::start(ServiceConfig {
+        max_delay: Duration::from_millis(5),
+        ..cfg()
+    });
+    let a = src(7);
+    let key = svc.register(&a).unwrap();
+    let key2 = svc.register(&a).unwrap();
+    assert_eq!(key, key2, "same contents must fingerprint identically");
+
+    let y = random_rhs(N, M, 2, 11);
+    let resp = svc.solve(key, &y).unwrap();
+    let t = materialize(&a);
+    assert!(t.rel_residual(&resp.x, &y) < 1e-10);
+
+    let stats = svc.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.dispatches, 1);
+    assert_eq!(stats.cached_entries, 1);
+    assert!(stats.cache_bytes > 0);
+}
+
+#[test]
+fn distinct_matrices_get_distinct_keys() {
+    let ka = MatrixKey::fingerprint(&src(1));
+    let kb = MatrixKey::fingerprint(&src(2));
+    assert_ne!(ka, kb);
+}
+
+#[test]
+fn deadline_flush_dispatches_a_single_queued_request() {
+    // Width trigger unreachable (max_batch huge): only the deadline can
+    // flush, and it must fire even with a single queued request.
+    let svc = SolverService::start(ServiceConfig {
+        max_batch: 1_000,
+        max_delay: Duration::from_millis(25),
+        ..cfg()
+    });
+    let a = src(3);
+    let key = svc.register(&a).unwrap();
+    let y = random_rhs(N, M, 1, 5);
+
+    let t0 = Instant::now();
+    let resp = svc.solve(key, &y).unwrap();
+    let elapsed = t0.elapsed();
+
+    assert_eq!(resp.batch_width, 1);
+    assert!(
+        resp.queue_wait >= Duration::from_millis(20),
+        "single request should wait out the deadline, waited {:?}",
+        resp.queue_wait
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "deadline flush too slow: {elapsed:?}"
+    );
+    assert!(materialize(&a).rel_residual(&resp.x, &y) < 1e-10);
+}
+
+#[test]
+fn width_flush_coalesces_concurrent_single_rhs_requests() {
+    const K: usize = 8;
+    // Deadline far away: only the width trigger can flush this fast.
+    let svc = SolverService::start(ServiceConfig {
+        max_batch: K,
+        max_delay: Duration::from_secs(10),
+        ..cfg()
+    });
+    let a = src(9);
+    let key = svc.register(&a).unwrap();
+    let t = materialize(&a);
+
+    let rhss: Vec<BlockVec> = (0..K as u64)
+        .map(|s| random_rhs(N, M, 1, 100 + s))
+        .collect();
+    let t0 = Instant::now();
+    let tickets: Vec<_> = rhss.iter().map(|y| svc.submit(key, y).unwrap()).collect();
+    for (ticket, y) in tickets.into_iter().zip(&rhss) {
+        let resp = ticket.wait().unwrap();
+        assert_eq!(
+            resp.batch_width, K,
+            "all {K} single-RHS requests should ride one coalesced dispatch"
+        );
+        assert!(t.rel_residual(&resp.x, y) < 1e-10);
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "width flush should beat the 10 s deadline, took {elapsed:?}"
+    );
+    let stats = svc.stats();
+    assert_eq!(stats.dispatches, 1);
+    assert_eq!(stats.dispatched_columns, K as u64);
+    assert_eq!(stats.max_batch_width, K as u64);
+}
+
+#[test]
+fn mismatched_shapes_are_rejected_not_silently_batched() {
+    let svc = SolverService::start(ServiceConfig {
+        max_delay: Duration::from_millis(5),
+        ..cfg()
+    });
+    let a = src(13);
+    let key = svc.register(&a).unwrap();
+
+    // Wrong block count N.
+    let bad_n = random_rhs(N - 1, M, 1, 1);
+    match svc.submit(key, &bad_n) {
+        Err(ServiceError::ShapeMismatch { expected, got }) => {
+            assert_eq!(expected, (N, M));
+            assert_eq!(got, (N - 1, M));
+        }
+        other => panic!(
+            "expected ShapeMismatch, got {other:?}",
+            other = other.map(|_| ())
+        ),
+    }
+
+    // Wrong block order M.
+    let bad_m = random_rhs(N, M + 1, 1, 1);
+    assert!(matches!(
+        svc.submit(key, &bad_m),
+        Err(ServiceError::ShapeMismatch { .. })
+    ));
+
+    // Unknown key.
+    let never = MatrixKey::fingerprint(&src(999));
+    assert!(matches!(
+        svc.submit(never, &random_rhs(N, M, 1, 1)),
+        Err(ServiceError::UnknownKey(_))
+    ));
+
+    // A well-shaped request still works after the rejections.
+    let y = random_rhs(N, M, 1, 2);
+    let resp = svc.solve(key, &y).unwrap();
+    assert!(materialize(&a).rel_residual(&resp.x, &y) < 1e-10);
+}
+
+#[test]
+fn requests_against_different_matrices_never_share_a_batch() {
+    // Two matrices with the same shape queued together: the coalescer
+    // groups by key, so each dispatch must carry exactly one matrix.
+    let svc = SolverService::start(ServiceConfig {
+        max_batch: 4,
+        max_delay: Duration::from_millis(50),
+        ..cfg()
+    });
+    let a = src(21);
+    let b = src(22);
+    let ka = svc.register(&a).unwrap();
+    let kb = svc.register(&b).unwrap();
+    let ta = materialize(&a);
+    let tb = materialize(&b);
+
+    let ys: Vec<BlockVec> = (0..4u64).map(|s| random_rhs(N, M, 1, 200 + s)).collect();
+    let tickets: Vec<_> = ys
+        .iter()
+        .enumerate()
+        .map(|(i, y)| {
+            let key = if i % 2 == 0 { ka } else { kb };
+            (i, svc.submit(key, y).unwrap())
+        })
+        .collect();
+    for (i, ticket) in tickets {
+        let resp = ticket.wait().unwrap();
+        let t = if i % 2 == 0 { &ta } else { &tb };
+        assert!(
+            t.rel_residual(&resp.x, &ys[i]) < 1e-10,
+            "request {i} solved against the wrong matrix"
+        );
+        assert!(
+            resp.batch_width <= 2,
+            "batch mixed matrices: width {}",
+            resp.batch_width
+        );
+    }
+}
+
+#[test]
+fn eviction_racing_an_inflight_solve_is_safe() {
+    // Cache budget of one byte: any second registration evicts the
+    // LRU entry. Queue a request against A (long deadline so it stays
+    // queued), evict A by registering B, then check the queued request
+    // still completes against A's factors (pinned by its Arc).
+    let svc = SolverService::start(ServiceConfig {
+        cache_bytes: 1,
+        max_batch: 1_000,
+        max_delay: Duration::from_millis(300),
+        ..cfg()
+    });
+    let a = src(31);
+    let b = src(32);
+    let ka = svc.register(&a).unwrap();
+
+    let y = random_rhs(N, M, 1, 3);
+    let ticket = svc.submit(ka, &y).unwrap();
+
+    let kb = svc.register(&b).unwrap();
+    assert!(!svc.contains(ka), "A should have been evicted by B");
+    assert!(svc.contains(kb));
+    assert_eq!(svc.stats().evictions, 1);
+
+    // The in-flight request still resolves correctly against A.
+    let resp = ticket.wait().unwrap();
+    assert!(materialize(&a).rel_residual(&resp.x, &y) < 1e-10);
+
+    // New submissions against the evicted key are refused.
+    assert!(matches!(
+        svc.submit(ka, &y),
+        Err(ServiceError::UnknownKey(_))
+    ));
+}
+
+#[test]
+fn solve_panic_is_contained_to_the_batch() {
+    let svc = SolverService::start(ServiceConfig {
+        max_delay: Duration::from_millis(5),
+        ..cfg()
+    });
+    let a = src(41);
+    let b = src(42);
+    let ka = svc.register(&a).unwrap();
+    let kb = svc.register(&b).unwrap();
+
+    // Sabotage A's session the way a mid-solve panic would.
+    assert!(svc.lose_factors_for_test(ka));
+
+    let y = random_rhs(N, M, 1, 4);
+    match svc.solve(ka, &y) {
+        Err(ServiceError::SolveFailed(msg)) => {
+            assert!(
+                msg.contains("lost"),
+                "panic payload should mention lost factors, got: {msg}"
+            );
+        }
+        other => panic!(
+            "expected SolveFailed, got {other:?}",
+            other = other.map(|_| ())
+        ),
+    }
+
+    // The dispatcher survived; other cached matrices are unaffected.
+    let resp = svc.solve(kb, &y).unwrap();
+    assert!(materialize(&b).rel_residual(&resp.x, &y) < 1e-10);
+}
+
+#[test]
+fn drop_flushes_queued_requests_instead_of_abandoning_them() {
+    let svc = SolverService::start(ServiceConfig {
+        max_batch: 1_000,
+        max_delay: Duration::from_secs(10),
+        ..cfg()
+    });
+    let a = src(51);
+    let key = svc.register(&a).unwrap();
+    let y = random_rhs(N, M, 1, 6);
+    let ticket = svc.submit(key, &y).unwrap();
+    drop(svc); // shutdown flushes the queue before joining
+    let resp = ticket.wait().unwrap();
+    assert!(materialize(&a).rel_residual(&resp.x, &y) < 1e-10);
+}
+
+#[test]
+fn ws_trim_budget_is_applied_after_dispatch() {
+    let svc = SolverService::start(ServiceConfig {
+        max_delay: Duration::from_millis(5),
+        ws_trim_bytes: Some(0),
+        ..cfg()
+    });
+    let a = src(61);
+    let key = svc.register(&a).unwrap();
+    let y = random_rhs(N, M, 4, 8);
+    let resp = svc.solve(key, &y).unwrap();
+    assert!(materialize(&a).rel_residual(&resp.x, &y) < 1e-10);
+    assert!(
+        svc.stats().ws_trimmed_bytes > 0,
+        "a zero-byte budget must trim the workspace the solve just used"
+    );
+}

@@ -24,6 +24,7 @@ use crate::view::MatRef;
 static OBS_WS_CHECKOUTS: bt_obs::Counter = bt_obs::Counter::new("bt_dense.ws.checkouts");
 static OBS_WS_REUSES: bt_obs::Counter = bt_obs::Counter::new("bt_dense.ws.reuses");
 static OBS_WS_HIGH_WATER: bt_obs::Gauge = bt_obs::Gauge::new("bt_dense.ws.bytes_high_water");
+static OBS_WS_TRIMMED: bt_obs::Counter = bt_obs::Counter::new("bt_dense.ws.trimmed_bytes");
 
 /// Cumulative usage counters for one [`Workspace`].
 ///
@@ -40,6 +41,10 @@ pub struct WorkspaceStats {
     pub reuses: u64,
     /// Peak bytes simultaneously owned (checked out + pooled).
     pub bytes_high_water: u64,
+    /// Pooled bytes released back to the allocator by
+    /// [`Workspace::trim_to`] and [`Workspace::reset`] — the shrink-policy
+    /// counterpart of `bytes_high_water`.
+    pub trimmed_bytes: u64,
 }
 
 /// A pool of reusable column-major `f64` buffers.
@@ -103,11 +108,49 @@ impl Workspace {
 
     /// Drops every pooled buffer and zeroes the byte accounting.
     /// Cumulative `checkouts`/`reuses`/`bytes_high_water` stats are
-    /// kept — the next `take` after a reset is a fresh checkout.
+    /// kept (released bytes are counted into `trimmed_bytes`) — the next
+    /// `take` after a reset is a fresh checkout.
     pub fn reset(&mut self) {
+        self.note_trimmed(self.bytes_pooled);
         self.free.clear();
         self.bytes_out = 0;
         self.bytes_pooled = 0;
+    }
+
+    /// Shrinks the pool to at most `max_pooled_bytes` of idle capacity,
+    /// dropping the **largest** buffers first (one oversized solve is
+    /// exactly one or two huge buffers; the steady-state small ones keep
+    /// the hot path allocation-free). Returns the bytes released.
+    ///
+    /// Without a trim policy the capacity-matched pool retains every
+    /// high-water buffer forever, so a single wide-batch solve pins its
+    /// peak memory for the life of the session. Long-lived owners (the
+    /// solve service, [`crate::Workspace`]-holding sessions) call this
+    /// after unusually wide work; released bytes are surfaced as
+    /// [`WorkspaceStats::trimmed_bytes`] and the
+    /// `bt_dense.ws.trimmed_bytes` counter.
+    pub fn trim_to(&mut self, max_pooled_bytes: u64) -> u64 {
+        let mut released = 0u64;
+        while self.bytes_pooled > max_pooled_bytes && !self.free.is_empty() {
+            let largest = self
+                .free
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, buf)| buf.capacity())
+                .map(|(i, _)| i)
+                .expect("pool non-empty");
+            let buf = self.free.swap_remove(largest);
+            let cap_bytes = buf.capacity() as u64 * 8;
+            self.bytes_pooled -= cap_bytes;
+            released += cap_bytes;
+        }
+        self.note_trimmed(released);
+        released
+    }
+
+    /// Bytes of idle pooled capacity (excluding checked-out buffers).
+    pub fn pooled_bytes(&self) -> u64 {
+        self.bytes_pooled
     }
 
     /// Number of buffers currently sitting in the pool.
@@ -147,6 +190,13 @@ impl Workspace {
         }
     }
 
+    fn note_trimmed(&mut self, released: u64) {
+        if released > 0 {
+            self.stats.trimmed_bytes += released;
+            OBS_WS_TRIMMED.add(released);
+        }
+    }
+
     fn note_out(&mut self, cap_bytes: u64) {
         self.bytes_out += cap_bytes;
         let total = self.bytes_out + self.bytes_pooled;
@@ -176,6 +226,7 @@ mod tests {
                 checkouts: 1,
                 reuses: 1,
                 bytes_high_water: 12 * 8,
+                trimmed_bytes: 0,
             }
         );
         assert!(b.as_slice().iter().all(|&v| v == 0.0));
@@ -248,6 +299,75 @@ mod tests {
         let mut ws = Workspace::new();
         ws.put(Mat::empty());
         assert_eq!(ws.pooled(), 0);
+    }
+
+    #[test]
+    fn trim_drops_largest_buffers_first() {
+        let mut ws = Workspace::new();
+        let huge = ws.take(100, 100); // 80_000 B
+        let mid = ws.take(10, 10); // 800 B
+        let small = ws.take(2, 2); // 32 B
+        ws.put(huge);
+        ws.put(mid);
+        ws.put(small);
+        let before = ws.pooled_bytes();
+        assert!(before >= 80_832);
+        // A 100 B budget must shed the huge buffer and then the mid one,
+        // keeping the small steady-state buffer.
+        let released = ws.trim_to(100);
+        assert_eq!(released, before - ws.pooled_bytes());
+        assert!(ws.pooled_bytes() <= 100, "pool {} B", ws.pooled_bytes());
+        assert_eq!(ws.pooled(), 1);
+        assert_eq!(ws.stats().trimmed_bytes, released);
+        // The survivor is the small buffer: a small take still reuses.
+        let again = ws.take(2, 2);
+        assert_eq!(ws.stats().checkouts, 3);
+        drop(again);
+    }
+
+    #[test]
+    fn trim_under_budget_is_a_noop() {
+        let mut ws = Workspace::new();
+        let a = ws.take(4, 4);
+        ws.put(a);
+        assert_eq!(ws.trim_to(u64::MAX), 0);
+        assert_eq!(ws.stats().trimmed_bytes, 0);
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn trim_bounds_high_water_regrowth() {
+        // The bytes-high-water pin: after an oversized pass and a trim,
+        // a small pass cannot re-reach the oversized footprint — the peak
+        // stays a one-off, not a permanent floor.
+        let mut ws = Workspace::new();
+        let oversized = ws.take(64, 4096); // one huge replay batch
+        ws.put(oversized);
+        let peak = ws.stats().bytes_high_water;
+        assert!(peak >= 64 * 4096 * 8);
+        ws.trim_to(0);
+        assert_eq!(ws.pooled_bytes(), 0);
+        for _ in 0..10 {
+            let a = ws.take(64, 4);
+            let b = ws.take(64, 4);
+            ws.put(a);
+            ws.put(b);
+        }
+        // Outstanding + pooled bytes after the trim stay bounded by the
+        // small working set; the recorded peak is unchanged.
+        assert!(ws.pooled_bytes() <= 2 * 64 * 4 * 8);
+        assert_eq!(ws.stats().bytes_high_water, peak);
+    }
+
+    #[test]
+    fn reset_counts_trimmed_bytes() {
+        let mut ws = Workspace::new();
+        let a = ws.take(8, 8);
+        ws.put(a);
+        let pooled = ws.pooled_bytes();
+        assert!(pooled > 0);
+        ws.reset();
+        assert_eq!(ws.stats().trimmed_bytes, pooled);
     }
 
     #[test]

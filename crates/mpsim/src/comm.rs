@@ -558,4 +558,26 @@ impl Comm {
     pub fn is_root(&self) -> bool {
         self.rank == 0
     }
+
+    /// Resets per-run state (clock, counters, link occupancy, collective
+    /// sequence) so a persistent rank can serve a fresh SPMD program with
+    /// the same semantics as a newly built world. The message channels
+    /// and the out-of-order buffer are kept: a well-formed program
+    /// receives every message it is sent, so both are empty at the
+    /// barrier between jobs (see [`crate::runner::SpmdWorld`]).
+    pub(crate) fn reset_for_reuse(&mut self) {
+        debug_assert!(
+            self.pending.iter().all(VecDeque::is_empty),
+            "rank {}: undelivered messages left over from the previous job",
+            self.rank
+        );
+        self.stats = RankStats::default();
+        self.clock = 0.0;
+        self.link_busy.iter_mut().for_each(|t| *t = 0.0);
+        self.inflight_recvs = 0;
+        self.inflight_s = 0.0;
+        self.overlap_s = 0.0;
+        self.collective_seq = 0;
+        self.tracer = None;
+    }
 }

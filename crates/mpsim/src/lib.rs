@@ -43,6 +43,6 @@ pub use calibrate::calibrate;
 pub use comm::{Comm, RecvRequest, SendRequest, USER_TAG_LIMIT};
 pub use model::CostModel;
 pub use payload::{panel_pool_drain, PanelBuf, Payload};
-pub use runner::{run_spmd, run_spmd_default, run_spmd_traced, SpmdOutput, MAX_RANKS};
+pub use runner::{run_spmd, run_spmd_default, run_spmd_traced, SpmdOutput, SpmdWorld, MAX_RANKS};
 pub use stats::{RankStats, WorldStats};
 pub use trace::{Trace, TraceEvent};

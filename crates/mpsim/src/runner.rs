@@ -94,16 +94,8 @@ where
     (out, trace.expect("tracing enabled"))
 }
 
-fn run_spmd_impl<T, F>(
-    p: usize,
-    model: CostModel,
-    traced: bool,
-    f: F,
-) -> (SpmdOutput<T>, Option<Trace>)
-where
-    T: Send,
-    F: Fn(&mut Comm) -> T + Sync,
-{
+/// Builds the all-to-all channel mesh and one [`Comm`] per rank.
+fn build_comms(p: usize, model: CostModel, traced: bool) -> Vec<Comm> {
     assert!(p >= 1, "world size must be at least 1");
     assert!(
         p <= MAX_RANKS,
@@ -149,6 +141,20 @@ where
         }
         comms.push(comm);
     }
+    comms
+}
+
+fn run_spmd_impl<T, F>(
+    p: usize,
+    model: CostModel,
+    traced: bool,
+    f: F,
+) -> (SpmdOutput<T>, Option<Trace>)
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    let comms = build_comms(p, model, traced);
 
     let start = Instant::now();
     let f = &f;
@@ -221,12 +227,228 @@ where
 }
 
 fn e_with_rank(rank: usize, e: Box<dyn std::any::Any + Send>) -> String {
-    let msg = if let Some(s) = e.downcast_ref::<&str>() {
+    format!("rank {rank} panicked: {}", panic_msg(&*e))
+}
+
+/// One dispatched unit of work for a persistent rank thread.
+type Job = Box<dyn FnOnce(&mut Comm) -> Box<dyn std::any::Any + Send> + Send>;
+
+/// What a persistent rank reports back after a job.
+enum RankDone {
+    Ok {
+        result: Box<dyn std::any::Any + Send>,
+        stats: crate::stats::RankStats,
+        clock: f64,
+    },
+    Panicked(String),
+}
+
+/// A **reusable** SPMD world: `P` rank threads spawned once, each running
+/// jobs dispatched through [`SpmdWorld::run`].
+///
+/// [`run_spmd`] pays one thread spawn + channel-mesh build per call —
+/// tens of microseconds per rank, irrelevant for a benchmark sweep but a
+/// real tax on a solve *service* dispatching thousands of small replay
+/// solves per second. A `SpmdWorld` keeps the rank threads and their
+/// channel mesh alive between calls; [`SpmdWorld::run`] has the same
+/// semantics as [`run_spmd`] (per-rank [`Comm`] state — clock, counters,
+/// link occupancy, collective sequence — is reset before every job, so
+/// virtual-time results are identical to a fresh world).
+///
+/// Constraints inherited from reuse:
+///
+/// * Jobs must be `'static` (they are boxed and shipped to long-lived
+///   threads) — capture shared state via `Arc`, not borrows.
+/// * A program must receive every message it is sent; leftovers would
+///   corrupt the next job (the per-job reset `debug_assert`s the
+///   out-of-order buffers are empty).
+/// * A panicking job kills the world: the panic is propagated to the
+///   [`SpmdWorld::run`] caller (catchable, as with [`run_spmd`]) and the
+///   world refuses further jobs ([`SpmdWorld::is_dead`]) — peers may
+///   have been left mid-protocol, so the only safe move is to rebuild.
+/// * Jobs are untraced (use [`run_spmd_traced`] for Chrome traces).
+pub struct SpmdWorld {
+    p: usize,
+    model: CostModel,
+    job_txs: Vec<crossbeam::channel::Sender<Job>>,
+    done_rx: crossbeam::channel::Receiver<(usize, RankDone)>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    dead: bool,
+}
+
+impl SpmdWorld {
+    /// Spawns the `p` persistent rank threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `p > MAX_RANKS`.
+    pub fn new(p: usize, model: CostModel) -> Self {
+        let comms = build_comms(p, model, false);
+        let (done_tx, done_rx) = unbounded::<(usize, RankDone)>();
+        let mut job_txs = Vec::with_capacity(p);
+        let mut handles = Vec::with_capacity(p);
+        for mut comm in comms {
+            let (job_tx, job_rx) = unbounded::<Job>();
+            job_txs.push(job_tx);
+            let done_tx = done_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                bt_dense::threading::set_thread_budget(model.threads_per_rank.max(1));
+                if bt_obs::enabled() {
+                    bt_obs::set_thread_label(format!("world rank {}", comm.rank()));
+                }
+                while let Ok(job) = job_rx.recv() {
+                    comm.reset_for_reuse();
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(&mut comm)));
+                    let rank = comm.rank();
+                    match outcome {
+                        Ok(result) => {
+                            let done = RankDone::Ok {
+                                result,
+                                stats: comm.stats(),
+                                clock: comm.virtual_time(),
+                            };
+                            if done_tx.send((rank, done)).is_err() {
+                                return; // world dropped mid-job
+                            }
+                        }
+                        Err(e) => {
+                            // Report, then die: dropping this rank's Comm
+                            // unblocks peers (their recvs panic with
+                            // "terminated"), so every rank reports and
+                            // `run` can propagate a catchable panic.
+                            let _ = done_tx.send((rank, RankDone::Panicked(panic_msg(&e))));
+                            std::panic::resume_unwind(e);
+                        }
+                    }
+                }
+            }));
+        }
+        Self {
+            p,
+            model,
+            job_txs,
+            done_rx,
+            handles,
+            dead: false,
+        }
+    }
+
+    /// World size.
+    #[inline]
+    pub fn ranks(&self) -> usize {
+        self.p
+    }
+
+    /// The cost model jobs run under.
+    #[inline]
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// True once a job has panicked; the world no longer accepts jobs.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Runs `f` on every rank, exactly like [`run_spmd`] but on the
+    /// persistent threads. Blocks until all ranks finish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world is dead, or if any rank's job panics (the
+    /// panic is propagated to this caller and the world is marked dead).
+    pub fn run<T, F>(&mut self, f: F) -> SpmdOutput<T>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> T + Send + Sync + 'static,
+    {
+        assert!(!self.dead, "SpmdWorld is dead after a panicked job");
+        let f = std::sync::Arc::new(f);
+        let start = Instant::now();
+        for tx in &self.job_txs {
+            let f = std::sync::Arc::clone(&f);
+            let job: Job = Box::new(move |comm| Box::new(f(comm)));
+            if tx.send(job).is_err() {
+                self.dead = true;
+                panic!("SpmdWorld rank thread is gone (earlier panic?)");
+            }
+        }
+        let mut slots: Vec<Option<RankDone>> = (0..self.p).map(|_| None).collect();
+        let mut first_panic: Option<(usize, String)> = None;
+        for _ in 0..self.p {
+            match self.done_rx.recv() {
+                Ok((rank, done)) => {
+                    if let RankDone::Panicked(msg) = &done {
+                        if first_panic.is_none() {
+                            first_panic = Some((rank, msg.clone()));
+                        }
+                    }
+                    slots[rank] = Some(done);
+                }
+                Err(_) => {
+                    // A rank died without reporting — only possible if its
+                    // thread was torn down outside the job protocol.
+                    self.dead = true;
+                    panic!("SpmdWorld rank thread died without reporting");
+                }
+            }
+        }
+        let wall = start.elapsed();
+        if let Some((rank, msg)) = first_panic {
+            self.dead = true;
+            std::panic::panic_any(format!("rank {rank} panicked: {msg}"));
+        }
+
+        let mut results = Vec::with_capacity(self.p);
+        let mut per_rank = Vec::with_capacity(self.p);
+        let mut modeled = 0.0f64;
+        for done in slots {
+            match done.expect("all ranks reported") {
+                RankDone::Ok {
+                    result,
+                    stats,
+                    clock,
+                } => {
+                    results.push(
+                        *result
+                            .downcast::<T>()
+                            .expect("job result type fixed by run's signature"),
+                    );
+                    per_rank.push(stats);
+                    modeled = modeled.max(clock);
+                }
+                RankDone::Panicked(_) => unreachable!("panics returned above"),
+            }
+        }
+        SpmdOutput {
+            results,
+            stats: WorldStats { per_rank },
+            wall,
+            modeled_seconds: modeled,
+        }
+    }
+}
+
+impl Drop for SpmdWorld {
+    fn drop(&mut self) {
+        // Closing the job channels ends each worker's loop; dead threads
+        // (panicked jobs) report join errors we deliberately swallow —
+        // their panic was already propagated by `run`.
+        self.job_txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn panic_msg(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = e.downcast_ref::<String>() {
         s.clone()
     } else {
         "non-string panic payload".to_string()
-    };
-    format!("rank {rank} panicked: {msg}")
+    }
 }

@@ -656,3 +656,89 @@ fn exchange_panel_swaps_between_peers() {
     }
     assert!(out.stats.is_balanced());
 }
+
+#[test]
+fn persistent_world_matches_fresh_world() {
+    use bt_mpsim::SpmdWorld;
+    let mut world = SpmdWorld::new(4, M.with_threads_per_rank(2));
+    assert_eq!(world.ranks(), 4);
+    for round in 0..3u64 {
+        let reused = world.run(move |comm| {
+            // Mix point-to-point, a collective and compute so clock,
+            // counters and collective tags all exercise the reset path.
+            let peer = comm.rank() ^ 1;
+            let got: u64 = comm.sendrecv(peer, 7, comm.rank() as u64 + round);
+            comm.compute(100);
+            got + comm.allreduce(comm.rank() as u64, |a, b| a + b)
+        });
+        let fresh = run_spmd(4, M.with_threads_per_rank(2), |comm| {
+            let peer = comm.rank() ^ 1;
+            let got: u64 = comm.sendrecv(peer, 7, comm.rank() as u64 + round);
+            comm.compute(100);
+            got + comm.allreduce(comm.rank() as u64, |a, b| a + b)
+        });
+        assert_eq!(reused.results, fresh.results, "round {round}");
+        assert_eq!(reused.modeled_seconds, fresh.modeled_seconds);
+        // Per-job stats must not accumulate across jobs.
+        assert_eq!(
+            reused.stats.total().msgs_sent,
+            fresh.stats.total().msgs_sent,
+            "round {round}: stats leaked across jobs"
+        );
+    }
+}
+
+#[test]
+fn persistent_world_rank_threads_stamped_from_model() {
+    let mut world = bt_mpsim::SpmdWorld::new(3, M.with_threads_per_rank(4));
+    let out = world.run(|_comm| bt_dense::current_threads());
+    assert_eq!(out.results, vec![4, 4, 4]);
+}
+
+#[test]
+fn persistent_world_panic_is_catchable_and_kills_world() {
+    let mut world = bt_mpsim::SpmdWorld::new(2, M);
+    let ok = world.run(|comm| comm.rank());
+    assert_eq!(ok.results, vec![0, 1]);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        world.run(|comm| {
+            if comm.rank() == 1 {
+                panic!("job blew up");
+            }
+            let _: u64 = comm.recv(1, 3); // blocks until rank 1's death unblocks it
+        })
+    }));
+    let msg = err.expect_err("panic must propagate");
+    let msg = msg.downcast_ref::<String>().expect("string payload");
+    assert!(msg.contains("panicked"), "got: {msg}");
+    assert!(world.is_dead());
+    let again = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        world.run(|comm| comm.rank())
+    }));
+    assert!(again.is_err(), "dead world must refuse jobs");
+}
+
+#[test]
+fn midsolve_panic_with_inflight_irecv_is_catchable() {
+    // A rank that panics while holding a posted-but-unwaited RecvRequest
+    // must surface as one catchable panic, not a double-panic abort:
+    // RecvRequest::drop suppresses its own panic during unwind.
+    let caught = std::panic::catch_unwind(|| {
+        run_spmd(2, M, |comm| {
+            if comm.rank() == 0 {
+                comm.send_panel(1, 2, Mat::identity(3).as_ref());
+                // Stay alive until peer death cuts the channel.
+                let _: u64 = comm.recv(1, 9);
+            } else {
+                let _req = comm.irecv_panel_into(0, 2, Mat::zeros(3, 3));
+                panic!("mid-solve failure with a request in flight");
+            }
+        })
+    });
+    let msg = caught.expect_err("panic must propagate, not abort");
+    let msg = msg.downcast_ref::<String>().expect("string payload");
+    assert!(
+        msg.contains("mid-solve failure") || msg.contains("terminated"),
+        "got: {msg}"
+    );
+}

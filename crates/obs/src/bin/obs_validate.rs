@@ -6,20 +6,27 @@
 //!
 //! Each file is parsed with the in-tree JSON parser and checked against
 //! the schema it self-identifies as: a `bt-obs-metrics-v1` object goes
-//! through [`bt_obs::json::validate_metrics`], anything shaped like
-//! Chrome trace-event JSON (bare array or `{"traceEvents": [...]}`)
-//! through [`bt_obs::json::validate_chrome_trace`]. Exits non-zero on
-//! the first unreadable, unparsable or invalid file.
+//! through [`bt_obs::json::validate_metrics`], a `bt-bench-service-v1`
+//! object through [`bt_obs::json::validate_bench_service`], anything
+//! shaped like Chrome trace-event JSON (bare array or
+//! `{"traceEvents": [...]}`) through
+//! [`bt_obs::json::validate_chrome_trace`]. Exits non-zero on the first
+//! unreadable, unparsable or invalid file.
 
 use bt_obs::json::{self, Json};
 
 fn validate_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
     let doc = json::parse(&text)?;
-    let is_metrics = doc
-        .get("schema")
-        .and_then(Json::as_str)
-        .is_some_and(|s| s.starts_with("bt-obs-metrics"));
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema.starts_with("bt-bench-service") {
+        let s = json::validate_bench_service(&doc)?;
+        return Ok(format!(
+            "service bench ok: {} legs, batched speedup {:.2}x at top rate",
+            s.legs, s.batched_speedup
+        ));
+    }
+    let is_metrics = schema.starts_with("bt-obs-metrics");
     if is_metrics {
         let s = json::validate_metrics(&doc)?;
         Ok(format!(

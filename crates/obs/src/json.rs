@@ -479,6 +479,124 @@ pub fn validate_metrics(doc: &Json) -> Result<MetricsSummary, String> {
     Ok(summary)
 }
 
+/// What [`validate_bench_service`] found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchServiceSummary {
+    /// Result records (one per `(rate, leg)` pair).
+    pub legs: usize,
+    /// Batched-over-unbatched completed-throughput ratio at the highest
+    /// offered rate both legs ran (1.0 if only one leg is present).
+    pub batched_speedup: f64,
+}
+
+/// Validates a `bt-bench-service-v1` document (`bench_service` output):
+/// schema tag, run parameters, per-leg records with ordered latency
+/// percentiles, and — when the coalescer actually saw deep queues (mean
+/// batch width ≥ 16 at some rate) — that batched dispatch beat
+/// one-solve-per-request throughput at equal-or-better p99 there.
+///
+/// # Errors
+///
+/// The first violated rule, naming the offending record.
+pub fn validate_bench_service(doc: &Json) -> Result<BenchServiceSummary, String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("bt-bench-service-v1") => {}
+        Some(other) => return Err(format!("unknown service bench schema '{other}'")),
+        None => return Err("service bench document lacks a schema tag".to_string()),
+    }
+    for key in ["n", "m", "p", "requests", "max_batch", "max_delay_us"] {
+        match doc.get(key).and_then(Json::as_f64) {
+            Some(v) if v >= 1.0 => {}
+            _ => return Err(format!("'{key}' is missing or not a positive number")),
+        }
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("service bench document lacks a results array")?;
+    if results.is_empty() {
+        return Err("results array is empty".to_string());
+    }
+    let mut parsed: Vec<(String, f64, f64, f64, f64)> = Vec::new();
+    for (i, rec) in results.iter().enumerate() {
+        let leg = rec
+            .get("leg")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("results[{i}] lacks a leg tag"))?;
+        if leg != "unbatched" && leg != "batched" {
+            return Err(format!("results[{i}] has unknown leg '{leg}'"));
+        }
+        let num = |key: &str| {
+            rec.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("results[{i}] ({leg}) lacks numeric {key}"))
+        };
+        let rate = num("rate_mult")?;
+        let tput = num("throughput_rps")?;
+        let width = num("mean_batch_width")?;
+        let (p50, p95, p99, max) = (
+            num("p50_us")?,
+            num("p95_us")?,
+            num("p99_us")?,
+            num("max_us")?,
+        );
+        num("rate_rps")?;
+        num("requests")?;
+        num("dispatches")?;
+        num("mean_queue_wait_us")?;
+        if tput <= 0.0 {
+            return Err(format!("results[{i}] ({leg}) throughput is not positive"));
+        }
+        if width < 1.0 {
+            return Err(format!("results[{i}] ({leg}) mean batch width below 1"));
+        }
+        if !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+            return Err(format!(
+                "results[{i}] ({leg}) percentiles are not ordered: \
+                 p50 {p50} p95 {p95} p99 {p99} max {max}"
+            ));
+        }
+        parsed.push((leg.to_string(), rate, tput, width, p99));
+    }
+    // The headline claim: wherever coalescing actually engaged (mean
+    // batch width >= 16), batching must win throughput without losing p99.
+    let mut summary = BenchServiceSummary {
+        legs: parsed.len(),
+        batched_speedup: 1.0,
+    };
+    let mut top_rate = f64::NEG_INFINITY;
+    for (leg, rate, tput, width, p99) in &parsed {
+        if leg != "batched" {
+            continue;
+        }
+        let Some((_, _, base_tput, _, base_p99)) = parsed
+            .iter()
+            .find(|(l, r, ..)| l == "unbatched" && r == rate)
+        else {
+            continue;
+        };
+        if *width >= 16.0 {
+            if tput < base_tput {
+                return Err(format!(
+                    "rate x{rate}: batched throughput {tput:.0} req/s lost to \
+                     unbatched {base_tput:.0} req/s despite mean width {width:.1}"
+                ));
+            }
+            if p99 > base_p99 {
+                return Err(format!(
+                    "rate x{rate}: batched p99 {p99:.0} us worse than \
+                     unbatched {base_p99:.0} us despite mean width {width:.1}"
+                ));
+            }
+        }
+        if *rate > top_rate {
+            top_rate = *rate;
+            summary.batched_speedup = tput / base_tput;
+        }
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,5 +685,63 @@ mod tests {
         let bad = good.replace("\"count\": 2,", "\"count\": 5,");
         let err = validate_metrics(&parse(&bad).unwrap()).unwrap_err();
         assert!(err.contains("sum to"), "{err}");
+    }
+
+    fn service_bench_doc() -> String {
+        r#"{
+            "schema": "bt-bench-service-v1",
+            "n": 32, "m": 6, "p": 4, "requests": 192,
+            "max_batch": 32, "max_delay_us": 1000,
+            "results": [
+                {"leg": "unbatched", "rate_mult": 16, "rate_rps": 100000,
+                 "requests": 192, "throughput_rps": 10000,
+                 "mean_batch_width": 1.0, "max_batch_width": 1, "dispatches": 192,
+                 "p50_us": 9000, "p95_us": 16000, "p99_us": 17000, "max_us": 17500,
+                 "mean_queue_wait_us": 9000},
+                {"leg": "batched", "rate_mult": 16, "rate_rps": 100000,
+                 "requests": 192, "throughput_rps": 29000,
+                 "mean_batch_width": 32.0, "max_batch_width": 32, "dispatches": 6,
+                 "p50_us": 4500, "p95_us": 5900, "p99_us": 6000, "max_us": 6100,
+                 "mean_queue_wait_us": 3100}
+            ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn service_bench_validator_accepts_batched_win() {
+        let summary = validate_bench_service(&parse(&service_bench_doc()).unwrap()).unwrap();
+        assert_eq!(summary.legs, 2);
+        assert!((summary.batched_speedup - 2.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn service_bench_validator_rejects_batched_loss_at_depth() {
+        // Batched leg slower than unbatched while coalescing was deep
+        // (width 32): the headline claim failed, so validation must too.
+        let doc =
+            service_bench_doc().replace("\"throughput_rps\": 29000", "\"throughput_rps\": 9000");
+        let err = validate_bench_service(&parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("lost to"), "{err}");
+
+        // Same loss with shallow queues (width 2) is not a violation.
+        let doc = doc.replace("\"mean_batch_width\": 32.0", "\"mean_batch_width\": 2.0");
+        assert!(validate_bench_service(&parse(&doc).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn service_bench_validator_rejects_unordered_percentiles() {
+        let doc = service_bench_doc().replace("\"p95_us\": 5900", "\"p95_us\": 6900");
+        let err = validate_bench_service(&parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("not ordered"), "{err}");
+    }
+
+    #[test]
+    fn service_bench_validator_rejects_worse_p99_at_depth() {
+        let doc = service_bench_doc()
+            .replace("\"p99_us\": 6000", "\"p99_us\": 18000")
+            .replace("\"max_us\": 6100", "\"max_us\": 18500");
+        let err = validate_bench_service(&parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("p99"), "{err}");
     }
 }
