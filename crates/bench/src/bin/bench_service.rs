@@ -169,6 +169,16 @@ fn run_leg(
 
 fn main() {
     let args = Args::from_env();
+    // Live telemetry: with BT_OBS_ADDR set, serve Prometheus text and a
+    // JSON snapshot for the duration of the run (the handle's Drop stops
+    // the listener at exit).
+    let exporter = bt_obs::exporter::serve_from_env();
+    if let Some(e) = &exporter {
+        println!(
+            "bench_service: live telemetry on http://{}/metrics",
+            e.local_addr()
+        );
+    }
     let smoke = args.get_usize("smoke", 0) != 0;
     let (dreq, dmults): (usize, &[f64]) = if smoke {
         (192, &[16.0])

@@ -33,6 +33,29 @@
 //! `bt_service.batch.width`, `bt_service.queue.wait_ns`. Unconditional
 //! counters are available via [`SolverService::stats`].
 //!
+//! ## Telemetry (always on)
+//!
+//! Three facilities run regardless of `BT_OBS`, because latency numbers
+//! and crash forensics are only useful if they were being collected
+//! *before* anyone thought to ask:
+//!
+//! * **Request ids** — [`SolverService::submit`] mints a process-unique
+//!   id per request ([`SolveTicket::request_id`]); the dispatcher mints
+//!   a batch id per coalesced dispatch and installs a
+//!   [`bt_obs::TraceCtx`] for the whole solve, so under `BT_OBS=1` every
+//!   span the dispatch touches — queue wait, batch assembly, the replay
+//!   solve, each rank's scan rounds — carries the request ids in one
+//!   merged Chrome trace.
+//! * **Latency recorders** — per-stage HDR histograms
+//!   (`bt_service.{queue_wait,solve,request_total,batch_assemble,factor}_ns`,
+//!   see [`bt_obs::hdr`]) feed p50/p95/p99 by stage; scrape them live via
+//!   [`bt_obs::exporter`] (`BT_OBS_ADDR`).
+//! * **Flight recorder** — every submit, reject, registration, eviction,
+//!   dispatch and solve outcome lands in the [`bt_obs::flight`] ring.
+//!   When a dispatched solve panics the ring is dumped to
+//!   [`ServiceConfig::flight_dump_dir`] (default from `BT_FLIGHT_DIR`),
+//!   so a `SolveFailed` ticket always has the events leading up to it.
+//!
 //! A solve that panics inside the SPMD world is contained: the batch's
 //! tickets all resolve to [`ServiceError::SolveFailed`], the dispatcher
 //! survives, and other cached matrices are unaffected (the panicked
@@ -57,6 +80,14 @@ static OBS_CACHE_BYTES: bt_obs::Gauge = bt_obs::Gauge::new("bt_service.cache.byt
 static OBS_DISPATCHES: bt_obs::Counter = bt_obs::Counter::new("bt_service.batch.dispatches");
 static OBS_BATCH_WIDTH: bt_obs::Histogram = bt_obs::Histogram::new("bt_service.batch.width");
 static OBS_QUEUE_WAIT: bt_obs::Histogram = bt_obs::Histogram::new("bt_service.queue.wait_ns");
+
+// Always-on per-stage latency recorders (not BT_OBS-gated; see the
+// module docs). Nanosecond units throughout.
+static LAT_QUEUE_WAIT: bt_obs::Latency = bt_obs::Latency::new("bt_service.queue_wait_ns");
+static LAT_SOLVE: bt_obs::Latency = bt_obs::Latency::new("bt_service.solve_ns");
+static LAT_REQUEST_TOTAL: bt_obs::Latency = bt_obs::Latency::new("bt_service.request_total_ns");
+static LAT_BATCH_ASSEMBLE: bt_obs::Latency = bt_obs::Latency::new("bt_service.batch_assemble_ns");
+static LAT_FACTOR: bt_obs::Latency = bt_obs::Latency::new("bt_service.factor_ns");
 
 /// Content fingerprint identifying a registered matrix.
 ///
@@ -132,11 +163,17 @@ pub struct ServiceConfig {
     /// many bytes after every dispatch, so one oversized batch does not
     /// pin its high-water allocation for the life of the service.
     pub ws_trim_bytes: Option<u64>,
+    /// Directory the flight-recorder ring is dumped to when a dispatched
+    /// solve panics (one `bt-flight-batch<id>.json` per panicked batch).
+    /// `None` disables dumping; [`ServiceConfig::new`] seeds it from the
+    /// `BT_FLIGHT_DIR` environment variable when set.
+    pub flight_dump_dir: Option<std::path::PathBuf>,
 }
 
 impl ServiceConfig {
     /// Defaults: 256 MiB factor cache, width-32 batches, 2 ms deadline,
-    /// persistent worlds on, no workspace trimming.
+    /// persistent worlds on, no workspace trimming, flight dumps to
+    /// `$BT_FLIGHT_DIR` when that variable is set.
     pub fn new(ranks: usize, model: CostModel) -> Self {
         Self {
             ranks,
@@ -146,6 +183,7 @@ impl ServiceConfig {
             max_delay: Duration::from_millis(2),
             world_reuse: true,
             ws_trim_bytes: None,
+            flight_dump_dir: std::env::var_os("BT_FLIGHT_DIR").map(std::path::PathBuf::from),
         }
     }
 }
@@ -215,6 +253,10 @@ impl std::error::Error for ServiceError {
 pub struct SolveResponse {
     /// The solution panel for this request's right-hand side.
     pub x: BlockVec,
+    /// The request id minted at submit (same as the ticket's).
+    pub request_id: u64,
+    /// Id of the coalesced dispatch this request rode in.
+    pub batch_id: u64,
     /// Total column count of the coalesced batch this request rode in.
     pub batch_width: usize,
     /// Time the request spent queued before its batch dispatched.
@@ -228,6 +270,7 @@ pub struct SolveResponse {
 pub struct SolveTicket {
     rx: Receiver<Result<SolveResponse, ServiceError>>,
     enqueued: Instant,
+    request_id: u64,
 }
 
 impl SolveTicket {
@@ -244,6 +287,12 @@ impl SolveTicket {
     /// When the request entered the queue.
     pub fn enqueued_at(&self) -> Instant {
         self.enqueued
+    }
+
+    /// The process-unique request id minted at submit — the id this
+    /// request's trace spans and flight events carry.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
     }
 }
 
@@ -307,6 +356,9 @@ struct Pending {
     entry: Arc<CacheEntry>,
     rhs: BlockVec,
     enqueued: Instant,
+    /// Submit time in trace-epoch ns, for the retroactive queue-wait span.
+    t_submit_ns: u64,
+    request_id: u64,
     tx: Sender<Result<SolveResponse, ServiceError>>,
 }
 
@@ -394,10 +446,13 @@ impl SolverService {
                 p: self.inner.cfg.ranks,
             });
         }
+        let factor_start = Instant::now();
         let session = ArdSession::create(self.inner.cfg.ranks, self.inner.cfg.model, src)
             .map_err(ServiceError::Factorization)?;
+        LAT_FACTOR.record_duration(factor_start.elapsed());
         session.set_world_reuse(self.inner.cfg.world_reuse);
         let bytes = session.factor_bytes();
+        bt_obs::flight::record("register", 0, 0, key.as_u64(), format!("bytes={bytes}"));
         let entry = Arc::new(CacheEntry {
             key,
             session,
@@ -418,17 +473,36 @@ impl SolverService {
     /// registered matrix (checked here, so a bad request can never
     /// corrupt a batch), [`ServiceError::ShuttingDown`] after drop began.
     pub fn submit(&self, key: MatrixKey, y: &BlockVec) -> Result<SolveTicket, ServiceError> {
-        let entry = self
-            .inner
-            .lookup(key)
-            .ok_or(ServiceError::UnknownKey(key))?;
+        let request_id = bt_obs::ctx::next_request_id();
+        let entry = match self.inner.lookup(key) {
+            Some(entry) => entry,
+            None => {
+                bt_obs::flight::record("reject", request_id, 0, key.as_u64(), "unknown key");
+                return Err(ServiceError::UnknownKey(key));
+            }
+        };
         let expected = (entry.session.n(), entry.session.m());
         let got = (y.n(), y.m());
         if expected != got {
+            bt_obs::flight::record(
+                "reject",
+                request_id,
+                0,
+                key.as_u64(),
+                format!("shape mismatch: expected {expected:?}, got {got:?}"),
+            );
             return Err(ServiceError::ShapeMismatch { expected, got });
         }
         let (tx, rx) = unbounded();
         let enqueued = Instant::now();
+        let t_submit_ns = bt_obs::tracer::now_ns();
+        bt_obs::flight::record(
+            "submit",
+            request_id,
+            0,
+            key.as_u64(),
+            format!("r={}", y.r()),
+        );
         {
             let mut q = lock(&self.inner.queue);
             if q.shutdown {
@@ -438,12 +512,18 @@ impl SolverService {
                 entry,
                 rhs: y.clone(),
                 enqueued,
+                t_submit_ns,
+                request_id,
                 tx,
             });
         }
         self.inner.counters.requests.fetch_add(1, Relaxed);
         self.inner.queue_cv.notify_all();
-        Ok(SolveTicket { rx, enqueued })
+        Ok(SolveTicket {
+            rx,
+            enqueued,
+            request_id,
+        })
     }
 
     /// [`submit`](Self::submit) + [`SolveTicket::wait`]: blocks until
@@ -560,6 +640,13 @@ impl Inner {
             cache.bytes -= slot.entry.bytes;
             self.counters.evictions.fetch_add(1, Relaxed);
             OBS_CACHE_EVICT.incr();
+            bt_obs::flight::record(
+                "evict",
+                0,
+                0,
+                victim.as_u64(),
+                format!("bytes={}", slot.entry.bytes),
+            );
             // An in-flight solve may still hold the Arc; the factors are
             // freed when the last pending request against them drains.
         }
@@ -651,9 +738,28 @@ fn extract_group(q: &mut QueueState, key: MatrixKey, max_batch: usize) -> Vec<Pe
 fn dispatch(inner: &Inner, batch: Vec<Pending>) {
     debug_assert!(!batch.is_empty());
     let entry = Arc::clone(&batch[0].entry);
+    let key = entry.key.as_u64();
     let widths: Vec<usize> = batch.iter().map(|p| p.rhs.r()).collect();
     let total: usize = widths.iter().sum();
     let dispatched_at = Instant::now();
+    let t_dispatch_ns = bt_obs::tracer::now_ns();
+
+    // Identity of this dispatch: one batch id covering every coalesced
+    // request. Installed on the dispatcher thread for the whole solve,
+    // so assembly, the session replay and every rank's scan spans all
+    // carry the request ids (the session hands the context to its rank
+    // threads; see `ArdSession::solve_inner`).
+    let batch_id = bt_obs::ctx::next_batch_id();
+    let request_ids: Vec<u64> = batch.iter().map(|p| p.request_id).collect();
+    let ctx = bt_obs::TraceCtx::batch(batch_id, &request_ids);
+    let _ctx_guard = bt_obs::ctx::enter(ctx.clone());
+    bt_obs::flight::record(
+        "dispatch",
+        0,
+        batch_id,
+        key,
+        format!("width={total} reqs={}", batch.len()),
+    );
 
     inner.counters.dispatches.fetch_add(1, Relaxed);
     inner
@@ -667,9 +773,26 @@ fn dispatch(inner: &Inner, batch: Vec<Pending>) {
     OBS_DISPATCHES.incr();
     OBS_BATCH_WIDTH.record(total as u64);
     for p in &batch {
-        OBS_QUEUE_WAIT.record_duration(dispatched_at.duration_since(p.enqueued));
+        let wait = dispatched_at.duration_since(p.enqueued);
+        OBS_QUEUE_WAIT.record_duration(wait);
+        LAT_QUEUE_WAIT.record_duration(wait);
+        // Retroactive span covering submit -> dispatch, tagged with the
+        // waiting request's own id (not the whole batch).
+        bt_obs::complete_span(
+            "service",
+            "queue.wait",
+            p.t_submit_ns,
+            t_dispatch_ns,
+            Some(&bt_obs::TraceCtx::request(p.request_id)),
+            None,
+        );
     }
 
+    let span = bt_obs::span_with("service", "batch.dispatch", || {
+        format!("{{\"width\":{total},\"key\":\"{:016x}\"}}", key)
+    });
+    let assemble_start = Instant::now();
+    let assemble_span = bt_obs::span("service", "batch.assemble");
     let wide;
     let y = if batch.len() == 1 {
         &batch[0].rhs
@@ -677,11 +800,17 @@ fn dispatch(inner: &Inner, batch: Vec<Pending>) {
         wide = hstack(&batch);
         &wide
     };
+    drop(assemble_span);
+    LAT_BATCH_ASSEMBLE.record_duration(assemble_start.elapsed());
+
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| entry.session.solve(y)));
     let solve_time = dispatched_at.elapsed();
+    LAT_SOLVE.record_duration(solve_time);
+    drop(span);
 
     match result {
         Ok(Ok(x_wide)) => {
+            bt_obs::flight::record("solve_ok", 0, batch_id, key, "");
             let mut parts = if widths.len() == 1 {
                 vec![x_wide]
             } else {
@@ -690,8 +819,11 @@ fn dispatch(inner: &Inner, batch: Vec<Pending>) {
             for p in batch.into_iter().rev() {
                 let x = parts.pop().expect("one part per request");
                 let queue_wait = dispatched_at.duration_since(p.enqueued);
+                LAT_REQUEST_TOTAL.record_duration(queue_wait + solve_time);
                 let _ = p.tx.send(Ok(SolveResponse {
                     x,
+                    request_id: p.request_id,
+                    batch_id,
                     batch_width: total,
                     queue_wait,
                     solve_time,
@@ -699,6 +831,7 @@ fn dispatch(inner: &Inner, batch: Vec<Pending>) {
             }
         }
         Ok(Err(e)) => {
+            bt_obs::flight::record("solve_error", 0, batch_id, key, e.to_string());
             for p in batch {
                 let _ = p.tx.send(Err(ServiceError::Factorization(e.clone())));
             }
@@ -709,6 +842,18 @@ fn dispatch(inner: &Inner, batch: Vec<Pending>) {
                 .map(|s| (*s).to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "solve panicked".into());
+            bt_obs::flight::record("solve_panic", 0, batch_id, key, msg.clone());
+            for p in &batch {
+                bt_obs::flight::record("solve_failed", p.request_id, batch_id, key, "");
+            }
+            // Dump before resolving the tickets, so a caller seeing
+            // `SolveFailed` can immediately read the black box.
+            if let Some(dir) = &inner.cfg.flight_dump_dir {
+                let path = dir.join(format!("bt-flight-batch{batch_id}.json"));
+                if let Err(e) = bt_obs::flight::dump_to_file(&path) {
+                    eprintln!("bt-service: flight dump to {} failed: {e}", path.display());
+                }
+            }
             for p in batch {
                 let _ = p.tx.send(Err(ServiceError::SolveFailed(msg.clone())));
             }

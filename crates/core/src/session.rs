@@ -384,7 +384,14 @@ impl ArdSession {
         let lease = FactorLease::checkout(self);
         let slots = Arc::clone(lease.slots());
 
+        // The caller's trace context (e.g. the service dispatcher's
+        // batch/request ids) does not cross thread spawns by itself;
+        // carry it into each rank's closure so per-rank replay and scan
+        // spans stay attributable to the requests they serve.
+        let ctx = bt_obs::ctx::current();
         let job = move |comm: &mut Comm| {
+            let _ctx_guard = ctx.clone().map(bt_obs::ctx::enter);
+            let _span = bt_obs::span("session", "replay.solve");
             let (sys, factors) = slots[comm.rank()].lock().take().expect("state present");
             let y_local: Vec<Mat> = y_slices[comm.rank()]
                 .lock()

@@ -163,6 +163,10 @@ pub struct Comm {
     pub(crate) collective_seq: u64,
     /// Event recorder (None unless the world was launched traced).
     pub(crate) tracer: Option<Vec<TraceEvent>>,
+    /// Whether this world records trace events: [`Comm::reset_for_reuse`]
+    /// re-arms `tracer` from this, so every job on a traced persistent
+    /// world gets a fresh event buffer instead of silently going dark.
+    pub(crate) traced: bool,
 }
 
 impl Comm {
@@ -188,6 +192,7 @@ impl Comm {
             model,
             collective_seq: 0,
             tracer: None,
+            traced: false,
         }
     }
 
@@ -578,6 +583,13 @@ impl Comm {
         self.inflight_s = 0.0;
         self.overlap_s = 0.0;
         self.collective_seq = 0;
-        self.tracer = None;
+        // Traced worlds get a fresh event buffer per job; the runner has
+        // already drained the previous job's events. Re-arming from the
+        // `traced` flag (rather than clearing to None) is what keeps
+        // back-to-back jobs on a persistent world traceable — and the
+        // per-job buffer handoff is what lets the runner offset each
+        // job's virtual times onto one merged timeline without colliding
+        // send->recv flow pairings.
+        self.tracer = self.traced.then(Vec::new);
     }
 }

@@ -138,6 +138,7 @@ fn build_comms(p: usize, model: CostModel, traced: bool) -> Vec<Comm> {
         let mut comm = Comm::new(rank, p, senders, receivers, model);
         if traced {
             comm.tracer = Some(Vec::new());
+            comm.traced = true;
         }
         comms.push(comm);
     }
@@ -239,6 +240,8 @@ enum RankDone {
         result: Box<dyn std::any::Any + Send>,
         stats: crate::stats::RankStats,
         clock: f64,
+        /// This job's trace events (Some only on traced worlds).
+        events: Option<Vec<TraceEvent>>,
     },
     Panicked(String),
 }
@@ -266,7 +269,11 @@ enum RankDone {
 ///   [`SpmdWorld::run`] caller (catchable, as with [`run_spmd`]) and the
 ///   world refuses further jobs ([`SpmdWorld::is_dead`]) — peers may
 ///   have been left mid-protocol, so the only safe move is to rebuild.
-/// * Jobs are untraced (use [`run_spmd_traced`] for Chrome traces).
+/// * Tracing is opt-in at construction ([`SpmdWorld::new_traced`]):
+///   every job's events accumulate — offset onto one shared virtual
+///   timeline — and [`SpmdWorld::take_trace`] yields the merged
+///   [`Trace`]. Worlds built with [`SpmdWorld::new`] are untraced (use
+///   [`run_spmd_traced`] for one-shot Chrome traces).
 pub struct SpmdWorld {
     p: usize,
     model: CostModel,
@@ -274,6 +281,18 @@ pub struct SpmdWorld {
     done_rx: crossbeam::channel::Receiver<(usize, RankDone)>,
     handles: Vec<std::thread::JoinHandle<()>>,
     dead: bool,
+    traced: bool,
+    /// Merged trace of every completed job (traced worlds only).
+    trace: Trace,
+    /// Cumulative modeled seconds of completed jobs: each per-rank clock
+    /// restarts at zero per job ([`Comm::reset_for_reuse`]), so job
+    /// `k`'s events are shifted by the summed modeled time of jobs
+    /// `0..k` when merged. This keeps per-rank timestamps monotone in
+    /// the merged Chrome JSON and — because occurrence counting in
+    /// [`Trace::to_chrome_json`] walks events in merged order — gives
+    /// every send→recv flow arrow a distinct pairing instead of
+    /// colliding with the equivalent message of an earlier job.
+    trace_base_s: f64,
 }
 
 impl SpmdWorld {
@@ -283,7 +302,21 @@ impl SpmdWorld {
     ///
     /// Panics if `p == 0` or `p > MAX_RANKS`.
     pub fn new(p: usize, model: CostModel) -> Self {
-        let comms = build_comms(p, model, false);
+        Self::new_impl(p, model, false)
+    }
+
+    /// Like [`SpmdWorld::new`], but every job records virtual-time trace
+    /// events; [`SpmdWorld::take_trace`] returns the merged timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `p > MAX_RANKS`.
+    pub fn new_traced(p: usize, model: CostModel) -> Self {
+        Self::new_impl(p, model, true)
+    }
+
+    fn new_impl(p: usize, model: CostModel, traced: bool) -> Self {
+        let comms = build_comms(p, model, traced);
         let (done_tx, done_rx) = unbounded::<(usize, RankDone)>();
         let mut job_txs = Vec::with_capacity(p);
         let mut handles = Vec::with_capacity(p);
@@ -307,6 +340,7 @@ impl SpmdWorld {
                                 result,
                                 stats: comm.stats(),
                                 clock: comm.virtual_time(),
+                                events: comm.tracer.take(),
                             };
                             if done_tx.send((rank, done)).is_err() {
                                 return; // world dropped mid-job
@@ -331,6 +365,11 @@ impl SpmdWorld {
             done_rx,
             handles,
             dead: false,
+            traced,
+            trace: Trace {
+                events: (0..p).map(|_| Vec::new()).collect(),
+            },
+            trace_base_s: 0.0,
         }
     }
 
@@ -404,12 +443,13 @@ impl SpmdWorld {
         let mut results = Vec::with_capacity(self.p);
         let mut per_rank = Vec::with_capacity(self.p);
         let mut modeled = 0.0f64;
-        for done in slots {
+        for (rank, done) in slots.into_iter().enumerate() {
             match done.expect("all ranks reported") {
                 RankDone::Ok {
                     result,
                     stats,
                     clock,
+                    events,
                 } => {
                     results.push(
                         *result
@@ -418,9 +458,18 @@ impl SpmdWorld {
                     );
                     per_rank.push(stats);
                     modeled = modeled.max(clock);
+                    if self.traced {
+                        let base = self.trace_base_s;
+                        self.trace.events[rank]
+                            .extend(events.unwrap_or_default().iter().map(|e| e.shifted(base)));
+                    }
                 }
                 RankDone::Panicked(_) => unreachable!("panics returned above"),
             }
+        }
+        if self.traced {
+            // Lay the next job after this one on the shared timeline.
+            self.trace_base_s += modeled;
         }
         SpmdOutput {
             results,
@@ -428,6 +477,21 @@ impl SpmdWorld {
             wall,
             modeled_seconds: modeled,
         }
+    }
+
+    /// Takes the merged trace accumulated so far (traced worlds only),
+    /// leaving an empty trace behind; the virtual-time offset keeps
+    /// running, so later jobs still land after earlier ones if traces
+    /// are concatenated externally.
+    ///
+    /// Returns an empty per-rank trace for untraced worlds.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::replace(
+            &mut self.trace,
+            Trace {
+                events: (0..self.p).map(|_| Vec::new()).collect(),
+            },
+        )
     }
 }
 

@@ -80,6 +80,27 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// The same event with every virtual timestamp advanced by `dt`
+    /// seconds. Used by traced persistent worlds
+    /// ([`crate::runner::SpmdWorld::new_traced`]) to place each job's
+    /// events (whose clocks restart at zero) back-to-back on one merged
+    /// timeline, keeping per-rank timestamps monotone across jobs.
+    #[must_use]
+    pub fn shifted(&self, dt: f64) -> Self {
+        let mut ev = self.clone();
+        match &mut ev {
+            Self::Compute { start, .. } | Self::Recv { start, .. } => *start += dt,
+            Self::Send { at, .. } | Self::IrecvPost { at, .. } => *at += dt,
+            Self::IrecvWait { posted, start, .. } => {
+                *posted += dt;
+                *start += dt;
+            }
+        }
+        ev
+    }
+}
+
 /// All ranks' recorded events.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {

@@ -689,6 +689,47 @@ fn persistent_world_matches_fresh_world() {
 }
 
 #[test]
+fn traced_persistent_world_merges_jobs_without_flow_collisions() {
+    // Two back-to-back jobs with *identical* send/recv tag patterns on a
+    // traced persistent world: the merged Chrome trace must keep per-tid
+    // timestamps monotone (job 2 shifted past job 1 on the virtual
+    // timeline) and pair every send→recv flow arrow with its own job's
+    // counterpart — the regression was reused worlds restarting clocks
+    // and flow occurrences at zero, colliding arrows across jobs.
+    let job = |comm: &mut bt_mpsim::Comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 7, 42u64);
+        } else {
+            let _: u64 = comm.recv(0, 7);
+        }
+        comm.compute(1_000);
+        comm.virtual_time()
+    };
+    let mut world = bt_mpsim::SpmdWorld::new_traced(2, M);
+    let first = world.run(job);
+    let second = world.run(job);
+    assert_eq!(first.results, second.results, "jobs are identical");
+
+    let trace = world.take_trace();
+    let json = trace.to_chrome_json();
+    let doc = bt_obs::json::parse(&json).expect("merged trace parses");
+    let summary = bt_obs::json::validate_chrome_trace(&doc)
+        .expect("merged trace is a valid Chrome trace (monotone ts, matched flows)");
+    // One message per job, two jobs: two distinct flow arrows.
+    assert_eq!(summary.flow_starts, 2, "one flow start per job's send");
+    assert_eq!(summary.flow_finishes, 2, "one flow finish per job's recv");
+
+    // After take_trace the buffer is empty but the timeline keeps
+    // advancing: a third job still lands after the first two.
+    let third = world.run(job);
+    assert_eq!(third.results, first.results);
+    let tail = world.take_trace();
+    let tail_doc = bt_obs::json::parse(&tail.to_chrome_json()).expect("tail parses");
+    let tail_summary = bt_obs::json::validate_chrome_trace(&tail_doc).expect("tail valid");
+    assert_eq!(tail_summary.flow_starts, 1);
+}
+
+#[test]
 fn persistent_world_rank_threads_stamped_from_model() {
     let mut world = bt_mpsim::SpmdWorld::new(3, M.with_threads_per_rank(4));
     let out = world.run(|_comm| bt_dense::current_threads());

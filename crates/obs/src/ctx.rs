@@ -1,0 +1,184 @@
+//! Request-scoped trace context: cheap u64 ids threaded from
+//! `SolverService::submit` down into per-rank SPMD spans.
+//!
+//! A [`TraceCtx`] names the work a thread is currently doing on behalf
+//! of the serving layer — a batch id plus the request ids coalesced into
+//! it. [`enter`] installs one in a thread-local slot (RAII, restores the
+//! previous context on drop); while installed, every span the tracer
+//! records on that thread carries the context's pre-rendered JSON
+//! fragment in its `args`, so one Chrome trace shows a request's whole
+//! life: queue wait on the dispatcher, batch assembly, the replay solve,
+//! and each rank's scan rounds, all greppable by `"req"`/`"reqs"`.
+//!
+//! The context does NOT cross thread spawns by itself. Code that fans
+//! out (e.g. `ArdSession` handing a job closure to rank threads) calls
+//! [`current`] on the submitting thread, moves the clone into the
+//! closure, and [`enter`]s it on the worker — two `Arc` bumps per hop.
+//!
+//! Id minting ([`next_request_id`], [`next_batch_id`]) is a process-wide
+//! relaxed `fetch_add` starting at 1, so 0 is free to mean "none".
+//!
+//! ```
+//! let ctx = bt_obs::ctx::TraceCtx::batch(bt_obs::ctx::next_batch_id(), &[7, 8]);
+//! let _guard = bt_obs::ctx::enter(ctx);
+//! assert!(bt_obs::ctx::current().is_some_and(|c| c.contains(7)));
+//! ```
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// The identity of the serving-layer work a thread is doing: a batch id
+/// and the request ids it serves. Clones are two `Arc` bumps.
+#[derive(Clone)]
+pub struct TraceCtx {
+    batch_id: u64,
+    request_ids: Arc<[u64]>,
+    /// Brace-less JSON fragment (`"req":5` / `"batch":3,"reqs":[5,6]`)
+    /// rendered once at construction; the tracer splices it into span
+    /// `args` without re-serializing per event.
+    fragment: Arc<str>,
+}
+
+impl TraceCtx {
+    /// Context for a single request outside any batch (batch id 0).
+    #[must_use]
+    pub fn request(request_id: u64) -> Self {
+        Self {
+            batch_id: 0,
+            request_ids: Arc::from([request_id]),
+            fragment: Arc::from(format!("\"req\":{request_id}")),
+        }
+    }
+
+    /// Context for a dispatched batch and the requests coalesced in it.
+    #[must_use]
+    pub fn batch(batch_id: u64, request_ids: &[u64]) -> Self {
+        let mut reqs = String::new();
+        for (i, id) in request_ids.iter().enumerate() {
+            if i > 0 {
+                reqs.push(',');
+            }
+            reqs.push_str(&id.to_string());
+        }
+        Self {
+            batch_id,
+            request_ids: Arc::from(request_ids),
+            fragment: Arc::from(format!("\"batch\":{batch_id},\"reqs\":[{reqs}]")),
+        }
+    }
+
+    /// Batch id (0 for a single-request context).
+    #[must_use]
+    pub fn batch_id(&self) -> u64 {
+        self.batch_id
+    }
+
+    /// Request ids this context serves.
+    #[must_use]
+    pub fn request_ids(&self) -> &[u64] {
+        &self.request_ids
+    }
+
+    /// True when `request_id` is served by this context.
+    #[must_use]
+    pub fn contains(&self, request_id: u64) -> bool {
+        self.request_ids.contains(&request_id)
+    }
+
+    /// The pre-rendered args fragment (no surrounding braces).
+    #[must_use]
+    pub fn fragment(&self) -> &Arc<str> {
+        &self.fragment
+    }
+}
+
+static NEXT_REQUEST: AtomicU64 = AtomicU64::new(1);
+static NEXT_BATCH: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a process-unique request id (starts at 1; 0 means "none").
+#[must_use = "an unused request id leaves a hole in the trace"]
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST.fetch_add(1, Relaxed)
+}
+
+/// Mints a process-unique batch id (starts at 1; 0 means "none").
+#[must_use = "an unused batch id leaves a hole in the trace"]
+pub fn next_batch_id() -> u64 {
+    NEXT_BATCH.fetch_add(1, Relaxed)
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TraceCtx>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's installed context, if any.
+#[must_use]
+pub fn current() -> Option<TraceCtx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Installs `ctx` on the calling thread until the guard drops (the
+/// previous context, if any, is restored — contexts nest).
+#[must_use = "the context is uninstalled when the guard drops"]
+pub fn enter(ctx: TraceCtx) -> CtxGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(ctx));
+    CtxGuard { prev }
+}
+
+/// RAII guard from [`enter`]; restores the previous context on drop.
+pub struct CtxGuard {
+    prev: Option<TraceCtx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert!(a >= 1 && b > a);
+        assert!(next_batch_id() >= 1);
+    }
+
+    #[test]
+    fn enter_nests_and_restores() {
+        assert!(current().is_none());
+        let outer = TraceCtx::request(10);
+        let g1 = enter(outer);
+        assert_eq!(current().unwrap().request_ids(), &[10]);
+        {
+            let inner = TraceCtx::batch(3, &[10, 11]);
+            let _g2 = enter(inner);
+            let cur = current().unwrap();
+            assert_eq!(cur.batch_id(), 3);
+            assert!(cur.contains(11));
+            assert_eq!(&**cur.fragment(), "\"batch\":3,\"reqs\":[10,11]");
+        }
+        assert_eq!(current().unwrap().batch_id(), 0);
+        assert_eq!(&**current().unwrap().fragment(), "\"req\":10");
+        drop(g1);
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn context_crosses_threads_by_hand() {
+        let ctx = TraceCtx::batch(9, &[1, 2, 3]);
+        let carried = ctx.clone();
+        std::thread::spawn(move || {
+            let _g = enter(carried);
+            assert!(current().unwrap().contains(2));
+        })
+        .join()
+        .unwrap();
+    }
+}

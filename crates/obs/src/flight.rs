@@ -1,0 +1,261 @@
+//! Crash/anomaly flight recorder: a fixed-size ring of recent structured
+//! events, dumped to disk on solve panic and on demand.
+//!
+//! The serving layer records every submit, dispatch, eviction, solve
+//! failure and panic here unconditionally (like [`crate::hdr`], the
+//! flight recorder ignores the `BT_OBS` gate — a black box that only
+//! records during the flights that land safely is useless). When a
+//! `SolveFailed` ticket surfaces, [`dump_json`] / [`dump_to_file`]
+//! reconstruct the last [`CAPACITY`] events leading up to it: which
+//! requests were queued, what batch they joined, which cache entries
+//! were evicted under them.
+//!
+//! The ring is claim-free on the hot path: a writer reserves its slot
+//! with one `fetch_add` on the head cursor, then fills the slot under a
+//! per-slot mutex that is only ever contended when the ring wraps a full
+//! lap while the slot is mid-write — with 4096 slots that means 4096
+//! intervening events during one store, i.e. effectively never. Readers
+//! ([`snapshot`]) lock slots one at a time and sort by sequence number.
+//!
+//! Dump schema (`bt-obs-flight-v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "bt-obs-flight-v1",
+//!   "capacity": 4096,
+//!   "recorded": 17,
+//!   "events": [
+//!     {"seq": 0, "t_ns": 1200, "kind": "submit", "req": 1, "batch": 0,
+//!      "key": 81985529216486895, "detail": ""}
+//!   ]
+//! }
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::escape;
+
+/// Ring capacity: the dump holds at most this many trailing events.
+pub const CAPACITY: usize = 4096;
+
+/// One structured flight event. `request_id`/`batch_id`/`key` are 0 when
+/// not applicable; `detail` is free-form (kept short by convention).
+#[derive(Clone, Debug)]
+pub struct FlightEvent {
+    /// Process-wide sequence number (records ever written, 0-based).
+    pub seq: u64,
+    /// Nanoseconds since the process trace epoch.
+    pub t_ns: u64,
+    /// Event kind (`"submit"`, `"dispatch"`, `"evict"`, `"solve_panic"`, ...).
+    pub kind: &'static str,
+    /// Serving-layer request id (0 = none).
+    pub request_id: u64,
+    /// Serving-layer batch id (0 = none).
+    pub batch_id: u64,
+    /// Matrix fingerprint involved (0 = none).
+    pub key: u64,
+    /// Free-form context (panic message, eviction size, ...).
+    pub detail: String,
+}
+
+struct Slot {
+    /// `seq + 1` of the event stored in `data` (0 = empty), written
+    /// after the payload so readers can discard torn laps.
+    stamp: AtomicU64,
+    data: Mutex<Option<FlightEvent>>,
+}
+
+struct Ring {
+    head: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+fn ring() -> &'static Ring {
+    static RING: OnceLock<Ring> = OnceLock::new();
+    RING.get_or_init(|| Ring {
+        head: AtomicU64::new(0),
+        slots: (0..CAPACITY)
+            .map(|_| Slot {
+                stamp: AtomicU64::new(0),
+                data: Mutex::new(None),
+            })
+            .collect(),
+    })
+}
+
+/// Records one event. Always on (not `BT_OBS`-gated); the hot path is
+/// one `fetch_add` plus an uncontended per-slot lock.
+pub fn record(
+    kind: &'static str,
+    request_id: u64,
+    batch_id: u64,
+    key: u64,
+    detail: impl Into<String>,
+) {
+    let r = ring();
+    let seq = r.head.fetch_add(1, Relaxed);
+    let slot = &r.slots[(seq % CAPACITY as u64) as usize];
+    let ev = FlightEvent {
+        seq,
+        t_ns: crate::tracer::now_ns(),
+        kind,
+        request_id,
+        batch_id,
+        key,
+        detail: detail.into(),
+    };
+    let mut data = slot.data.lock().expect("flight slot poisoned");
+    *data = Some(ev);
+    slot.stamp.store(seq + 1, Relaxed);
+}
+
+/// The buffered events in sequence order (oldest first). Events from a
+/// lap the cursor has already left behind are dropped.
+#[must_use]
+pub fn snapshot() -> Vec<FlightEvent> {
+    let r = ring();
+    let head = r.head.load(Relaxed);
+    let floor = head.saturating_sub(CAPACITY as u64);
+    let mut out: Vec<FlightEvent> = Vec::new();
+    for slot in &r.slots {
+        let stamp = slot.stamp.load(Relaxed);
+        if stamp == 0 || stamp - 1 < floor {
+            continue;
+        }
+        if let Some(ev) = slot.data.lock().expect("flight slot poisoned").clone() {
+            if ev.seq >= floor && ev.seq < head {
+                out.push(ev);
+            }
+        }
+    }
+    out.sort_by_key(|ev| ev.seq);
+    out
+}
+
+/// Total events ever recorded (including ones the ring has overwritten).
+#[must_use]
+pub fn recorded() -> u64 {
+    ring().head.load(Relaxed)
+}
+
+/// Serializes the ring to the `bt-obs-flight-v1` JSON schema.
+#[must_use]
+pub fn dump_json() -> String {
+    let events = snapshot();
+    let mut out = format!(
+        "{{\n  \"schema\": \"bt-obs-flight-v1\",\n  \"capacity\": {CAPACITY},\n  \
+         \"recorded\": {},\n  \"events\": [",
+        recorded()
+    );
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"seq\": {}, \"t_ns\": {}, \"kind\": \"{}\", \"req\": {}, \
+             \"batch\": {}, \"key\": {}, \"detail\": \"{}\"}}",
+            ev.seq,
+            ev.t_ns,
+            escape(ev.kind),
+            ev.request_id,
+            ev.batch_id,
+            ev.key,
+            escape(&ev.detail),
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes [`dump_json`] to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn dump_to_file(path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, dump_json())
+}
+
+/// Empties the ring (the sequence counter keeps advancing). Test helper.
+pub fn clear() {
+    let r = ring();
+    for slot in &r.slots {
+        slot.stamp.store(0, Relaxed);
+        *slot.data.lock().expect("flight slot poisoned") = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_in_order() {
+        let _g = crate::test_guard();
+        clear();
+        record("submit", 1, 0, 42, "");
+        record("dispatch", 1, 7, 42, "width=2");
+        record("solve_panic", 0, 7, 42, "boom");
+        let events = snapshot();
+        assert!(events.len() >= 3);
+        let tail = &events[events.len() - 3..];
+        assert_eq!(tail[0].kind, "submit");
+        assert_eq!(tail[1].detail, "width=2");
+        assert_eq!(tail[2].kind, "solve_panic");
+        assert!(tail.windows(2).all(|w| w[0].seq < w[1].seq));
+        let dump = dump_json();
+        let doc = crate::json::parse(&dump).expect("flight dump parses");
+        assert_eq!(
+            doc.get("schema").and_then(crate::json::Json::as_str),
+            Some("bt-obs-flight-v1")
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_keep_unique_seqs() {
+        let _g = crate::test_guard();
+        clear();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        record("stress", t * 1000 + i, 0, 0, "");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let events = snapshot();
+        let stress: Vec<_> = events.iter().filter(|e| e.kind == "stress").collect();
+        assert_eq!(stress.len(), 800);
+        let mut seqs: Vec<u64> = stress.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 800, "duplicate sequence numbers");
+    }
+
+    #[test]
+    fn ring_keeps_only_last_capacity_events() {
+        let _g = crate::test_guard();
+        clear();
+        let total = CAPACITY + 100;
+        for i in 0..total {
+            record("wrap", i as u64, 0, 0, "");
+        }
+        let events: Vec<_> = snapshot()
+            .into_iter()
+            .filter(|e| e.kind == "wrap")
+            .collect();
+        assert_eq!(events.len(), CAPACITY);
+        // The survivors are the most recent CAPACITY, in order.
+        assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert_eq!(events.last().unwrap().request_id, total as u64 - 1);
+    }
+}

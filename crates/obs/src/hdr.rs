@@ -1,0 +1,407 @@
+//! Always-on HDR-style latency recorders: log-linear buckets, sharded
+//! atomic counters, merged on read.
+//!
+//! Unlike the [`crate::registry`] metrics, latency recorders ignore the
+//! `BT_OBS` gate: they are the substrate for the serving layer's
+//! p50/p95/p99-by-stage numbers and for the live exporter, so they must
+//! be recording *before* anyone decides to look. The design keeps the
+//! hot path cheap enough to leave on unconditionally:
+//!
+//! * **log-linear buckets** — [`SUB_BUCKETS`] (32) linear sub-buckets
+//!   per power-of-two octave, giving a worst-case relative quantization
+//!   error of `1/32` (~3.1%) across the whole `u64` range in
+//!   [`N_BUCKETS`] (1920) buckets. [`bucket_index`] is a `leading_zeros`
+//!   plus a shift — no floating point, no search.
+//! * **per-thread shards** — each recorder holds [`N_SHARDS`] bucket
+//!   arrays; a thread picks its shard once (round-robin at first use)
+//!   and then records with plain relaxed `fetch_add`s, so concurrent
+//!   recorders on different threads touch disjoint cache lines in the
+//!   common case. There are no locks anywhere on the record path.
+//! * **merge on read** — [`Latency::snapshot`] sums the shards into a
+//!   dense [`LatencySnapshot`] whose [`LatencySnapshot::quantile`] does
+//!   a nearest-rank walk. The estimate lands in the exact bucket that
+//!   holds the true nearest-rank sample, so it is within one bucket
+//!   width of the exact sorted-sample quantile (pinned by proptest).
+//!
+//! Handles follow the [`crate::Counter`] pattern: a `static` declared at
+//! the instrumentation site, registered under its name on first touch so
+//! the exporter can enumerate every recorder in the process.
+//!
+//! ```
+//! static STAGE: bt_obs::Latency = bt_obs::Latency::new("doc.hdr.stage_ns");
+//! STAGE.record(1_250);
+//! STAGE.record(90_000);
+//! let snap = STAGE.snapshot();
+//! assert_eq!(snap.count, 2);
+//! assert!(snap.quantile(0.5) >= 1_200);
+//! ```
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// log2 of the linear sub-buckets per octave.
+pub const SUB_BITS: u32 = 5;
+
+/// Linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// Total buckets: one linear region for `v < 32` (exact) plus 32
+/// sub-buckets for each of the 59 remaining octaves of `u64` — 60
+/// blocks of [`SUB_BUCKETS`].
+pub const N_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
+
+/// Shards per recorder; threads are assigned round-robin at first use.
+pub const N_SHARDS: usize = 8;
+
+/// Bucket index for a sample. Values below [`SUB_BUCKETS`] map to their
+/// own bucket (exact); above, the octave is the exponent of the leading
+/// bit and the low [`SUB_BITS`] bits under it pick the sub-bucket.
+#[inline]
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let block = (exp - SUB_BITS + 1) as usize;
+    block * SUB_BUCKETS + ((v >> (exp - SUB_BITS)) as usize & (SUB_BUCKETS - 1))
+}
+
+/// Inclusive lower bound and width of bucket `idx` (so the bucket covers
+/// `[lower, lower + width)`); the linear region has width 1.
+#[must_use]
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    debug_assert!(idx < N_BUCKETS);
+    let block = idx / SUB_BUCKETS;
+    if block == 0 {
+        return (idx as u64, 1);
+    }
+    let off = (idx % SUB_BUCKETS) as u64;
+    let width = 1u64 << (block - 1);
+    ((SUB_BUCKETS as u64 + off) << (block - 1), width)
+}
+
+struct Shard {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Backing storage for one recorder: [`N_SHARDS`] independent bucket
+/// arrays. Usable directly in tests; production sites go through the
+/// named [`Latency`] handle.
+pub struct LatencyData {
+    shards: Vec<Shard>,
+}
+
+impl Default for LatencyData {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn shard_id() -> usize {
+    MY_SHARD.with(|s| match s.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_SHARD.fetch_add(1, Relaxed) % N_SHARDS;
+            s.set(Some(id));
+            id
+        }
+    })
+}
+
+impl LatencyData {
+    /// Fresh, unregistered recorder storage (test/bench helper).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shards: (0..N_SHARDS).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Records one sample into the calling thread's shard: four relaxed
+    /// atomic RMWs, no locks, no allocation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let shard = &self.shards[shard_id()];
+        shard.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        shard.count.fetch_add(1, Relaxed);
+        shard.sum.fetch_add(v, Relaxed);
+        shard.min.fetch_min(v, Relaxed);
+        shard.max.fetch_max(v, Relaxed);
+    }
+
+    /// Merges every shard into one dense snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let mut buckets = vec![0u64; N_BUCKETS];
+        let (mut count, mut sum, mut min, mut max) = (0u64, 0u64, u64::MAX, 0u64);
+        for shard in &self.shards {
+            for (acc, b) in buckets.iter_mut().zip(&shard.buckets) {
+                *acc += b.load(Relaxed);
+            }
+            count += shard.count.load(Relaxed);
+            sum = sum.wrapping_add(shard.sum.load(Relaxed));
+            min = min.min(shard.min.load(Relaxed));
+            max = max.max(shard.max.load(Relaxed));
+        }
+        if count == 0 {
+            min = 0;
+        }
+        LatencySnapshot {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for shard in &self.shards {
+            for b in &shard.buckets {
+                b.store(0, Relaxed);
+            }
+            shard.count.store(0, Relaxed);
+            shard.sum.store(0, Relaxed);
+            shard.min.store(u64::MAX, Relaxed);
+            shard.max.store(0, Relaxed);
+        }
+    }
+}
+
+/// Shard-merged view of a recorder at one instant.
+pub struct LatencySnapshot {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of samples (wrapping).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    buckets: Vec<u64>,
+}
+
+impl LatencySnapshot {
+    /// Nearest-rank quantile estimate, `q` in `[0, 1]`. The returned
+    /// value is the midpoint of the bucket holding the rank-`ceil(q*n)`
+    /// sample, clamped to the observed `[min, max]`; it differs from the
+    /// exact sorted-sample quantile by less than that bucket's width.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let (lower, width) = bucket_bounds(idx);
+                return (lower + width / 2).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded samples (exact, from the running sum).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum as f64 / self.count as f64
+            }
+        }
+    }
+}
+
+struct LatencyRegistry {
+    recorders: Mutex<BTreeMap<&'static str, Arc<LatencyData>>>,
+}
+
+fn latency_registry() -> &'static LatencyRegistry {
+    static REGISTRY: OnceLock<LatencyRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| LatencyRegistry {
+        recorders: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// A named, always-on latency recorder. Declare as a `static` at the
+/// instrumentation site; the first touch registers it for the exporter.
+pub struct Latency {
+    name: &'static str,
+    cell: OnceLock<Arc<LatencyData>>,
+}
+
+impl Latency {
+    /// Declares a recorder; nothing is registered until the first use.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn slot(&self) -> &LatencyData {
+        self.cell.get_or_init(|| {
+            Arc::clone(
+                latency_registry()
+                    .recorders
+                    .lock()
+                    .expect("latency registry poisoned")
+                    .entry(self.name)
+                    .or_insert_with(|| Arc::new(LatencyData::new())),
+            )
+        })
+    }
+
+    /// Records one sample. NOT gated on [`crate::enabled`]: latency
+    /// recorders are always on.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.slot().record(v);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Shard-merged snapshot of this recorder.
+    #[must_use]
+    pub fn snapshot(&self) -> LatencySnapshot {
+        self.slot().snapshot()
+    }
+}
+
+/// Snapshot of every registered recorder, by name.
+#[must_use]
+pub fn latencies_snapshot() -> Vec<(String, LatencySnapshot)> {
+    latency_registry()
+        .recorders
+        .lock()
+        .expect("latency registry poisoned")
+        .iter()
+        .map(|(name, d)| ((*name).to_string(), d.snapshot()))
+        .collect()
+}
+
+/// Zeroes every registered recorder (names stay registered). Test/bench
+/// helper.
+pub fn reset_latencies() {
+    for d in latency_registry()
+        .recorders
+        .lock()
+        .expect("latency registry poisoned")
+        .values()
+    {
+        d.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        // Exhaustive over the linear region and octave seams.
+        let mut prev = 0usize;
+        for v in 0..4096u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "v={v}: index went backwards");
+            assert!(idx - prev <= 1, "v={v}: index skipped a bucket");
+            prev = idx;
+            let (lower, width) = bucket_bounds(idx);
+            assert!(
+                lower <= v && v < lower + width,
+                "v={v} outside bucket {idx}"
+            );
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        let (lower, width) = bucket_bounds(N_BUCKETS - 1);
+        assert!(u64::MAX - lower < width);
+    }
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let d = LatencyData::new();
+        for v in 1..=1000u64 {
+            d.record(v);
+        }
+        let snap = d.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.sum, 500_500);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 1000);
+        for (q, exact) in [(0.5, 500u64), (0.95, 950), (0.99, 990)] {
+            let est = snap.quantile(q);
+            let (_, width) = bucket_bounds(bucket_index(exact));
+            assert!(
+                est.abs_diff(exact) <= width,
+                "q={q}: est {est} vs exact {exact} (width {width})"
+            );
+        }
+        assert_eq!(snap.quantile(1.0), 1000);
+        assert_eq!(snap.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_and_single_sample() {
+        let d = LatencyData::new();
+        assert_eq!(d.snapshot().quantile(0.5), 0);
+        assert_eq!(d.snapshot().min, 0);
+        d.record(77);
+        let snap = d.snapshot();
+        assert_eq!(snap.quantile(0.5), 77);
+        assert_eq!(snap.quantile(0.99), 77);
+        assert_eq!((snap.min, snap.max), (77, 77));
+    }
+
+    #[test]
+    fn named_recorder_registers_once() {
+        static L: Latency = Latency::new("test.hdr.named");
+        L.record(5);
+        L.record(5);
+        let all = latencies_snapshot();
+        let (_, snap) = all
+            .iter()
+            .find(|(n, _)| n == "test.hdr.named")
+            .expect("registered");
+        assert!(snap.count >= 2);
+    }
+}

@@ -597,6 +597,207 @@ pub fn validate_bench_service(doc: &Json) -> Result<BenchServiceSummary, String>
     Ok(summary)
 }
 
+/// What [`validate_flight`] found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlightSummary {
+    /// Events in the dump.
+    pub events: usize,
+    /// Total events ever recorded per the header.
+    pub recorded: u64,
+}
+
+/// Validates a `bt-obs-flight-v1` flight-recorder dump: schema tag,
+/// capacity/recorded header, and events carrying numeric
+/// `seq`/`t_ns`/`req`/`batch`/`key` plus string `kind`/`detail`, with
+/// strictly increasing sequence numbers.
+///
+/// # Errors
+///
+/// The first violated rule, with the event index.
+pub fn validate_flight(doc: &Json) -> Result<FlightSummary, String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("bt-obs-flight-v1") => {}
+        Some(other) => return Err(format!("unknown flight schema '{other}'")),
+        None => return Err("flight dump lacks a schema tag".to_string()),
+    }
+    let recorded = doc
+        .get("recorded")
+        .and_then(Json::as_f64)
+        .ok_or("flight dump lacks numeric 'recorded'")?;
+    if doc.get("capacity").and_then(Json::as_f64).is_none() {
+        return Err("flight dump lacks numeric 'capacity'".to_string());
+    }
+    let events = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("flight dump lacks an events array")?;
+    let mut last_seq = f64::NEG_INFINITY;
+    for (i, ev) in events.iter().enumerate() {
+        for key in ["seq", "t_ns", "req", "batch", "key"] {
+            if ev.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("flight event {i} lacks numeric '{key}'"));
+            }
+        }
+        for key in ["kind", "detail"] {
+            if ev.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("flight event {i} lacks string '{key}'"));
+            }
+        }
+        let seq = ev.get("seq").and_then(Json::as_f64).unwrap_or_default();
+        if seq <= last_seq {
+            return Err(format!("flight event {i}: seq {seq} not increasing"));
+        }
+        last_seq = seq;
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    Ok(FlightSummary {
+        events: events.len(),
+        recorded: recorded as u64,
+    })
+}
+
+/// Validates a `bt-obs-snapshot-v1` document (the exporter's `/json`
+/// endpoint): latency entries with ordered quantiles and an embedded
+/// `bt-obs-metrics-v1` dump.
+///
+/// # Errors
+///
+/// The first violated rule, naming the offending entry.
+pub fn validate_snapshot(doc: &Json) -> Result<MetricsSummary, String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("bt-obs-snapshot-v1") => {}
+        Some(other) => return Err(format!("unknown snapshot schema '{other}'")),
+        None => return Err("snapshot lacks a schema tag".to_string()),
+    }
+    let latency = doc
+        .get("latency")
+        .and_then(Json::as_obj)
+        .ok_or("snapshot lacks a latency object")?;
+    for (name, entry) in latency {
+        let num = |key: &str| {
+            entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("latency '{name}' lacks numeric {key}"))
+        };
+        for key in ["count", "sum", "min", "max"] {
+            num(key)?;
+        }
+        let (p50, p90, p95, p99) = (num("p50")?, num("p90")?, num("p95")?, num("p99")?);
+        if !(p50 <= p90 && p90 <= p95 && p95 <= p99) {
+            return Err(format!(
+                "latency '{name}': quantiles not ordered: {p50} {p90} {p95} {p99}"
+            ));
+        }
+    }
+    if doc.get("flight_recorded").and_then(Json::as_f64).is_none() {
+        return Err("snapshot lacks numeric 'flight_recorded'".to_string());
+    }
+    let metrics = doc
+        .get("metrics")
+        .ok_or("snapshot lacks an embedded metrics document")?;
+    validate_metrics(metrics)
+}
+
+/// What [`validate_baseline`] found: the headline figure of each
+/// document and their ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineSummary {
+    /// The shared schema tag.
+    pub schema: String,
+    /// Headline figure of the committed (baseline) document.
+    pub committed: f64,
+    /// Headline figure of the freshly generated document.
+    pub fresh: f64,
+    /// `fresh / committed`.
+    pub ratio: f64,
+}
+
+/// Headline figure of a bench document: batched-over-unbatched
+/// throughput at the top rate for `bt-bench-service-v1`, best modeled
+/// pipeline speedup vs unpiped for `bt-bench-pipeline-v1`.
+///
+/// # Errors
+///
+/// Unknown schema, or a document missing its headline figures.
+pub fn bench_headline(doc: &Json) -> Result<(String, f64), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("bench document lacks a schema tag")?;
+    match schema {
+        "bt-bench-service-v1" => {
+            let summary = validate_bench_service(doc)?;
+            Ok((schema.to_string(), summary.batched_speedup))
+        }
+        "bt-bench-pipeline-v1" => {
+            let results = doc
+                .get("results")
+                .and_then(Json::as_arr)
+                .ok_or("pipeline bench document lacks a results array")?;
+            // Unpiped records trivially carry speedup 1.0; the headline
+            // is the best actually-pipelined variant.
+            let best = results
+                .iter()
+                .filter(|rec| {
+                    rec.get("variant")
+                        .and_then(Json::as_str)
+                        .is_some_and(|v| v != "unpiped")
+                })
+                .filter_map(|rec| rec.get("modeled_speedup_vs_unpiped").and_then(Json::as_f64))
+                .fold(f64::NEG_INFINITY, f64::max);
+            if !best.is_finite() {
+                return Err("pipeline bench has no modeled_speedup_vs_unpiped figures".to_string());
+            }
+            Ok((schema.to_string(), best))
+        }
+        other => Err(format!("no baseline rule for schema '{other}'")),
+    }
+}
+
+/// Perf-regression gate: compares a freshly generated bench document
+/// against the committed baseline's headline figure. Passes when
+/// `fresh >= tol * committed` — `tol` is the tolerance band (e.g. 0.25
+/// lets a smoke-scale rerun keep a quarter of the committed full-scale
+/// figure, which still catches sign flips and order-of-magnitude
+/// regressions).
+///
+/// # Errors
+///
+/// Mismatched/unknown schemas, invalid documents, or a fresh headline
+/// below the band.
+pub fn validate_baseline(
+    committed: &Json,
+    fresh: &Json,
+    tol: f64,
+) -> Result<BaselineSummary, String> {
+    let (schema_c, headline_c) = bench_headline(committed)?;
+    let (schema_f, headline_f) = bench_headline(fresh)?;
+    if schema_c != schema_f {
+        return Err(format!(
+            "schema mismatch: committed is '{schema_c}', fresh is '{schema_f}'"
+        ));
+    }
+    if headline_c <= 0.0 {
+        return Err(format!(
+            "committed headline {headline_c} is not positive — baseline file is unusable"
+        ));
+    }
+    let ratio = headline_f / headline_c;
+    if ratio < tol {
+        return Err(format!(
+            "{schema_c}: fresh headline {headline_f:.3} is {ratio:.2}x the committed \
+             {headline_c:.3} (tolerance {tol:.2}x) — perf regression"
+        ));
+    }
+    Ok(BaselineSummary {
+        schema: schema_c,
+        committed: headline_c,
+        fresh: headline_f,
+        ratio,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -743,5 +944,76 @@ mod tests {
             .replace("\"max_us\": 6100", "\"max_us\": 18500");
         let err = validate_bench_service(&parse(&doc).unwrap()).unwrap_err();
         assert!(err.contains("p99"), "{err}");
+    }
+
+    #[test]
+    fn flight_validator_round_trips() {
+        let good = r#"{
+            "schema": "bt-obs-flight-v1", "capacity": 4096, "recorded": 3,
+            "events": [
+                {"seq": 0, "t_ns": 10, "kind": "submit", "req": 1, "batch": 0,
+                 "key": 7, "detail": ""},
+                {"seq": 2, "t_ns": 30, "kind": "solve_panic", "req": 0, "batch": 1,
+                 "key": 7, "detail": "boom"}
+            ]
+        }"#;
+        let summary = validate_flight(&parse(good).unwrap()).unwrap();
+        assert_eq!((summary.events, summary.recorded), (2, 3));
+
+        let bad = good.replace("\"seq\": 2", "\"seq\": 0");
+        let err = validate_flight(&parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("not increasing"), "{err}");
+        let bad = good.replace("\"kind\": \"submit\"", "\"kind\": 5");
+        let err = validate_flight(&parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_validator_checks_quantile_order() {
+        let good = r#"{
+            "schema": "bt-obs-snapshot-v1",
+            "latency": {"stage": {"count": 2, "sum": 30, "min": 10, "max": 20,
+                "p50": 10, "p90": 15, "p95": 20, "p99": 20}},
+            "flight_recorded": 5,
+            "metrics": {"schema": "bt-obs-metrics-v1", "counters": {},
+                "gauges": {}, "histograms": {}}
+        }"#;
+        validate_snapshot(&parse(good).unwrap()).unwrap();
+        let bad = good.replace("\"p90\": 15", "\"p90\": 25");
+        let err = validate_snapshot(&parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("not ordered"), "{err}");
+    }
+
+    fn pipeline_doc(speedup: f64) -> String {
+        format!(
+            r#"{{"schema": "bt-bench-pipeline-v1", "results": [
+                {{"r": 16, "variant": "unpiped", "modeled_speedup_vs_unpiped": 1.0}},
+                {{"r": 16, "variant": "auto", "modeled_speedup_vs_unpiped": {speedup}}}
+            ]}}"#
+        )
+    }
+
+    #[test]
+    fn baseline_gate_passes_within_band_and_fails_below() {
+        let committed = parse(&pipeline_doc(1.30)).unwrap();
+        let fresh_ok = parse(&pipeline_doc(1.10)).unwrap();
+        let summary = validate_baseline(&committed, &fresh_ok, 0.5).unwrap();
+        assert!((summary.ratio - 1.10 / 1.30).abs() < 1e-9);
+
+        let fresh_bad = parse(&pipeline_doc(0.40)).unwrap();
+        let err = validate_baseline(&committed, &fresh_bad, 0.5).unwrap_err();
+        assert!(err.contains("perf regression"), "{err}");
+    }
+
+    #[test]
+    fn baseline_gate_rejects_schema_mismatch() {
+        let service = parse(&service_bench_doc()).unwrap();
+        let pipeline = parse(&pipeline_doc(1.2)).unwrap();
+        let err = validate_baseline(&service, &pipeline, 0.5).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+        // Service-vs-service compares batched speedups.
+        let summary = validate_baseline(&service, &service, 0.5).unwrap();
+        assert_eq!(summary.schema, "bt-bench-service-v1");
+        assert!((summary.ratio - 1.0).abs() < 1e-12);
     }
 }

@@ -20,9 +20,24 @@
 //! instrumented kernels stay bitwise identical and within noise of
 //! uninstrumented builds.
 //!
+//! Three serving-path facilities are deliberately NOT gated, because
+//! they exist to explain runs that nobody was watching:
+//!
+//! * [`hdr`] — always-on HDR-style latency recorders (log-linear
+//!   buckets, lock-free per-thread shards) behind the serving layer's
+//!   p50/p95/p99-by-stage numbers;
+//! * [`flight`] — a fixed-size ring of recent structured events
+//!   (submits, dispatches, evictions, panics) dumped on solve panic and
+//!   on demand;
+//! * [`exporter`] — an opt-in (`BT_OBS_ADDR`) `std::net::TcpListener`
+//!   thread serving Prometheus text and JSON snapshots live.
+//!
+//! [`ctx`] carries request/batch ids across the serving path so spans
+//! recorded anywhere under a request are tagged with its id.
+//!
 //! The [`json`] module holds a minimal in-tree JSON parser plus
-//! validators for the two emitted schemas; the `obs_validate` binary
-//! wraps them for CI.
+//! validators for the emitted schemas; the `obs_validate` binary wraps
+//! them for CI.
 //!
 //! ## Example
 //!
@@ -40,18 +55,25 @@
 //! bt_obs::json::validate_chrome_trace(&bt_obs::json::parse(&trace).unwrap()).unwrap();
 //! ```
 
+pub mod ctx;
+pub mod exporter;
+pub mod flight;
+pub mod hdr;
 pub mod json;
 pub mod registry;
 pub mod tracer;
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
+pub use ctx::TraceCtx;
+pub use hdr::{Latency, LatencySnapshot};
 pub use registry::{
     counters_diff, counters_snapshot, metrics_json, reset_metrics, write_metrics_json, Counter,
     Gauge, Histogram,
 };
 pub use tracer::{
-    clear_trace, set_thread_label, span, span_with, trace_json, write_trace_json, Span,
+    clear_trace, complete_span, set_thread_label, span, span_with, trace_json, write_trace_json,
+    Span,
 };
 
 /// Tri-state gate: 0 = uninitialized, 1 = off, 2 = on.

@@ -250,6 +250,62 @@ pub fn counters_snapshot() -> BTreeMap<String, u64> {
         .collect()
 }
 
+/// Snapshot of every registered gauge, by name.
+pub fn gauges_snapshot() -> BTreeMap<String, f64> {
+    registry()
+        .gauges
+        .lock()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(name, v)| ((*name).to_string(), f64::from_bits(v.load(Relaxed))))
+        .collect()
+}
+
+/// Point-in-time view of one histogram for external consumers (the live
+/// exporter); `buckets` holds only the non-empty `(lt_pow2, count)`
+/// pairs.
+pub struct HistogramSnapshot {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Non-empty buckets as `(lt_pow2 index, count)`, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+/// Snapshot of every registered histogram, by name.
+pub fn histograms_snapshot() -> BTreeMap<String, HistogramSnapshot> {
+    registry()
+        .histograms
+        .lock()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(name, h)| {
+            let count = h.count.load(Relaxed);
+            let snap = HistogramSnapshot {
+                count,
+                sum: h.sum.load(Relaxed),
+                min: if count == 0 { 0 } else { h.min.load(Relaxed) },
+                max: h.max.load(Relaxed),
+                buckets: h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(idx, b)| {
+                        let c = b.load(Relaxed);
+                        (c > 0).then_some((idx, c))
+                    })
+                    .collect(),
+            };
+            ((*name).to_string(), snap)
+        })
+        .collect()
+}
+
 /// Per-counter difference `now - before` (absent counters count as 0),
 /// dropping counters that did not move. Pairs with [`counters_snapshot`]
 /// to attribute kernel activity to one region of a run.

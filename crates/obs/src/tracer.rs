@@ -35,6 +35,9 @@ struct EventRec {
     dur_ns: u64,
     /// Pre-rendered JSON object (including braces), if any.
     args: Option<String>,
+    /// Request-context fragment ([`crate::ctx`]) captured at span start,
+    /// spliced into `args` at serialization time.
+    ctx: Option<std::sync::Arc<str>>,
 }
 
 struct Sink {
@@ -57,7 +60,14 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn now_ns() -> u64 {
+/// Nanoseconds since the process trace epoch (the first instrumented
+/// event). Public so callers can capture an event's start time on one
+/// thread and emit the finished event later via [`complete_span`] — the
+/// serving layer stamps queue entry this way. Unlike [`span`], this
+/// always reads the clock; gate on [`crate::enabled`] at the call site
+/// if the timestamp is only wanted under observability.
+#[must_use]
+pub fn now_ns() -> u64 {
     u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -99,6 +109,7 @@ pub struct Span {
     cat: &'static str,
     name: &'static str,
     args: Option<String>,
+    ctx: Option<std::sync::Arc<str>>,
     active: bool,
 }
 
@@ -115,19 +126,26 @@ impl Drop for Span {
             ts_ns: self.start_ns,
             dur_ns: end_ns.saturating_sub(self.start_ns),
             args: self.args.take(),
+            ctx: self.ctx.take(),
         };
-        let mut events = sink().events.lock().expect("trace sink poisoned");
-        if events.len() < MAX_EVENTS {
-            events.push(rec);
-        } else {
-            drop(events);
-            DROPPED.incr();
-        }
+        push_event(rec);
+    }
+}
+
+fn push_event(rec: EventRec) {
+    let mut events = sink().events.lock().expect("trace sink poisoned");
+    if events.len() < MAX_EVENTS {
+        events.push(rec);
+    } else {
+        drop(events);
+        DROPPED.incr();
     }
 }
 
 /// Starts a wall-clock span named `name` in category `cat`. Inert (one
-/// relaxed load, no clock read) while observability is disabled.
+/// relaxed load, no clock read) while observability is disabled. If the
+/// calling thread has a [`crate::ctx::TraceCtx`] installed, its
+/// request/batch ids are attached to the recorded event's `args`.
 #[inline]
 pub fn span(cat: &'static str, name: &'static str) -> Span {
     if !crate::enabled() {
@@ -136,6 +154,7 @@ pub fn span(cat: &'static str, name: &'static str) -> Span {
             cat,
             name,
             args: None,
+            ctx: None,
             active: false,
         };
     }
@@ -144,8 +163,38 @@ pub fn span(cat: &'static str, name: &'static str) -> Span {
         cat,
         name,
         args: None,
+        ctx: crate::ctx::current().map(|c| std::sync::Arc::clone(c.fragment())),
         active: true,
     }
+}
+
+/// Records an already-finished complete event spanning
+/// `[start_ns, end_ns]` (trace-epoch nanoseconds, see [`now_ns`]) on the
+/// calling thread's timeline, optionally tagged with an explicit
+/// context. This is for durations whose start predates the recording
+/// thread's involvement — e.g. a request's queue wait, stamped at
+/// `submit` on the client thread but recorded at dispatch. A no-op while
+/// observability is disabled.
+pub fn complete_span(
+    cat: &'static str,
+    name: &'static str,
+    start_ns: u64,
+    end_ns: u64,
+    ctx: Option<&crate::ctx::TraceCtx>,
+    args: Option<String>,
+) {
+    if !crate::enabled() {
+        return;
+    }
+    push_event(EventRec {
+        cat,
+        name,
+        tid: current_tid(),
+        ts_ns: start_ns,
+        dur_ns: end_ns.saturating_sub(start_ns),
+        args,
+        ctx: ctx.map(|c| std::sync::Arc::clone(c.fragment())),
+    });
 }
 
 /// Like [`span`], attaching the JSON object produced by `args` (e.g.
@@ -199,7 +248,7 @@ pub fn trace_json() -> String {
     }
     for idx in order {
         let ev = &events[idx];
-        let args = ev.args.as_deref().unwrap_or("{}");
+        let args = render_args(ev.ctx.as_deref(), ev.args.as_deref());
         out.push_str(&format!(
             ",\n  {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{},\"args\":{args}}}",
             escape(ev.name),
@@ -211,6 +260,29 @@ pub fn trace_json() -> String {
     }
     out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
     out
+}
+
+/// Splices a context fragment into a pre-rendered args object: the
+/// request/batch keys come first, then the span's own keys.
+fn render_args(ctx: Option<&str>, args: Option<&str>) -> String {
+    match (ctx, args) {
+        (None, None) => "{}".to_string(),
+        (None, Some(a)) => a.to_string(),
+        (Some(c), None) => format!("{{{c}}}"),
+        (Some(c), Some(a)) => {
+            let inner = a
+                .trim()
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .unwrap_or("")
+                .trim();
+            if inner.is_empty() {
+                format!("{{{c}}}")
+            } else {
+                format!("{{{c},{inner}}}")
+            }
+        }
+    }
 }
 
 /// Writes [`trace_json`] to `path`, creating parent directories.
@@ -268,6 +340,47 @@ mod tests {
         crate::set_enabled(true);
         let text = trace_json();
         assert!(!text.contains("invisible"));
+    }
+
+    #[test]
+    fn ctx_fragment_lands_in_span_args() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        clear_trace();
+        {
+            let _guard = crate::ctx::enter(crate::ctx::TraceCtx::batch(5, &[41, 42]));
+            let _plain = span("test", "tagged_plain");
+            let _with = span_with("test", "tagged_args", || "{\"k\":1}".to_string());
+        }
+        {
+            let _untagged = span("test", "untagged");
+        }
+        let text = trace_json();
+        let parsed = json::parse(&text).expect("parses");
+        json::validate_chrome_trace(&parsed).expect("validates");
+        assert!(text.contains(r#""batch":5,"reqs":[41,42]}"#));
+        assert!(text.contains(r#""batch":5,"reqs":[41,42],"k":1}"#));
+        let untagged_line = text
+            .lines()
+            .find(|l| l.contains("\"untagged\""))
+            .expect("untagged span present");
+        assert!(!untagged_line.contains("reqs"));
+    }
+
+    #[test]
+    fn complete_span_records_retroactively() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        clear_trace();
+        let start = now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let ctx = crate::ctx::TraceCtx::request(77);
+        complete_span("test", "queue_wait", start, now_ns(), Some(&ctx), None);
+        let text = trace_json();
+        let parsed = json::parse(&text).expect("parses");
+        json::validate_chrome_trace(&parsed).expect("validates");
+        assert!(text.contains("\"queue_wait\""));
+        assert!(text.contains("{\"req\":77}"));
     }
 
     #[test]

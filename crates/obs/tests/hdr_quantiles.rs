@@ -1,0 +1,117 @@
+//! Histogram-correctness coverage for the always-on HDR latency
+//! recorder (satellite of the telemetry PR):
+//!
+//! * a proptest pinning the headline accuracy claim — a shard-merged
+//!   quantile is within one bucket of the exact sorted-sample
+//!   nearest-rank quantile, for mixed-magnitude sample sets spanning the
+//!   linear region through multi-octave values;
+//! * a concurrent-recorder stress test — many threads hammering one
+//!   recorder must lose no samples and corrupt no aggregate.
+
+use bt_obs::hdr::{bucket_bounds, bucket_index, LatencyData};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile of `sorted` (ascending), `q` in [0, 1].
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+    #[allow(clippy::cast_sign_loss)]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merged_quantiles_within_one_bucket_of_exact(
+        // Three magnitude bands so one draw exercises the exact linear
+        // region, mid octaves, and wide octaves together.
+        lo in proptest::collection::vec(0u64..32, 40),
+        mid in proptest::collection::vec(0u64..100_000, 40),
+        hi in proptest::collection::vec(0u64..10_000_000_000, 40),
+        q_bits in 0u64..1_000,
+    ) {
+        let data = LatencyData::new();
+        let mut samples: Vec<u64> = Vec::with_capacity(120);
+        samples.extend(&lo);
+        samples.extend(&mid);
+        samples.extend(&hi);
+        for &v in &samples {
+            data.record(v);
+        }
+        samples.sort_unstable();
+        let snap = data.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.min, samples[0]);
+        prop_assert_eq!(snap.max, *samples.last().unwrap());
+
+        #[allow(clippy::cast_precision_loss)]
+        let q_extra = q_bits as f64 / 1_000.0;
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0, q_extra] {
+            let exact = exact_quantile(&samples, q);
+            let est = snap.quantile(q);
+            // The estimate lands in the bucket holding the exact
+            // nearest-rank sample, so it can be off by at most that
+            // bucket's width.
+            let (_, width) = bucket_bounds(bucket_index(exact));
+            prop_assert!(
+                est.abs_diff(exact) <= width,
+                "q={q}: estimate {est} vs exact {exact}, bucket width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_mapping_is_self_consistent(v in 0u64..u64::MAX) {
+        let idx = bucket_index(v);
+        let (lower, width) = bucket_bounds(idx);
+        prop_assert!(lower <= v, "v={v}: bucket {idx} lower {lower}");
+        prop_assert!(v - lower < width, "v={v}: outside bucket {idx} width {width}");
+        // Relative quantization error is bounded by 1/32 above the
+        // linear region (and zero inside it).
+        prop_assert!(width == 1 || width <= lower / 32 + 1,
+            "v={v}: bucket {idx} width {width} too wide for lower {lower}");
+    }
+}
+
+#[test]
+fn concurrent_recorders_lose_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 100_000;
+    let data = std::sync::Arc::new(LatencyData::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let data = std::sync::Arc::clone(&data);
+            std::thread::spawn(move || {
+                // Distinct magnitudes per thread so every shard sees a
+                // different octave mix; values are deterministic so the
+                // aggregate checks are exact.
+                for i in 0..PER_THREAD {
+                    data.record(t * 1_000 + (i % 97));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = data.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS)
+        .map(|t| (0..PER_THREAD).map(|i| t * 1_000 + (i % 97)).sum::<u64>())
+        .sum();
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.min, 0);
+    assert_eq!(snap.max, 7_096);
+    // p50 must sit inside the recorded value range.
+    let p50 = snap.quantile(0.5);
+    assert!(p50 <= 7_096, "p50 {p50} outside recorded range");
+    // Quantiles are monotone in q.
+    let mut prev = 0;
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+        let v = snap.quantile(q);
+        assert!(v >= prev, "quantile not monotone at q={q}");
+        prev = v;
+    }
+}
