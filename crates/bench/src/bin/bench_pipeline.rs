@@ -34,7 +34,7 @@ use bt_ard::state::{ArdRankFactors, RankSystem};
 use bt_bench::Args;
 use bt_blocktri::gen::{rhs_panel, ClusteredToeplitz};
 use bt_dense::Mat;
-use bt_mpsim::{run_spmd, CostModel};
+use bt_mpsim::{run_spmd, CommBackend, CostModel};
 
 struct Record {
     r: usize,

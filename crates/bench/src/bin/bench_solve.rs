@@ -24,7 +24,7 @@ use bt_ard::state::{ArdRankFactors, RankSystem};
 use bt_bench::Args;
 use bt_blocktri::gen::{rhs_panel, ClusteredToeplitz};
 use bt_dense::Mat;
-use bt_mpsim::{panel_pool_drain, run_spmd, Comm, CostModel};
+use bt_mpsim::{panel_pool_drain, run_spmd, Comm, CommBackend, CostModel};
 
 const ZERO: CostModel = CostModel {
     latency_s: 0.0,

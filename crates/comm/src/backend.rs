@@ -1,0 +1,504 @@
+//! The [`CommBackend`] trait: the communication surface every solver in
+//! this workspace is written against.
+//!
+//! A backend provides point-to-point messaging (blocking and
+//! nonblocking), panel transport over the pooled [`PanelBuf`] wire
+//! format, accounting hooks (`compute`, `stats`, a per-rank clock), and
+//! — as provided methods layered on the raw point-to-point layer — the
+//! full collective suite. Two implementations ship in-tree:
+//!
+//! * `bt-mpsim`'s `Comm`: the virtual-clock **simulator**. Its clock is
+//!   modeled time under a [`CostModel`]; `compute` advances the clock
+//!   without burning cycles, so world sizes far beyond the host's cores
+//!   still produce faithful modeled runtimes.
+//! * `bt-shm`'s `ShmComm`: a **real shared-memory SPMD backend**. P rank
+//!   threads exchange panels over lock-free SPSC channels; the clock is
+//!   wall time and `compute` only counts flops.
+//!
+//! The collective algorithms live here as provided methods so every
+//! backend exhibits the same message pattern, tag sequence and
+//! (rank-ordered, non-commutative-safe) reduction semantics. They are
+//! expressed over [`CommBackend::send_raw`]/[`CommBackend::recv_raw`] —
+//! the un-asserted point-to-point layer that is allowed to use the
+//! reserved collective tag space above [`USER_TAG_LIMIT`].
+//!
+//! Nonblocking completion goes through the communicator
+//! (`comm.send_wait(req)` / `comm.recv_wait(req)`) rather than through
+//! methods on the request handles: a backend whose requests complete
+//! off-thread needs the communicator at completion time, while the
+//! simulator's buffered-eager sends do not — routing both through the
+//! same seam keeps call sites backend-agnostic without threading unused
+//! state anywhere.
+
+use bt_dense::{Mat, MatMut, MatRef};
+
+use crate::model::CostModel;
+use crate::payload::{PanelBuf, Payload};
+use crate::stats::RankStats;
+
+/// First tag value reserved for collectives; user tags must be below this.
+pub const USER_TAG_LIMIT: u64 = 1 << 48;
+
+/// Per-rank communicator surface of one SPMD backend.
+///
+/// Every collective must be called by **all ranks in the same order**
+/// (the usual SPMD contract). A per-communicator sequence number keyed
+/// into a reserved tag space keeps successive collectives from
+/// interfering, even when user point-to-point traffic is in flight.
+///
+/// Non-commutative operators are supported everywhere they make sense:
+/// reductions and scans always combine partial results in rank order
+/// (`op(lower_ranks_result, higher_ranks_result)`), which is what the
+/// matrix-product scans of recursive doubling require.
+pub trait CommBackend {
+    /// Handle for a posted [`CommBackend::isend_panel`], completed via
+    /// [`CommBackend::send_wait`].
+    type SendReq;
+    /// Handle for a posted [`CommBackend::irecv_panel_into`], completed
+    /// via [`CommBackend::recv_wait`].
+    type RecvReq;
+
+    /// This rank's id, `0 <= rank() < size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the world.
+    fn size(&self) -> usize;
+
+    /// The cost model attached to this world. For the simulator this
+    /// *defines* the clock; for real backends it is the calibrated
+    /// reference that modeled figures are compared against.
+    fn model(&self) -> CostModel;
+
+    /// This rank's counters so far.
+    fn stats(&self) -> RankStats;
+
+    /// Seconds elapsed on this backend's clock since the program (or
+    /// job) started: virtual time on the simulator, wall time on real
+    /// backends.
+    fn virtual_time(&self) -> f64;
+
+    /// Virtual/wall seconds nonblocking receives spent in flight between
+    /// post and completion (the overlap ratio's denominator).
+    fn inflight_seconds(&self) -> f64;
+
+    /// Seconds of in-flight communication hidden behind compute — time
+    /// this rank did **not** spend blocked in a wait.
+    /// `overlap_seconds() / inflight_seconds()` is the run's overlap
+    /// ratio: 0 for post-then-immediately-wait, approaching 1 for a
+    /// perfectly hidden pipeline.
+    fn overlap_seconds(&self) -> f64;
+
+    /// Records `flops` floating point operations of local computation,
+    /// advancing this backend's clock accordingly (the simulator charges
+    /// modeled time; real backends only count, their clock is wall time).
+    fn compute(&mut self, flops: u64);
+
+    /// Advances the backend clock by `seconds` without counting flops
+    /// (for modeling non-flop work such as data movement). Real-clock
+    /// backends may treat this as a no-op.
+    fn advance_time(&mut self, seconds: f64);
+
+    /// Sends `value` to `dest` with `tag`, without the user-tag range
+    /// check — the building block collectives use for tags above
+    /// [`USER_TAG_LIMIT`]. Non-blocking (buffered-eager): never waits
+    /// for the receiver, so crossed sends cannot deadlock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest >= size()` or the destination rank terminated.
+    fn send_raw<T: Payload>(&mut self, dest: usize, tag: u64, value: T);
+
+    /// Receives a `T` from `src` with matching `tag`, blocking until it
+    /// arrives; no user-tag range check. Messages with other tags from
+    /// the same source are buffered for later matching receives, so
+    /// out-of-order tag matching behaves like MPI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src >= size()`, if the matching message's payload is
+    /// not a `T`, or if `src` terminated without sending one.
+    fn recv_raw<T: Payload>(&mut self, src: usize, tag: u64) -> T;
+
+    /// Allocates a fresh collective tag (same value on every rank
+    /// because collectives are called in the same order on every rank).
+    /// Must return `USER_TAG_LIMIT + seq` for a per-communicator
+    /// sequence `seq` starting at 0 — the reserved per-round offsets the
+    /// provided collectives add (multiples of `1 << 56`) rely on it.
+    fn next_collective_tag(&mut self) -> u64;
+
+    /// Nonblocking panel send of a (possibly strided) view, packed into
+    /// a pooled [`PanelBuf`]. Complete via [`CommBackend::send_wait`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CommBackend::send`].
+    fn isend_panel(&mut self, dest: usize, tag: u64, panel: MatRef<'_>) -> Self::SendReq;
+
+    /// Posts a nonblocking receive of a panel from `src` with `tag`,
+    /// taking ownership of the destination buffer `out` (typically a
+    /// [`bt_dense::Workspace`] checkout). Completion —
+    /// [`CommBackend::recv_wait`] — blocks for the message, unpacks it
+    /// into the buffer and hands the buffer back. Requests on the same
+    /// `(src, tag)` complete in post order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src >= size()` or `tag` is in the collective-reserved
+    /// range.
+    fn irecv_panel_into(&mut self, src: usize, tag: u64, out: Mat) -> Self::RecvReq;
+
+    /// True when the posted send has completed (backends with buffered
+    /// sends complete at post time).
+    fn send_test(&mut self, req: &Self::SendReq) -> bool;
+
+    /// Completes a posted send, blocking if the backend requires it.
+    fn send_wait(&mut self, req: Self::SendReq);
+
+    /// True when the message matching a posted receive is available for
+    /// completion without blocking. Use it to opportunistically drain,
+    /// not to synchronize — that is [`CommBackend::recv_wait`]'s job.
+    fn recv_test(&mut self, req: &Self::RecvReq) -> bool;
+
+    /// Completes a posted receive: blocks until the matching message
+    /// arrives, unpacks the panel into the owned buffer and returns it.
+    /// On the simulator the clock charge is `max(now, avail_at)` — the
+    /// overlap accounting; real backends record measured wait time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`CommBackend::recv`], plus a
+    /// shape mismatch between the sent panel and the posted buffer.
+    fn recv_wait(&mut self, req: Self::RecvReq) -> Mat;
+
+    /// Sends `value` to `dest` with `tag`. Non-blocking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest >= size()`, if `tag >= USER_TAG_LIMIT` (reserved
+    /// for collectives), or if the destination rank has terminated.
+    fn send<T: Payload>(&mut self, dest: usize, tag: u64, value: T) {
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} is reserved for collectives"
+        );
+        self.send_raw(dest, tag, value);
+    }
+
+    /// Receives a `T` from `src` with matching `tag`, blocking until it
+    /// arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src >= size()`, if `tag >= USER_TAG_LIMIT`, if the
+    /// matching message's payload is not a `T`, or if `src` terminated
+    /// without sending a matching message.
+    fn recv<T: Payload>(&mut self, src: usize, tag: u64) -> T {
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} is reserved for collectives"
+        );
+        self.recv_raw(src, tag)
+    }
+
+    /// Combined send-then-receive with the same peer (safe because sends
+    /// never block). The standard building block of doubling exchanges.
+    fn sendrecv<T: Payload>(&mut self, peer: usize, tag: u64, value: T) -> T {
+        self.send(peer, tag, value);
+        self.recv(peer, tag)
+    }
+
+    /// Sends a (possibly strided) matrix view to `dest` with `tag` as a
+    /// pooled [`PanelBuf`] — no per-message allocation once the pool is
+    /// warm. Pairs with [`CommBackend::recv_panel_into`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CommBackend::send`].
+    fn send_panel(&mut self, dest: usize, tag: u64, panel: MatRef<'_>) {
+        self.send(dest, tag, PanelBuf::pack(panel));
+    }
+
+    /// Receives a panel from `src` with matching `tag` directly into
+    /// caller-provided scratch, returning the backing buffer to the
+    /// [`PanelBuf`] pool. Pairs with [`CommBackend::send_panel`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CommBackend::recv`], plus a shape mismatch
+    /// between the sent panel and `out`.
+    fn recv_panel_into(&mut self, src: usize, tag: u64, out: MatMut<'_>) {
+        self.recv::<PanelBuf>(src, tag).unpack_into(out);
+    }
+
+    /// MPI_Sendrecv-style paired exchange of panels under one tag:
+    /// optionally sends to `send_to` and optionally receives from
+    /// `recv_from`, in the send-first order that is unconditionally
+    /// deadlock-free under buffered sends. The building block of
+    /// doubling rounds and halo exchanges, replacing hand-rolled
+    /// rank-parity orderings.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CommBackend::send_panel`] /
+    /// [`CommBackend::recv_panel_into`].
+    fn exchange_panel(
+        &mut self,
+        tag: u64,
+        send_to: Option<(usize, MatRef<'_>)>,
+        recv_from: Option<(usize, MatMut<'_>)>,
+    ) {
+        if let Some((dst, panel)) = send_to {
+            self.send_panel(dst, tag, panel);
+        }
+        if let Some((src, out)) = recv_from {
+            self.recv_panel_into(src, tag, out);
+        }
+    }
+
+    /// True on rank 0 — convenient for one-rank-only side effects.
+    fn is_root(&self) -> bool {
+        self.rank() == 0
+    }
+
+    /// Synchronizes all ranks (dissemination barrier, `ceil(log2 P)`
+    /// rounds).
+    fn barrier(&mut self) {
+        let tag = self.next_collective_tag();
+        let p = self.size();
+        let r = self.rank();
+        let mut k = 1;
+        while k < p {
+            let to = (r + k) % p;
+            let from = (r + p - k) % p;
+            self.send_raw(to, tag + (k as u64) * (1 << 56), ());
+            let () = self.recv_raw(from, tag + (k as u64) * (1 << 56));
+            k <<= 1;
+        }
+    }
+
+    /// Broadcasts `value` from `root` to all ranks (binomial tree).
+    ///
+    /// On the root, pass `Some(value)`; on other ranks pass `None`.
+    /// Returns the broadcast value on every rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root passes `None` or a non-root passes `Some`.
+    fn broadcast<T: Payload + Clone>(&mut self, root: usize, value: Option<T>) -> T {
+        let tag = self.next_collective_tag();
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p;
+        if vr == 0 {
+            assert!(value.is_some(), "broadcast root must supply a value");
+        } else {
+            assert!(
+                value.is_none(),
+                "non-root rank {} passed a broadcast value",
+                self.rank()
+            );
+        }
+
+        let mut current = value;
+        // Receive from the parent: the rank that differs in the lowest set
+        // bit of our virtual rank.
+        let mut mask = 1usize;
+        while mask < p {
+            if vr & mask != 0 {
+                let parent = ((vr - mask) + root) % p;
+                current = Some(self.recv_raw(parent, tag));
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children under decreasing masks.
+        mask >>= 1;
+        let val = current.expect("broadcast value must exist after receive phase");
+        while mask > 0 {
+            if vr & mask == 0 && vr + mask < p {
+                let child = ((vr + mask) + root) % p;
+                self.send_raw(child, tag, val.clone());
+            }
+            mask >>= 1;
+        }
+        val
+    }
+
+    /// Reduces values from all ranks onto `root` with an associative (not
+    /// necessarily commutative) `op`; partial results are combined in rank
+    /// order. Returns `Some(total)` on root, `None` elsewhere.
+    fn reduce<T: Payload + Clone>(
+        &mut self,
+        root: usize,
+        value: T,
+        op: impl Fn(&T, &T) -> T,
+    ) -> Option<T> {
+        let tag = self.next_collective_tag();
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p;
+        let mut acc = value;
+        let mut mask = 1usize;
+        while mask < p {
+            if vr & mask == 0 {
+                let peer_vr = vr | mask;
+                if peer_vr < p {
+                    let peer = (peer_vr + root) % p;
+                    let other: T = self.recv_raw(peer, tag);
+                    // `acc` covers virtual ranks [vr, vr+mask), `other`
+                    // covers [vr+mask, ...): combine in rank order.
+                    acc = op(&acc, &other);
+                }
+            } else {
+                let peer = ((vr & !mask) + root) % p;
+                self.send_raw(peer, tag, acc.clone());
+                return None;
+            }
+            mask <<= 1;
+        }
+        debug_assert_eq!(vr, 0);
+        Some(acc)
+    }
+
+    /// Reduce-to-all: every rank gets the rank-ordered combination of all
+    /// contributions (reduce to rank 0, then broadcast).
+    fn allreduce<T: Payload + Clone>(&mut self, value: T, op: impl Fn(&T, &T) -> T) -> T {
+        let reduced = self.reduce(0, value, op);
+        self.broadcast(0, reduced)
+    }
+
+    /// Gathers one value from each rank onto `root`, in rank order.
+    /// Returns `Some(vec)` (indexed by rank) on root, `None` elsewhere.
+    fn gather<T: Payload>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(value);
+            for src in (0..self.size()).filter(|&s| s != root) {
+                let received = self.recv_raw(src, tag);
+                out[src] = Some(received);
+            }
+            Some(
+                out.into_iter()
+                    .map(|v| v.expect("gather slot filled"))
+                    .collect(),
+            )
+        } else {
+            self.send_raw(root, tag, value);
+            None
+        }
+    }
+
+    /// All-gather: every rank receives the vector of all contributions in
+    /// rank order (gather to rank 0 + broadcast).
+    fn allgather<T: Payload + Clone>(&mut self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.broadcast(0, gathered)
+    }
+
+    /// Scatters `values` (indexed by rank) from `root`: rank `i` receives
+    /// `values[i]`. On the root pass `Some(values)` (length `P`); on
+    /// other ranks pass `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root's vector length differs from the world size, if
+    /// the root passes `None`, or a non-root passes `Some`.
+    fn scatter<T: Payload>(&mut self, root: usize, values: Option<Vec<T>>) -> T {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let values = values.expect("scatter root must supply values");
+            assert_eq!(values.len(), self.size(), "scatter length mismatch");
+            let mut mine = None;
+            for (dst, v) in values.into_iter().enumerate() {
+                if dst == root {
+                    mine = Some(v);
+                } else {
+                    self.send_raw(dst, tag, v);
+                }
+            }
+            mine.expect("root keeps its own slot")
+        } else {
+            assert!(
+                values.is_none(),
+                "non-root rank {} passed scatter values",
+                self.rank()
+            );
+            self.recv_raw(root, tag)
+        }
+    }
+
+    /// All-to-all personalized exchange: `values[dst]` goes to rank
+    /// `dst`; returns the vector of contributions received, indexed by
+    /// source rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != size()`.
+    fn alltoall<T: Payload>(&mut self, values: Vec<T>) -> Vec<T> {
+        let tag = self.next_collective_tag();
+        assert_eq!(values.len(), self.size(), "alltoall length mismatch");
+        let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+        for (dst, v) in values.into_iter().enumerate() {
+            if dst == self.rank() {
+                slots[dst] = Some(v);
+            } else {
+                self.send_raw(dst, tag, v);
+            }
+        }
+        let (p, me) = (self.size(), self.rank());
+        for src in (0..p).filter(|&s| s != me) {
+            let received = self.recv_raw(src, tag);
+            slots[src] = Some(received);
+        }
+        slots.into_iter().map(|v| v.expect("slot filled")).collect()
+    }
+
+    /// Inclusive scan (Kogge-Stone recursive doubling, `ceil(log2 P)`
+    /// rounds): rank `r` obtains `op(x_0, op(x_1, ... x_r))` combined in
+    /// rank order. This is the communication pattern whose cost is the
+    /// `log P` term in the paper's `O(M^3 (N/P + log P))` bound.
+    fn scan_inclusive<T: Payload + Clone>(&mut self, value: T, op: impl Fn(&T, &T) -> T) -> T {
+        let tag = self.next_collective_tag();
+        let p = self.size();
+        let r = self.rank();
+        let mut acc = value;
+        let mut dist = 1usize;
+        let mut round = 0u64;
+        while dist < p {
+            let round_tag = tag + round * (1 << 56);
+            if r + dist < p {
+                self.send_raw(r + dist, round_tag, acc.clone());
+            }
+            if r >= dist {
+                let other: T = self.recv_raw(r - dist, round_tag);
+                // `other` covers ranks [r - 2*dist + 1 .. r - dist], all
+                // earlier than `acc`'s window: combine with it on the left.
+                acc = op(&other, &acc);
+            }
+            dist <<= 1;
+            round += 1;
+        }
+        acc
+    }
+
+    /// Exclusive scan: rank `r > 0` obtains the combination of ranks
+    /// `0..r`; rank 0 obtains `None`. One shift round after an inclusive
+    /// scan.
+    fn scan_exclusive<T: Payload + Clone>(
+        &mut self,
+        value: T,
+        op: impl Fn(&T, &T) -> T,
+    ) -> Option<T> {
+        let inclusive = self.scan_inclusive(value, op);
+        let tag = self.next_collective_tag();
+        let p = self.size();
+        let r = self.rank();
+        if r + 1 < p {
+            self.send_raw(r + 1, tag, inclusive);
+        }
+        if r > 0 {
+            Some(self.recv_raw(r - 1, tag))
+        } else {
+            None
+        }
+    }
+}

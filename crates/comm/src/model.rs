@@ -21,7 +21,7 @@
 //!   any win must come from overlap.
 //! * **Overlap accounting.** A blocking receive charges the receiver
 //!   `max(clock, avail_at)` at the call; a nonblocking receive
-//!   ([`crate::Comm::irecv_panel_into`]) posts without advancing the
+//!   ([`crate::CommBackend::irecv_panel_into`]) posts without advancing the
 //!   clock and charges the same `max` only at `wait`, so message
 //!   transfer hidden under compute issued between post and wait costs
 //!   `max(compute, comm)` rather than `compute + comm`. The hidden

@@ -8,8 +8,10 @@
 use std::time::{Duration, Instant};
 
 use bt_blocktri::{BlockRowSource, BlockVec, FactorError, RowPartition};
+use bt_comm::{CommBackend, CostModel, SpmdBackend, WorldStats};
 use bt_dense::Mat;
-use bt_mpsim::{run_spmd, Comm, CostModel, WorldStats};
+use bt_mpsim::SimBackend;
+use bt_shm::ShmBackend;
 
 use crate::pcr::PcrRankFactors;
 use crate::spike::SpikeRankFactors;
@@ -314,6 +316,73 @@ pub fn ard_solve_cfg<S: BlockRowSource + Sync>(
     run_driver_cfg(cfg, src, batches, Mode::Accelerated)
 }
 
+/// Which [`SpmdBackend`] the environment selects for driver-level entry
+/// points (`BT_BACKEND`): the virtual-clock simulator (`sim`, default)
+/// or the real shared-memory runtime (`shm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// `bt-mpsim`: modeled clocks, exact counters, deterministic.
+    Sim,
+    /// `bt-shm`: real rank threads, wall-clock timings.
+    Shm,
+}
+
+impl BackendKind {
+    /// Reads `BT_BACKEND` (`sim`/`shm`, unset means `sim`). Re-read on
+    /// every call so tests can flip the variable per-process-phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown value — a misspelled backend silently
+    /// falling back to the simulator would invalidate measurements.
+    pub fn from_env() -> Self {
+        match std::env::var("BT_BACKEND").as_deref() {
+            Err(_) | Ok("") | Ok("sim") => BackendKind::Sim,
+            Ok("shm") => BackendKind::Shm,
+            Ok(other) => panic!("BT_BACKEND={other:?}: expected \"sim\" or \"shm\""),
+        }
+    }
+
+    /// The backend's display name (matches [`SpmdBackend::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Sim => SimBackend::name(),
+            BackendKind::Shm => ShmBackend::name(),
+        }
+    }
+}
+
+/// [`ard_solve_cfg`] on an explicitly chosen backend `B`, bypassing the
+/// `BT_BACKEND` environment dispatch (benchmarks and cross-backend
+/// agreement tests pick both backends in one process this way).
+///
+/// # Errors
+///
+/// [`FactorError`] if a block diagonal (or, in exact-scan mode, a
+/// superdiagonal block) is singular.
+pub fn ard_solve_cfg_on<B: SpmdBackend, S: BlockRowSource + Sync>(
+    cfg: &DriverConfig,
+    src: &S,
+    batches: &[BlockVec],
+) -> Result<DistOutcome, FactorError> {
+    run_driver_cfg_on::<B, S>(cfg, src, batches, Mode::Accelerated)
+}
+
+/// [`pcr_solve_cfg`] on an explicitly chosen backend `B` (see
+/// [`ard_solve_cfg_on`]).
+///
+/// # Errors
+///
+/// [`FactorError`] if a diagonal block is singular at some elimination
+/// level.
+pub fn pcr_solve_cfg_on<B: SpmdBackend, S: BlockRowSource + Sync>(
+    cfg: &DriverConfig,
+    src: &S,
+    batches: &[BlockVec],
+) -> Result<DistOutcome, FactorError> {
+    run_driver_cfg_on::<B, S>(cfg, src, batches, Mode::Pcr)
+}
+
 fn run_driver<S: BlockRowSource + Sync>(
     p: usize,
     model: CostModel,
@@ -325,7 +394,21 @@ fn run_driver<S: BlockRowSource + Sync>(
     run_driver_cfg(&cfg, src, batches, mode)
 }
 
+/// Dispatches to the `BT_BACKEND`-selected backend (monomorphized per
+/// backend; no dynamic dispatch on the rank hot path).
 fn run_driver_cfg<S: BlockRowSource + Sync>(
+    cfg: &DriverConfig,
+    src: &S,
+    batches: &[BlockVec],
+    mode: Mode,
+) -> Result<DistOutcome, FactorError> {
+    match BackendKind::from_env() {
+        BackendKind::Sim => run_driver_cfg_on::<SimBackend, S>(cfg, src, batches, mode),
+        BackendKind::Shm => run_driver_cfg_on::<ShmBackend, S>(cfg, src, batches, mode),
+    }
+}
+
+fn run_driver_cfg_on<B: SpmdBackend, S: BlockRowSource + Sync>(
     cfg: &DriverConfig,
     src: &S,
     batches: &[BlockVec],
@@ -357,10 +440,10 @@ fn run_driver_cfg<S: BlockRowSource + Sync>(
     // (all ranks, all batches) actually did in the instrumented kernels.
     let counters_before = bt_obs::enabled().then(bt_obs::counters_snapshot);
 
-    let spmd = run_spmd(
+    let spmd = B::run(
         p,
         model,
-        |comm: &mut Comm| -> Result<RankOutput, FactorError> {
+        |comm: &mut B::Comm| -> Result<RankOutput, FactorError> {
             let rank = comm.rank();
             let sys = match cfg.boundary {
                 BoundaryMode::ExactScan => RankSystem::from_source(src, p, rank),

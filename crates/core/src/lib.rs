@@ -63,15 +63,16 @@ pub mod state;
 
 pub use auto::{auto_solve, AutoOutcome, Chosen};
 pub use driver::{
-    ard_solve_cfg, ard_solve_dist, pcr_solve_cfg, rd_solve_cfg, rd_solve_dist, spike_solve_cfg,
-    DistOutcome, DriverConfig, PhaseTimings,
+    ard_solve_cfg, ard_solve_cfg_on, ard_solve_dist, pcr_solve_cfg, pcr_solve_cfg_on, rd_solve_cfg,
+    rd_solve_dist, spike_solve_cfg, BackendKind, DistOutcome, DriverConfig, PhaseTimings,
 };
 pub use pcr::PcrRankFactors;
 pub use refine::{ard_solve_refined, RefinedSolve};
 pub use service::{
-    MatrixKey, ServiceConfig, ServiceError, ServiceStats, SolveResponse, SolveTicket, SolverService,
+    MatrixKey, ServiceConfig, ServiceError, ServiceOn, ServiceStats, SolveResponse, SolveTicket,
+    SolverService,
 };
-pub use session::ArdSession;
+pub use session::{ArdSession, ArdSessionOn};
 pub use solver::{PcrSession, RankSolver, Session, SpikeSession};
 pub use spike::SpikeRankFactors;
 pub use state::{rd_solve_rank, ArdRankFactors, BoundaryMode, RankSystem};

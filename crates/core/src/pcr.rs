@@ -33,8 +33,8 @@
 //! robustness.
 
 use bt_blocktri::{FactorError, RowPartition};
+use bt_comm::CommBackend;
 use bt_dense::{gemm, gemm_flops, lu_flops, lu_solve_flops, LuFactors, Mat, Trans};
-use bt_mpsim::Comm;
 
 use crate::state::RankSystem;
 
@@ -146,7 +146,7 @@ impl PcrRankFactors {
     ///
     /// [`FactorError`] (coordinated across ranks) if a diagonal block is
     /// singular at some level.
-    pub fn setup(comm: &mut Comm, sys: &RankSystem) -> Result<Self, FactorError> {
+    pub fn setup<C: CommBackend>(comm: &mut C, sys: &RankSystem) -> Result<Self, FactorError> {
         let n = sys.n;
         let m = sys.m;
         let nl = sys.local_len();
@@ -364,7 +364,7 @@ impl PcrRankFactors {
     /// # Panics
     ///
     /// Panics on panel shape mismatch.
-    pub fn solve(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
+    pub fn solve<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat]) -> Vec<Mat> {
         let nl = self.local_len();
         let m = self.m;
         assert_eq!(y_local.len(), nl, "rhs panel count mismatch");

@@ -14,8 +14,8 @@
 //! range at pure `O(M^2 R)` per-solve cost.
 
 use bt_blocktri::FactorError;
+use bt_comm::CommBackend;
 use bt_dense::{gemm, gemm_flops, Mat, MatMut, MatRef, Trans};
-use bt_mpsim::Comm;
 
 use crate::state::{ArdRankFactors, BoundaryMode, RankSystem};
 
@@ -28,7 +28,7 @@ mod tags {
 /// Exchanges boundary panels with both neighbours: sends this rank's
 /// first/last panels, returns `(x_{lo-1}, x_{hi})` (zero panels at the
 /// domain boundaries). Collective.
-pub fn halo_exchange(comm: &mut Comm, first: &Mat, last: &Mat) -> (Mat, Mat) {
+pub fn halo_exchange<C: CommBackend>(comm: &mut C, first: &Mat, last: &Mat) -> (Mat, Mat) {
     let (m, r) = first.shape();
     let mut left_in = Mat::zeros(m, r);
     let mut right_in = Mat::zeros(m, r);
@@ -45,8 +45,8 @@ pub fn halo_exchange(comm: &mut Comm, first: &Mat, last: &Mat) -> (Mat, Mat) {
 /// [`halo_exchange`] into caller-provided panels (zero-filled at the
 /// domain boundaries): panels travel as pooled [`bt_mpsim::PanelBuf`]s,
 /// so a warm exchange performs no heap allocation. Collective.
-pub fn halo_exchange_into(
-    comm: &mut Comm,
+pub fn halo_exchange_into<C: CommBackend>(
+    comm: &mut C,
     first: MatRef<'_>,
     last: MatRef<'_>,
     mut left_out: MatMut<'_>,
@@ -74,8 +74,8 @@ pub fn halo_exchange_into(
 
 /// Local part of the residual `r = y - T x`, given the halo panels.
 /// Costs ~`6 M^2 R` flops per row.
-pub fn local_residual(
-    comm: &mut Comm,
+pub fn local_residual<C: CommBackend>(
+    comm: &mut C,
     sys: &RankSystem,
     x_local: &[Mat],
     halo: (&Mat, &Mat),
@@ -98,8 +98,8 @@ pub fn local_residual(
 
 /// [`local_residual`] into caller-provided panels — the allocation-free
 /// body of the refinement sweep.
-pub fn local_residual_into(
-    comm: &mut Comm,
+pub fn local_residual_into<C: CommBackend>(
+    comm: &mut C,
     sys: &RankSystem,
     x_local: &[Mat],
     halo: (MatRef<'_>, MatRef<'_>),
@@ -170,9 +170,9 @@ impl ArdRankFactors {
     /// Panics if setup was run without trace recording or the prefix
     /// matrices were shed (refinement reuses the standard replay), or on
     /// shape mismatch.
-    pub fn solve_replay_refined(
+    pub fn solve_replay_refined<C: CommBackend>(
         &self,
-        comm: &mut Comm,
+        comm: &mut C,
         sys: &RankSystem,
         y_local: &[Mat],
         max_sweeps: usize,
@@ -194,7 +194,7 @@ impl ArdRankFactors {
         let mut halo_r = Mat::zeros(m, r);
         let mut history = Vec::with_capacity(max_sweeps + 1);
 
-        let mut residual = |comm: &mut Comm, x: &[Mat], res: &mut [Mat]| -> f64 {
+        let mut residual = |comm: &mut C, x: &[Mat], res: &mut [Mat]| -> f64 {
             halo_exchange_into(
                 comm,
                 x[0].as_ref(),

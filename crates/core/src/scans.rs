@@ -20,8 +20,8 @@
 //! Scans support both directions; the *backward* scan (Phase 3) runs the
 //! identical algorithm on reversed logical ranks.
 
+use bt_comm::{CommBackend, CostModel};
 use bt_dense::{colsplit_plan, Mat, Workspace};
-use bt_mpsim::{Comm, CostModel};
 
 use crate::companion::CompanionProduct;
 use crate::pairs::AffinePair;
@@ -83,8 +83,8 @@ impl ScanTrace {
 /// on rank `r` is the product of all contributions of ranks `< r`
 /// (`None` on rank 0, meaning identity). Combines are performed in rank
 /// order (matrix products do not commute).
-pub fn companion_exscan(
-    comm: &mut Comm,
+pub fn companion_exscan<C: CommBackend>(
+    comm: &mut C,
     tag_base: u64,
     total: CompanionProduct,
 ) -> Option<CompanionProduct> {
@@ -132,8 +132,8 @@ pub fn companion_exscan(
 /// composition — the only part the per-row fixup needs — or `None` on the
 /// logically first rank. If `record` is given, the accumulator matrices
 /// are pushed for later [`affine_exscan_replay`] calls.
-pub fn affine_exscan_fresh(
-    comm: &mut Comm,
+pub fn affine_exscan_fresh<C: CommBackend>(
+    comm: &mut C,
     dir: Direction,
     tag_base: u64,
     total: AffinePair,
@@ -191,8 +191,8 @@ pub fn affine_exscan_fresh(
 /// This is the per-solve hot path, so every temporary comes from `ws`
 /// and messages travel as pooled [`bt_mpsim::PanelBuf`]s: once `ws` and
 /// the panel pool are warm, a replay performs zero heap allocations.
-pub fn affine_exscan_replay(
-    comm: &mut Comm,
+pub fn affine_exscan_replay<C: CommBackend>(
+    comm: &mut C,
     dir: Direction,
     tag_base: u64,
     total_vec: Mat,
@@ -234,8 +234,8 @@ fn tile_bounds(r: usize, tile: usize, t: usize) -> (usize, usize) {
 /// # Panics
 ///
 /// Panics if `tile == 0` and `total_vec` has columns.
-pub fn affine_exscan_replay_tiled(
-    comm: &mut Comm,
+pub fn affine_exscan_replay_tiled<C: CommBackend>(
+    comm: &mut C,
     dir: Direction,
     tag_base: u64,
     total_vec: Mat,
@@ -268,8 +268,8 @@ pub fn affine_exscan_replay_tiled(
             let dst = dir.physical(me + dist, p);
             for t in 0..n_tiles {
                 let (t0, w) = tile_bounds(r, tile, t);
-                comm.isend_panel(dst, tag, v_acc.as_ref().submatrix(0, t0, m, w))
-                    .wait(comm);
+                let req = comm.isend_panel(dst, tag, v_acc.as_ref().submatrix(0, t0, m, w));
+                comm.send_wait(req);
             }
         }
         if me >= dist {
@@ -291,7 +291,7 @@ pub fn affine_exscan_replay_tiled(
                     let (_, w_next) = tile_bounds(r, tile, t + 1);
                     pending = Some(comm.irecv_panel_into(src, tag, ws.take(m, w_next)));
                 }
-                let v_in = req.wait(comm);
+                let v_in = comm.recv_wait(req);
                 let _tile_span = bt_obs::span_with("scan", "affine_replay.tile", || {
                     format!("{{\"step\":{step},\"tile\":{t},\"cols\":{w}}}")
                 });

@@ -1,6 +1,6 @@
 //! # Long-lived solver service: factor cache + RHS coalescing
 //!
-//! [`ArdSession`] answers "factor once, replay many" for a *single*
+//! [`crate::session::ArdSession`] answers "factor once, replay many" for a *single*
 //! matrix owned by a single caller. A real workload (the paper's driving
 //! applications — tracking, Kalman smoothing, spectral embarrassments of
 //! independent solves) looks different: many clients submit single
@@ -13,7 +13,7 @@
 //! * **Factorization cache** — matrices are identified by a content
 //!   fingerprint ([`MatrixKey`]: FNV-1a over `N`, `M` and every block
 //!   entry's bit pattern). [`SolverService::register`] returns the cached
-//!   [`ArdSession`]'s key on a hit and factors on a miss; entries are
+//!   [`crate::session::ArdSession`]'s key on a hit and factors on a miss; entries are
 //!   evicted least-recently-used once stored factor bytes exceed the
 //!   configured budget (the most recent entry is never evicted, and
 //!   in-flight solves keep their entry alive via `Arc`, so eviction can
@@ -71,7 +71,10 @@ use bt_blocktri::{BlockRowSource, BlockVec, FactorError};
 use bt_mpsim::CostModel;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use crate::session::ArdSession;
+use bt_comm::SpmdBackend;
+use bt_mpsim::SimBackend;
+
+use crate::session::ArdSessionOn;
 
 static OBS_CACHE_HIT: bt_obs::Counter = bt_obs::Counter::new("bt_service.cache.hit");
 static OBS_CACHE_MISS: bt_obs::Counter = bt_obs::Counter::new("bt_service.cache.miss");
@@ -334,26 +337,36 @@ struct AtomicCounters {
     ws_trimmed_bytes: AtomicU64,
 }
 
-struct CacheEntry {
+struct CacheEntry<B: SpmdBackend> {
     key: MatrixKey,
-    session: ArdSession,
+    session: ArdSessionOn<B>,
     bytes: u64,
 }
 
-struct CacheSlot {
-    entry: Arc<CacheEntry>,
+struct CacheSlot<B: SpmdBackend> {
+    entry: Arc<CacheEntry<B>>,
     last_use: u64,
 }
 
-#[derive(Default)]
-struct CacheState {
-    map: HashMap<MatrixKey, CacheSlot>,
+struct CacheState<B: SpmdBackend> {
+    map: HashMap<MatrixKey, CacheSlot<B>>,
     seq: u64,
     bytes: u64,
 }
 
-struct Pending {
-    entry: Arc<CacheEntry>,
+// Manual impl: `derive` would demand `B: Default` for a marker type.
+impl<B: SpmdBackend> Default for CacheState<B> {
+    fn default() -> Self {
+        Self {
+            map: HashMap::new(),
+            seq: 0,
+            bytes: 0,
+        }
+    }
+}
+
+struct Pending<B: SpmdBackend> {
+    entry: Arc<CacheEntry<B>>,
     rhs: BlockVec,
     enqueued: Instant,
     /// Submit time in trace-epoch ns, for the retroactive queue-wait span.
@@ -362,32 +375,46 @@ struct Pending {
     tx: Sender<Result<SolveResponse, ServiceError>>,
 }
 
-#[derive(Default)]
-struct QueueState {
-    pending: VecDeque<Pending>,
+struct QueueState<B: SpmdBackend> {
+    pending: VecDeque<Pending<B>>,
     shutdown: bool,
 }
 
-struct Inner {
+impl<B: SpmdBackend> Default for QueueState<B> {
+    fn default() -> Self {
+        Self {
+            pending: VecDeque::new(),
+            shutdown: false,
+        }
+    }
+}
+
+struct Inner<B: SpmdBackend> {
     cfg: ServiceConfig,
-    cache: Mutex<CacheState>,
-    queue: Mutex<QueueState>,
+    cache: Mutex<CacheState<B>>,
+    queue: Mutex<QueueState<B>>,
     queue_cv: Condvar,
     counters: AtomicCounters,
 }
 
 /// Long-lived solver front end: factorization cache plus asynchronous
 /// right-hand-side coalescer. See the [module docs](self).
-pub struct SolverService {
-    inner: Arc<Inner>,
+pub struct ServiceOn<B: SpmdBackend> {
+    inner: Arc<Inner<B>>,
     dispatcher: Option<std::thread::JoinHandle<()>>,
 }
+
+/// The service on the default virtual-clock simulator backend — the
+/// spelling almost all code uses; the generic [`ServiceOn`] serves the
+/// same cache + coalescer over any [`SpmdBackend`] (e.g.
+/// `bt_shm::ShmBackend` for wall-clock serving).
+pub type SolverService = ServiceOn<SimBackend>;
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-impl SolverService {
+impl<B: SpmdBackend> ServiceOn<B> {
     /// Starts the service (spawns the dispatcher thread).
     ///
     /// # Panics
@@ -447,7 +474,7 @@ impl SolverService {
             });
         }
         let factor_start = Instant::now();
-        let session = ArdSession::create(self.inner.cfg.ranks, self.inner.cfg.model, src)
+        let session = ArdSessionOn::<B>::create(self.inner.cfg.ranks, self.inner.cfg.model, src)
             .map_err(ServiceError::Factorization)?;
         LAT_FACTOR.record_duration(factor_start.elapsed());
         session.set_world_reuse(self.inner.cfg.world_reuse);
@@ -583,7 +610,7 @@ impl SolverService {
     }
 }
 
-impl Drop for SolverService {
+impl<B: SpmdBackend> Drop for ServiceOn<B> {
     /// Flushes every queued request (none are abandoned), then joins the
     /// dispatcher.
     fn drop(&mut self) {
@@ -595,9 +622,9 @@ impl Drop for SolverService {
     }
 }
 
-impl Inner {
+impl<B: SpmdBackend> Inner<B> {
     /// Cache lookup that refreshes LRU order.
-    fn lookup(&self, key: MatrixKey) -> Option<Arc<CacheEntry>> {
+    fn lookup(&self, key: MatrixKey) -> Option<Arc<CacheEntry<B>>> {
         let mut cache = lock(&self.cache);
         cache.seq += 1;
         let seq = cache.seq;
@@ -609,7 +636,7 @@ impl Inner {
     /// Inserts a freshly factored entry and evicts LRU entries over
     /// budget. If a racing `register` already inserted the same key, the
     /// existing entry is kept and the newcomer dropped.
-    fn insert(&self, entry: Arc<CacheEntry>) {
+    fn insert(&self, entry: Arc<CacheEntry<B>>) {
         let mut cache = lock(&self.cache);
         cache.seq += 1;
         let seq = cache.seq;
@@ -655,7 +682,7 @@ impl Inner {
 }
 
 /// Dispatcher thread body: pull a flushable batch, solve, respond.
-fn dispatcher_loop(inner: &Inner) {
+fn dispatcher_loop<B: SpmdBackend>(inner: &Inner<B>) {
     while let Some(batch) = next_batch(inner) {
         dispatch(inner, batch);
     }
@@ -665,7 +692,7 @@ fn dispatcher_loop(inner: &Inner) {
 /// its width reached `max_batch`, the oldest queued request aged past
 /// `max_delay`, or shutdown began (which flushes everything left).
 /// Returns `None` only when the queue is empty *and* shut down.
-fn next_batch(inner: &Inner) -> Option<Vec<Pending>> {
+fn next_batch<B: SpmdBackend>(inner: &Inner<B>) -> Option<Vec<Pending<B>>> {
     let mut q = lock(&inner.queue);
     loop {
         if q.pending.is_empty() {
@@ -698,7 +725,7 @@ fn next_batch(inner: &Inner) -> Option<Vec<Pending>> {
 
 /// First matrix key whose queued requests total at least `max_batch`
 /// columns, if any.
-fn full_group(q: &QueueState, max_batch: usize) -> Option<MatrixKey> {
+fn full_group<B: SpmdBackend>(q: &QueueState<B>, max_batch: usize) -> Option<MatrixKey> {
     let mut widths: HashMap<MatrixKey, usize> = HashMap::new();
     for p in &q.pending {
         let w = widths.entry(p.entry.key).or_insert(0);
@@ -714,7 +741,11 @@ fn full_group(q: &QueueState, max_batch: usize) -> Option<MatrixKey> {
 /// (a single wider-than-budget request still dispatches alone). Stops at
 /// the first same-key request that does not fit, preserving per-matrix
 /// FIFO order.
-fn extract_group(q: &mut QueueState, key: MatrixKey, max_batch: usize) -> Vec<Pending> {
+fn extract_group<B: SpmdBackend>(
+    q: &mut QueueState<B>,
+    key: MatrixKey,
+    max_batch: usize,
+) -> Vec<Pending<B>> {
     let mut taken = Vec::new();
     let mut width = 0;
     let mut closed = false;
@@ -735,7 +766,7 @@ fn extract_group(q: &mut QueueState, key: MatrixKey, max_batch: usize) -> Vec<Pe
 }
 
 /// Solves one coalesced batch and distributes results to its tickets.
-fn dispatch(inner: &Inner, batch: Vec<Pending>) {
+fn dispatch<B: SpmdBackend>(inner: &Inner<B>, batch: Vec<Pending<B>>) {
     debug_assert!(!batch.is_empty());
     let entry = Arc::clone(&batch[0].entry);
     let key = entry.key.as_u64();
@@ -868,7 +899,7 @@ fn dispatch(inner: &Inner, batch: Vec<Pending>) {
 
 /// Stacks the batch's right-hand sides into one `M x total` panel per
 /// block row, in batch order.
-fn hstack(batch: &[Pending]) -> BlockVec {
+fn hstack<B: SpmdBackend>(batch: &[Pending<B>]) -> BlockVec {
     let n = batch[0].rhs.n();
     let m = batch[0].rhs.m();
     let total: usize = batch.iter().map(|p| p.rhs.r()).sum();

@@ -33,15 +33,16 @@
 //! microseconds of thread spawn per rank). For high-call-rate use —
 //! thousands of small replay solves per second through a
 //! [`crate::service::SolverService`] — [`ArdSession::set_world_reuse`]
-//! keeps a persistent [`SpmdWorld`] alive between calls, removing the
+//! keeps a persistent [`bt_mpsim::SpmdWorld`] alive between calls, removing the
 //! spawn cost from every solve. Results are identical either way.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
 
 use bt_blocktri::{BlockRowSource, BlockVec, FactorError, RowPartition};
+use bt_comm::{CommBackend, CostModel, PersistentWorld, SpmdBackend, SpmdOutput};
 use bt_dense::Mat;
-use bt_mpsim::{run_spmd, Comm, CostModel, SpmdWorld};
+use bt_mpsim::SimBackend;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -84,7 +85,7 @@ enum FactorStore {
 ///     y = x; // feed the solution back in (a crude time stepper)
 /// }
 /// ```
-pub struct ArdSession {
+pub struct ArdSessionOn<B: SpmdBackend> {
     p: usize,
     n: usize,
     m: usize,
@@ -99,9 +100,15 @@ pub struct ArdSession {
     /// Wakes solves queued behind a checked-out store.
     state_cv: Condvar,
     /// When world reuse is on, the persistent world (built lazily).
-    world: Mutex<Option<SpmdWorld>>,
+    world: Mutex<Option<B::World>>,
     world_reuse: AtomicBool,
 }
+
+/// The session on the default virtual-clock simulator backend — the
+/// spelling almost all code uses; the generic [`ArdSessionOn`] exists
+/// so the same factor-lease machinery can drive any [`SpmdBackend`]
+/// (e.g. `bt_shm::ShmBackend` for wall-clock serving).
+pub type ArdSession = ArdSessionOn<SimBackend>;
 
 /// RAII checkout of a session's per-rank factors.
 ///
@@ -111,18 +118,18 @@ pub struct ArdSession {
 /// restored to the session and waiters are notified; if any rank's
 /// factors were destroyed mid-solve the store transitions to
 /// [`FactorStore::Lost`] instead of silently shrinking.
-struct FactorLease<'a> {
-    session: &'a ArdSession,
+struct FactorLease<'a, B: SpmdBackend> {
+    session: &'a ArdSessionOn<B>,
     slots: Option<Arc<Vec<parking_lot::Mutex<Option<RankState>>>>>,
 }
 
-impl<'a> FactorLease<'a> {
+impl<'a, B: SpmdBackend> FactorLease<'a, B> {
     /// Blocks until the factors are available, then checks them out.
     ///
     /// # Panics
     ///
     /// Panics if an earlier solve lost the factors.
-    fn checkout(session: &'a ArdSession) -> Self {
+    fn checkout(session: &'a ArdSessionOn<B>) -> Self {
         let mut guard = session
             .state
             .lock()
@@ -163,7 +170,7 @@ impl<'a> FactorLease<'a> {
     }
 }
 
-impl Drop for FactorLease<'_> {
+impl<B: SpmdBackend> Drop for FactorLease<'_, B> {
     fn drop(&mut self) {
         let slots = self.slots.take().expect("dropped once");
         // All world jobs have completed (run_spmd/SpmdWorld::run join all
@@ -189,7 +196,7 @@ impl Drop for FactorLease<'_> {
     }
 }
 
-impl ArdSession {
+impl<B: SpmdBackend> ArdSessionOn<B> {
     /// Runs the collective setup on `p` ranks and captures the factors.
     ///
     /// # Errors
@@ -224,7 +231,7 @@ impl ArdSession {
             n >= p,
             "need at least one block row per rank (N={n}, P={p})"
         );
-        let out = run_spmd(p, model, |comm| -> Result<RankState, FactorError> {
+        let out = B::run(p, model, |comm| -> Result<RankState, FactorError> {
             let sys = match boundary {
                 BoundaryMode::ExactScan => RankSystem::from_source(src, p, comm.rank()),
                 BoundaryMode::Windowed(w) => {
@@ -276,7 +283,7 @@ impl ArdSession {
     }
 
     /// Switches persistent-world reuse on or off. When on, solves run on
-    /// a lazily built, long-lived [`SpmdWorld`] instead of spawning `P`
+    /// a lazily built, long-lived [`bt_mpsim::SpmdWorld`] instead of spawning `P`
     /// threads per call; when switched off, any persistent world is torn
     /// down. Results are identical either way.
     pub fn set_world_reuse(&self, on: bool) {
@@ -389,7 +396,7 @@ impl ArdSession {
         // carry it into each rank's closure so per-rank replay and scan
         // spans stay attributable to the requests they serve.
         let ctx = bt_obs::ctx::current();
-        let job = move |comm: &mut Comm| {
+        let job = move |comm: &mut B::Comm| {
             let _ctx_guard = ctx.clone().map(bt_obs::ctx::enter);
             let _span = bt_obs::span("session", "replay.solve");
             let (sys, factors) = slots[comm.rank()].lock().take().expect("state present");
@@ -425,17 +432,17 @@ impl ArdSession {
     /// Runs `job` on the persistent world when reuse is on (rebuilding a
     /// dead one is pointless — a panic loses factors anyway), else on a
     /// fresh `run_spmd` world.
-    fn run_world<T, F>(&self, job: F) -> bt_mpsim::SpmdOutput<T>
+    fn run_world<T, F>(&self, job: F) -> SpmdOutput<T>
     where
         T: Send + 'static,
-        F: Fn(&mut Comm) -> T + Send + Sync + 'static,
+        F: Fn(&mut B::Comm) -> T + Send + Sync + 'static,
     {
         if self.world_reuse.load(Ordering::Relaxed) {
             let mut wg = self
                 .world
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            let world = wg.get_or_insert_with(|| SpmdWorld::new(self.p, self.model));
+            let world = wg.get_or_insert_with(|| B::world(self.p, self.model));
             let out = catch_unwind(AssertUnwindSafe(|| world.run(job)));
             match out {
                 Ok(out) => out,
@@ -448,7 +455,7 @@ impl ArdSession {
                 }
             }
         } else {
-            run_spmd(self.p, self.model, job)
+            B::run(self.p, self.model, job)
         }
     }
 }

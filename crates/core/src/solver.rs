@@ -15,8 +15,9 @@
 //! ARD-specific extras (boundary modes, lean replay, refinement).
 
 use bt_blocktri::{BlockRowSource, BlockVec, FactorError, RowPartition};
+use bt_comm::{CommBackend, CostModel};
 use bt_dense::Mat;
-use bt_mpsim::{run_spmd, Comm, CostModel};
+use bt_mpsim::run_spmd;
 use parking_lot::Mutex;
 
 use crate::pcr::PcrRankFactors;
@@ -37,10 +38,10 @@ pub trait RankSolver: Send + Sized + 'static {
     ///
     /// [`FactorError`], agreed upon by every rank, when the matrix
     /// violates the solver's requirements.
-    fn setup(comm: &mut Comm, sys: &RankSystem) -> Result<Self, FactorError>;
+    fn setup<C: CommBackend>(comm: &mut C, sys: &RankSystem) -> Result<Self, FactorError>;
 
     /// Solves one batch of local right-hand-side panels.
-    fn solve(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat>;
+    fn solve<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat]) -> Vec<Mat>;
 
     /// Bytes of factor state stored on this rank.
     fn storage_bytes(&self) -> u64;
@@ -49,11 +50,11 @@ pub trait RankSolver: Send + Sized + 'static {
 impl RankSolver for ArdRankFactors {
     const NAME: &'static str = "accelerated-recursive-doubling";
 
-    fn setup(comm: &mut Comm, sys: &RankSystem) -> Result<Self, FactorError> {
+    fn setup<C: CommBackend>(comm: &mut C, sys: &RankSystem) -> Result<Self, FactorError> {
         ArdRankFactors::setup(comm, sys, true)
     }
 
-    fn solve(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
+    fn solve<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat]) -> Vec<Mat> {
         self.solve_replay(comm, y_local)
     }
 
@@ -65,11 +66,11 @@ impl RankSolver for ArdRankFactors {
 impl RankSolver for SpikeRankFactors {
     const NAME: &'static str = "spike-partitioned";
 
-    fn setup(comm: &mut Comm, sys: &RankSystem) -> Result<Self, FactorError> {
+    fn setup<C: CommBackend>(comm: &mut C, sys: &RankSystem) -> Result<Self, FactorError> {
         SpikeRankFactors::setup(comm, sys)
     }
 
-    fn solve(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
+    fn solve<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat]) -> Vec<Mat> {
         SpikeRankFactors::solve(self, comm, y_local)
     }
 
@@ -81,11 +82,11 @@ impl RankSolver for SpikeRankFactors {
 impl RankSolver for PcrRankFactors {
     const NAME: &'static str = "parallel-cyclic-reduction";
 
-    fn setup(comm: &mut Comm, sys: &RankSystem) -> Result<Self, FactorError> {
+    fn setup<C: CommBackend>(comm: &mut C, sys: &RankSystem) -> Result<Self, FactorError> {
         PcrRankFactors::setup(comm, sys)
     }
 
-    fn solve(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
+    fn solve<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat]) -> Vec<Mat> {
         PcrRankFactors::solve(self, comm, y_local)
     }
 

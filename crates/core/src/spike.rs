@@ -31,8 +31,8 @@
 //!   many, at `O(M^2 R N/P)` per batch.
 
 use bt_blocktri::{BlockRow, BlockTridiag, BlockVec, FactorError, ThomasFactors};
+use bt_comm::CommBackend;
 use bt_dense::{gemm, gemm_flops, Mat, Trans};
-use bt_mpsim::Comm;
 
 use crate::state::RankSystem;
 
@@ -70,7 +70,7 @@ impl SpikeRankFactors {
     ///
     /// [`FactorError`] (coordinated on every rank) if a local diagonal
     /// pivot block or the reduced system is singular.
-    pub fn setup(comm: &mut Comm, sys: &RankSystem) -> Result<Self, FactorError> {
+    pub fn setup<C: CommBackend>(comm: &mut C, sys: &RankSystem) -> Result<Self, FactorError> {
         let m = sys.m;
         let nl = sys.local_len();
         let p = comm.size();
@@ -239,7 +239,7 @@ impl SpikeRankFactors {
     /// # Panics
     ///
     /// Panics on panel shape mismatch.
-    pub fn solve(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
+    pub fn solve<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat]) -> Vec<Mat> {
         let m = self.m;
         let nl = self.local_len();
         let p = comm.size();

@@ -18,10 +18,10 @@
 use std::cell::RefCell;
 
 use bt_blocktri::{BlockRow, BlockRowSource, FactorError, RowPartition};
+use bt_comm::CommBackend;
 use bt_dense::{
     gemm, gemm_flops, lu_flops, lu_solve_flops, LuFactors, Mat, Trans, Workspace, WorkspaceStats,
 };
-use bt_mpsim::Comm;
 
 use crate::companion::{CompanionProduct, CompanionState, CompanionW};
 use crate::pairs::AffinePair;
@@ -199,8 +199,8 @@ impl ArdRankFactors {
     /// [`FactorError`] — on **every** rank (failure is agreed upon
     /// collectively, so no rank deadlocks) — if some block diagonal `D_i`
     /// is singular.
-    pub fn setup(
-        comm: &mut Comm,
+    pub fn setup<C: CommBackend>(
+        comm: &mut C,
         sys: &RankSystem,
         record_traces: bool,
     ) -> Result<Self, FactorError> {
@@ -209,8 +209,8 @@ impl ArdRankFactors {
 
     /// [`ArdRankFactors::setup`] with an explicit Phase 1 boundary mode.
     /// All ranks must pass the same `mode`.
-    pub fn setup_with(
-        comm: &mut Comm,
+    pub fn setup_with<C: CommBackend>(
+        comm: &mut C,
         sys: &RankSystem,
         record_traces: bool,
         mode: BoundaryMode,
@@ -418,8 +418,8 @@ impl ArdRankFactors {
     /// conditioning estimate of the boundary extraction (1.0 where no
     /// extraction happened).
     #[allow(clippy::type_complexity)]
-    fn local_factor_pass(
-        comm: &mut Comm,
+    fn local_factor_pass<C: CommBackend>(
+        comm: &mut C,
         sys: &RankSystem,
         excl: Option<&CompanionProduct>,
         mode: BoundaryMode,
@@ -528,7 +528,10 @@ impl ArdRankFactors {
     /// recurrence over `sys.window_rows`, warm-started from the window's
     /// first diagonal block. Returns `D_{lo-1}` up to the geometrically
     /// small warm-start residue.
-    fn windowed_boundary(comm: &mut Comm, sys: &RankSystem) -> Result<Mat, FactorError> {
+    fn windowed_boundary<C: CommBackend>(
+        comm: &mut C,
+        sys: &RankSystem,
+    ) -> Result<Mat, FactorError> {
         assert!(
             !sys.window_rows.is_empty(),
             "BoundaryMode::Windowed requires RankSystem::from_source_windowed"
@@ -617,7 +620,7 @@ impl ArdRankFactors {
     /// Replay-pipeline RHS tile width for an `M x R` batch: the
     /// `BT_ARD_RHS_TILE` override when set (`0`/unset means auto), else
     /// the cost-model calibration in [`auto_rhs_tile`].
-    fn resolve_rhs_tile(comm: &Comm, m: usize, r: usize) -> usize {
+    fn resolve_rhs_tile<C: CommBackend>(comm: &C, m: usize, r: usize) -> usize {
         static ENV_TILE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
         let env = *ENV_TILE.get_or_init(|| {
             std::env::var("BT_ARD_RHS_TILE")
@@ -646,7 +649,7 @@ impl ArdRankFactors {
     ///
     /// Panics if setup was run with `record_traces = false`, or on panel
     /// shape mismatch.
-    pub fn solve_replay(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
+    pub fn solve_replay<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat]) -> Vec<Mat> {
         let mut out = Self::alloc_out(y_local);
         self.solve_replay_into(comm, y_local, &mut out);
         out
@@ -663,7 +666,12 @@ impl ArdRankFactors {
     ///
     /// Same conditions as [`ArdRankFactors::solve_replay`], plus `out`
     /// shape mismatch.
-    pub fn solve_replay_into(&self, comm: &mut Comm, y_local: &[Mat], out: &mut [Mat]) {
+    pub fn solve_replay_into<C: CommBackend>(
+        &self,
+        comm: &mut C,
+        y_local: &[Mat],
+        out: &mut [Mat],
+    ) {
         let r = y_local.first().map_or(0, |p| p.cols());
         let tile = Self::resolve_rhs_tile(comm, self.m, r);
         self.solve_replay_into_tiled(comm, y_local, out, tile);
@@ -679,9 +687,9 @@ impl ArdRankFactors {
     /// # Panics
     ///
     /// Same conditions as [`ArdRankFactors::solve_replay_into`].
-    pub fn solve_replay_into_tiled(
+    pub fn solve_replay_into_tiled<C: CommBackend>(
         &self,
-        comm: &mut Comm,
+        comm: &mut C,
         y_local: &[Mat],
         out: &mut [Mat],
         tile: usize,
@@ -696,7 +704,7 @@ impl ArdRankFactors {
     /// Solves one batch with **fresh** scans (classic recursive
     /// doubling's per-solve Phase 2/3): full pairs travel and every scan
     /// combine pays the `O(M^3)` product. Collective.
-    pub fn solve_fresh(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
+    pub fn solve_fresh<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat]) -> Vec<Mat> {
         let mut out = Self::alloc_out(y_local);
         let r = y_local.first().map_or(0, |p| p.cols());
         self.solve_into_impl(comm, y_local, &mut out, false, r.max(1));
@@ -715,7 +723,7 @@ impl ArdRankFactors {
     ///
     /// Panics if setup was run with `record_traces = false`, or on panel
     /// shape mismatch.
-    pub fn solve_replay_lean(&self, comm: &mut Comm, y_local: &[Mat]) -> Vec<Mat> {
+    pub fn solve_replay_lean<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat]) -> Vec<Mat> {
         let mut out = Self::alloc_out(y_local);
         self.solve_replay_lean_into(comm, y_local, &mut out);
         out
@@ -729,7 +737,12 @@ impl ArdRankFactors {
     ///
     /// Same conditions as [`ArdRankFactors::solve_replay_lean`], plus
     /// `out` shape mismatch.
-    pub fn solve_replay_lean_into(&self, comm: &mut Comm, y_local: &[Mat], out: &mut [Mat]) {
+    pub fn solve_replay_lean_into<C: CommBackend>(
+        &self,
+        comm: &mut C,
+        y_local: &[Mat],
+        out: &mut [Mat],
+    ) {
         let r = y_local.first().map_or(0, |p| p.cols());
         let tile = Self::resolve_rhs_tile(comm, self.m, r);
         self.solve_replay_lean_into_tiled(comm, y_local, out, tile);
@@ -743,9 +756,9 @@ impl ArdRankFactors {
     /// # Panics
     ///
     /// Same conditions as [`ArdRankFactors::solve_replay_lean_into`].
-    pub fn solve_replay_lean_into_tiled(
+    pub fn solve_replay_lean_into_tiled<C: CommBackend>(
         &self,
-        comm: &mut Comm,
+        comm: &mut C,
         y_local: &[Mat],
         out: &mut [Mat],
         tile: usize,
@@ -919,9 +932,9 @@ impl ArdRankFactors {
     /// [`ArdRankFactors::solve_fresh`]. `out` carries the working panels
     /// through every stage (v_hat -> z -> h -> w_hat -> x in place); all
     /// other temporaries cycle through the rank workspace.
-    fn solve_into_impl(
+    fn solve_into_impl<C: CommBackend>(
         &self,
-        comm: &mut Comm,
+        comm: &mut C,
         y_local: &[Mat],
         out: &mut [Mat],
         replay: bool,
@@ -1059,8 +1072,8 @@ impl ArdRankFactors {
 /// # Errors
 ///
 /// [`FactorError`] (on every rank) if a block diagonal is singular.
-pub fn rd_solve_rank(
-    comm: &mut Comm,
+pub fn rd_solve_rank<C: CommBackend>(
+    comm: &mut C,
     sys: &RankSystem,
     y_local: &[Mat],
 ) -> Result<Vec<Mat>, FactorError> {

@@ -2,14 +2,16 @@
 //! against the sequential baselines, equivalence of RD and ARD, counters,
 //! timings, and the numerical envelope documented in DESIGN.md §7.
 
-use bt_ard::driver::{ard_solve_cfg, ard_solve_dist, rd_solve_cfg, rd_solve_dist, DriverConfig};
+use bt_ard::driver::{
+    ard_solve_cfg, ard_solve_cfg_on, ard_solve_dist, rd_solve_cfg, rd_solve_dist, DriverConfig,
+};
 use bt_ard::state::BoundaryMode;
 use bt_blocktri::gen::{
     materialize, random_rhs, ClusteredToeplitz, ConvectionDiffusion, Poisson2D, RandomDominant,
 };
 use bt_blocktri::thomas::thomas_solve;
 use bt_blocktri::BlockRowSource;
-use bt_mpsim::CostModel;
+use bt_mpsim::{CostModel, SimBackend};
 
 const ZERO: CostModel = CostModel {
     latency_s: 0.0,
@@ -329,8 +331,17 @@ fn companion_exscan_minimal_shrink_case() {
 fn deterministic_across_runs() {
     let src = ClusteredToeplitz::standard(64, 4, 9);
     let batches = vec![random_rhs(64, 4, 2, 7)];
+    // The solution must be deterministic on any backend; the full
+    // counter set (overlap_ns is measured wall time on shm) only on the
+    // simulator, so that half is pinned to SimBackend explicitly.
     let a = ard_solve_dist(4, ZERO, &src, &batches).unwrap();
     let b = ard_solve_dist(4, ZERO, &src, &batches).unwrap();
+    assert_eq!(a.x[0], b.x[0], "solver must be run-to-run deterministic");
+    let cfg = DriverConfig::new(4)
+        .with_model(ZERO)
+        .with_threads_per_rank(1);
+    let a = ard_solve_cfg_on::<SimBackend, _>(&cfg, &src, &batches).unwrap();
+    let b = ard_solve_cfg_on::<SimBackend, _>(&cfg, &src, &batches).unwrap();
     assert_eq!(a.x[0], b.x[0], "solver must be run-to-run deterministic");
     assert_eq!(a.stats, b.stats, "counters must be deterministic");
 }
@@ -386,8 +397,9 @@ fn threads_per_rank_speeds_model_without_changing_answer_or_counters() {
     let cfg4 = DriverConfig::new(p)
         .with_model(model)
         .with_threads_per_rank(4);
-    let out1 = ard_solve_cfg(&cfg1, &src, &batches).unwrap();
-    let out4 = ard_solve_cfg(&cfg4, &src, &batches).unwrap();
+    // Modeled-time claims are simulator semantics: pin the backend.
+    let out1 = ard_solve_cfg_on::<SimBackend, _>(&cfg1, &src, &batches).unwrap();
+    let out4 = ard_solve_cfg_on::<SimBackend, _>(&cfg4, &src, &batches).unwrap();
     // Same solution bits and identical exact counters (Table I is
     // thread-count independent)...
     assert_eq!(out1.x[0].to_dense(), out4.x[0].to_dense());
@@ -415,7 +427,8 @@ fn modeled_times_match_analytic_prediction() {
         let src = ClusteredToeplitz::standard(n, m, 5);
         let batches = vec![random_rhs(n, m, r, 1); 2];
         let cfg = DriverConfig::new(p).with_model(model);
-        let out = ard_solve_cfg(&cfg, &src, &batches).unwrap();
+        // Virtual clocks vs the analytic model: simulator-only semantics.
+        let out = ard_solve_cfg_on::<SimBackend, _>(&cfg, &src, &batches).unwrap();
         let c = Config { n, m, p, r };
 
         let setup_pred = predicted_setup_seconds(&c, &model);

@@ -15,8 +15,8 @@ use std::time::Instant;
 
 use bt_dense::{gemm, gemm_flops, random::rng, random::uniform, Mat, Trans};
 
-use crate::model::CostModel;
 use crate::runner::run_spmd;
+use bt_comm::{CommBackend, CostModel};
 
 /// Measures the host's GEMM flop rate (flop/s) using `m x m` operands.
 pub fn measure_flop_rate(m: usize) -> f64 {

@@ -1,11 +1,12 @@
 //! Rank-local communicator: point-to-point messaging, counters, clock.
 //!
 //! A [`Comm`] is handed to each rank of an SPMD program (see
-//! [`crate::runner::run_spmd`]). Semantics mirror a minimal MPI subset:
+//! [`crate::runner::run_spmd`]). It is the virtual-clock implementation
+//! of [`CommBackend`]; semantics mirror a minimal MPI subset:
 //!
-//! * [`Comm::send`] is non-blocking (buffered, like `MPI_Isend` + eager
-//!   protocol): it never waits for the receiver.
-//! * [`Comm::recv`] blocks until a message with the requested
+//! * [`CommBackend::send`] is non-blocking (buffered, like `MPI_Isend` +
+//!   eager protocol): it never waits for the receiver.
+//! * [`CommBackend::recv`] blocks until a message with the requested
 //!   `(source, tag)` arrives; messages with other tags from the same
 //!   source are buffered and delivered to later matching `recv`s, so
 //!   out-of-order tag matching behaves like MPI.
@@ -20,45 +21,31 @@
 use std::any::Any;
 use std::collections::VecDeque;
 
+use bt_comm::{CommBackend, CostModel, PanelBuf, Payload, RankStats, USER_TAG_LIMIT};
 use crossbeam::channel::{Receiver, Sender};
 
-use crate::model::CostModel;
-use crate::payload::{PanelBuf, Payload};
-use crate::stats::RankStats;
 use crate::trace::TraceEvent;
 
-/// First tag value reserved for collectives; user tags must be below this.
-pub const USER_TAG_LIMIT: u64 = 1 << 48;
-
 /// Depth of this rank's nonblocking-receive queue at each
-/// [`Comm::irecv_panel_into`] post (no-op unless `BT_OBS` is on).
+/// [`CommBackend::irecv_panel_into`] post (no-op unless `BT_OBS` is on).
 static OBS_INFLIGHT_DEPTH: bt_obs::Histogram =
     bt_obs::Histogram::new("bt_mpsim.comm.inflight_depth");
 
-/// Handle for a posted [`Comm::isend_panel`]. Sends in this runtime are
-/// buffered-eager (the payload is fully packed into a pooled
+/// Handle for a posted [`CommBackend::isend_panel`]. Sends in this
+/// runtime are buffered-eager (the payload is fully packed into a pooled
 /// [`PanelBuf`] at post time), so the request is complete the moment it
 /// exists; the handle keeps MPI-style call symmetry so SPMD programs
-/// read like their MPI counterparts.
+/// read like their MPI counterparts. Complete it with
+/// [`CommBackend::send_wait`].
 #[derive(Debug)]
-#[must_use = "MPI-style requests should be completed with wait()"]
+#[must_use = "MPI-style requests should be completed with send_wait()"]
 pub struct SendRequest {
-    _private: (),
+    pub(crate) _private: (),
 }
 
-impl SendRequest {
-    /// Always true: buffered sends complete at post time.
-    pub fn test(&self, _comm: &mut Comm) -> bool {
-        true
-    }
-
-    /// Completes the (already complete) send.
-    pub fn wait(self, _comm: &mut Comm) {}
-}
-
-/// Handle for a posted [`Comm::irecv_panel_into`].
+/// Handle for a posted [`CommBackend::irecv_panel_into`].
 ///
-/// The request owns the destination buffer; [`RecvRequest::wait`]
+/// The request owns the destination buffer; [`CommBackend::recv_wait`]
 /// blocks for the matching message, unpacks it into the buffer and
 /// returns it. Requests posted on the same `(source, tag)` pair
 /// complete in post order (the runtime delivers per-`(src, dst, tag)`
@@ -68,14 +55,14 @@ impl SendRequest {
 /// Dropping a request without waiting panics — an outstanding receive
 /// at rank exit is a lost message and almost certainly a pipeline bug.
 #[derive(Debug)]
-#[must_use = "an irecv must be completed with wait() (dropping panics)"]
+#[must_use = "an irecv must be completed with recv_wait() (dropping panics)"]
 pub struct RecvRequest {
-    src: usize,
-    tag: u64,
+    pub(crate) src: usize,
+    pub(crate) tag: u64,
     /// Virtual time the receive was posted.
-    posted_at: f64,
+    pub(crate) posted_at: f64,
     /// Destination buffer; `None` once waited.
-    out: Option<bt_dense::Mat>,
+    pub(crate) out: Option<bt_dense::Mat>,
 }
 
 impl RecvRequest {
@@ -84,42 +71,13 @@ impl RecvRequest {
     pub fn posted_at(&self) -> f64 {
         self.posted_at
     }
-
-    /// True when the matching message has physically arrived **and** is
-    /// virtually available (`avail_at <= comm.virtual_time()`). Does not
-    /// advance the clock or consume the message.
-    ///
-    /// Note the physical-arrival half makes a bare `while !test {}` spin
-    /// nondeterministic (and, under virtual time, potentially endless:
-    /// the clock only advances through compute/wait). Use it to
-    /// opportunistically drain, not to synchronize — that is
-    /// [`RecvRequest::wait`]'s job.
-    pub fn test(&self, comm: &mut Comm) -> bool {
-        comm.probe(self.src, self.tag)
-    }
-
-    /// Completes the receive: blocks until the matching message arrives,
-    /// charges the virtual clock `max(now, avail_at)` (communication
-    /// time that elapsed behind compute since the post is *not* re-paid
-    /// — this is the overlap accounting), unpacks the panel into the
-    /// owned buffer and returns it.
-    ///
-    /// # Panics
-    ///
-    /// Panics on the same conditions as [`Comm::recv`], plus a shape
-    /// mismatch between the sent panel and the posted buffer.
-    pub fn wait(mut self, comm: &mut Comm) -> bt_dense::Mat {
-        let mut out = self.out.take().expect("request not yet waited");
-        comm.complete_irecv(&self, out.as_mut());
-        out
-    }
 }
 
 impl Drop for RecvRequest {
     fn drop(&mut self) {
         if self.out.is_some() && !std::thread::panicking() {
             panic!(
-                "RecvRequest (src {}, tag {}) dropped without wait()",
+                "RecvRequest (src {}, tag {}) dropped without recv_wait()",
                 self.src, self.tag
             );
         }
@@ -135,7 +93,7 @@ pub(crate) struct Envelope {
     pub payload: Box<dyn Any + Send>,
 }
 
-/// Per-rank communicator for an SPMD program.
+/// Per-rank communicator for an SPMD program (the simulator backend).
 pub struct Comm {
     rank: usize,
     size: usize,
@@ -226,18 +184,24 @@ impl Comm {
         self.clock
     }
 
-    /// Sends `value` to `dest` with `tag`. Non-blocking.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dest >= size()`, if `tag >= USER_TAG_LIMIT` (reserved
-    /// for collectives), or if the destination rank has terminated.
-    pub fn send<T: Payload>(&mut self, dest: usize, tag: u64, value: T) {
-        assert!(
-            tag < USER_TAG_LIMIT,
-            "tag {tag} is reserved for collectives"
-        );
-        self.send_internal(dest, tag, value);
+    /// Number of posted-but-not-yet-waited nonblocking receives.
+    #[inline]
+    pub fn inflight_recvs(&self) -> usize {
+        self.inflight_recvs
+    }
+
+    /// Virtual seconds nonblocking receives spent in flight between
+    /// post and completion (the overlap ratio's denominator).
+    #[inline]
+    pub fn inflight_seconds(&self) -> f64 {
+        self.inflight_s
+    }
+
+    /// Virtual seconds of in-flight communication hidden behind compute
+    /// — in-flight time this rank did **not** spend blocked in `wait`.
+    #[inline]
+    pub fn overlap_seconds(&self) -> f64 {
+        self.overlap_s
     }
 
     pub(crate) fn send_internal<T: Payload>(&mut self, dest: usize, tag: u64, value: T) {
@@ -277,119 +241,8 @@ impl Comm {
             .unwrap_or_else(|_| panic!("rank {}: send to terminated rank {dest}", self.rank));
     }
 
-    /// Sends a (possibly strided) matrix view to `dest` with `tag` as a
-    /// pooled [`PanelBuf`] — no per-message allocation once the pool is
-    /// warm. Pairs with [`Comm::recv_panel_into`].
-    ///
-    /// # Panics
-    ///
-    /// Same conditions as [`Comm::send`].
-    pub fn send_panel(&mut self, dest: usize, tag: u64, panel: bt_dense::MatRef<'_>) {
-        self.send(dest, tag, PanelBuf::pack(panel));
-    }
-
-    /// Receives a panel from `src` with matching `tag` directly into
-    /// caller-provided scratch, returning the backing buffer to the
-    /// [`PanelBuf`] pool. Pairs with [`Comm::send_panel`].
-    ///
-    /// # Panics
-    ///
-    /// Same conditions as [`Comm::recv`], plus a shape mismatch between
-    /// the sent panel and `out`.
-    pub fn recv_panel_into(&mut self, src: usize, tag: u64, out: bt_dense::MatMut<'_>) {
-        self.recv::<PanelBuf>(src, tag).unpack_into(out);
-    }
-
-    /// Nonblocking panel send. Identical wire behaviour to
-    /// [`Comm::send_panel`] — sends are buffered-eager, so the payload
-    /// is packed (into a pooled [`PanelBuf`]) and queued immediately and
-    /// the returned request is already complete. The handle exists for
-    /// MPI-call symmetry; the crossed-isend deadlock freedom MPI only
-    /// *allows* is guaranteed here.
-    ///
-    /// # Panics
-    ///
-    /// Same conditions as [`Comm::send`].
-    pub fn isend_panel(
-        &mut self,
-        dest: usize,
-        tag: u64,
-        panel: bt_dense::MatRef<'_>,
-    ) -> SendRequest {
-        self.send_panel(dest, tag, panel);
-        SendRequest { _private: () }
-    }
-
-    /// Posts a nonblocking receive of a panel from `src` with `tag`,
-    /// taking ownership of the destination buffer `out` (typically a
-    /// [`bt_dense::Workspace`] checkout). Completion —
-    /// [`RecvRequest::wait`] — blocks for the message, unpacks it into
-    /// the buffer and hands the buffer back.
-    ///
-    /// Posting does not advance the clock; the virtual-time charge at
-    /// completion is `max(now, avail_at)`, so message transfer time that
-    /// elapsed under compute issued between post and wait is charged as
-    /// `max(compute, comm)` rather than `compute + comm`. Requests on
-    /// the same `(src, tag)` complete in post order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `src >= size()` or `tag` is in the collective-reserved
-    /// range.
-    pub fn irecv_panel_into(&mut self, src: usize, tag: u64, out: bt_dense::Mat) -> RecvRequest {
-        assert!(
-            tag < USER_TAG_LIMIT,
-            "tag {tag} is reserved for collectives"
-        );
-        assert!(
-            src < self.size,
-            "irecv from rank {src} in a world of size {}",
-            self.size
-        );
-        self.inflight_recvs += 1;
-        if bt_obs::enabled() {
-            OBS_INFLIGHT_DEPTH.record(self.inflight_recvs as u64);
-        }
-        if let Some(tr) = &mut self.tracer {
-            tr.push(TraceEvent::IrecvPost {
-                at: self.clock,
-                src,
-                tag,
-            });
-        }
-        RecvRequest {
-            src,
-            tag,
-            posted_at: self.clock,
-            out: Some(out),
-        }
-    }
-
-    /// Number of posted-but-not-yet-waited nonblocking receives.
-    #[inline]
-    pub fn inflight_recvs(&self) -> usize {
-        self.inflight_recvs
-    }
-
-    /// Virtual seconds nonblocking receives spent in flight between
-    /// post and completion (the overlap ratio's denominator).
-    #[inline]
-    pub fn inflight_seconds(&self) -> f64 {
-        self.inflight_s
-    }
-
-    /// Virtual seconds of in-flight communication hidden behind compute
-    /// — in-flight time this rank did **not** spend blocked in `wait`.
-    /// `overlap_seconds() / inflight_seconds()` is the run's overlap
-    /// ratio: 0 for a post-then-immediately-wait pattern, approaching 1
-    /// for a perfectly hidden pipeline.
-    #[inline]
-    pub fn overlap_seconds(&self) -> f64 {
-        self.overlap_s
-    }
-
-    /// Shared completion path for [`RecvRequest::wait`].
-    fn complete_irecv(&mut self, req: &RecvRequest, out: bt_dense::MatMut<'_>) {
+    /// Shared completion path for [`CommBackend::recv_wait`].
+    pub(crate) fn complete_irecv(&mut self, req: &RecvRequest, out: bt_dense::MatMut<'_>) {
         let start = self.clock;
         let env = self.wait_for(req.src, req.tag);
         self.stats.msgs_recv += 1;
@@ -442,45 +295,6 @@ impl Comm {
         false
     }
 
-    /// MPI_Sendrecv-style paired exchange of panels under one tag:
-    /// optionally sends to `send_to` and optionally receives from
-    /// `recv_from`, in the send-first order that is unconditionally
-    /// deadlock-free under this runtime's buffered sends. The building
-    /// block of doubling rounds and halo exchanges, replacing
-    /// hand-rolled rank-parity orderings.
-    ///
-    /// # Panics
-    ///
-    /// Same conditions as [`Comm::send_panel`] / [`Comm::recv_panel_into`].
-    pub fn exchange_panel(
-        &mut self,
-        tag: u64,
-        send_to: Option<(usize, bt_dense::MatRef<'_>)>,
-        recv_from: Option<(usize, bt_dense::MatMut<'_>)>,
-    ) {
-        if let Some((dst, panel)) = send_to {
-            self.send_panel(dst, tag, panel);
-        }
-        if let Some((src, out)) = recv_from {
-            self.recv_panel_into(src, tag, out);
-        }
-    }
-
-    /// Receives a `T` from `src` with matching `tag`, blocking until it
-    /// arrives.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `src >= size()`, if the matching message's payload is not
-    /// a `T`, or if `src` terminated without sending a matching message.
-    pub fn recv<T: Payload>(&mut self, src: usize, tag: u64) -> T {
-        assert!(
-            tag < USER_TAG_LIMIT,
-            "tag {tag} is reserved for collectives"
-        );
-        self.recv_internal(src, tag)
-    }
-
     pub(crate) fn recv_internal<T: Payload>(&mut self, src: usize, tag: u64) -> T {
         assert!(
             src < self.size,
@@ -529,41 +343,6 @@ impl Comm {
         }
     }
 
-    /// Combined send-then-receive with the same peer (safe because sends
-    /// never block). The standard building block of doubling exchanges.
-    pub fn sendrecv<T: Payload>(&mut self, peer: usize, tag: u64, value: T) -> T {
-        self.send(peer, tag, value);
-        self.recv(peer, tag)
-    }
-
-    /// Records `flops` floating point operations of local computation,
-    /// advancing the virtual clock accordingly.
-    pub fn compute(&mut self, flops: u64) {
-        self.stats.flops += flops;
-        let dur = self.model.compute_time(flops);
-        if let Some(tr) = &mut self.tracer {
-            tr.push(TraceEvent::Compute {
-                start: self.clock,
-                dur,
-                flops,
-            });
-        }
-        self.clock += dur;
-    }
-
-    /// Advances the virtual clock by `seconds` without counting flops
-    /// (for modeling non-flop work such as data movement).
-    pub fn advance_time(&mut self, seconds: f64) {
-        assert!(seconds >= 0.0, "cannot rewind the clock");
-        self.clock += seconds;
-    }
-
-    /// True on rank 0 — convenient for one-rank-only side effects.
-    #[inline]
-    pub fn is_root(&self) -> bool {
-        self.rank == 0
-    }
-
     /// Resets per-run state (clock, counters, link occupancy, collective
     /// sequence) so a persistent rank can serve a fresh SPMD program with
     /// the same semantics as a newly built world. The message channels
@@ -591,5 +370,150 @@ impl Comm {
         // job's virtual times onto one merged timeline without colliding
         // send->recv flow pairings.
         self.tracer = self.traced.then(Vec::new);
+    }
+}
+
+impl CommBackend for Comm {
+    type SendReq = SendRequest;
+    type RecvReq = RecvRequest;
+
+    #[inline]
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    #[inline]
+    fn model(&self) -> CostModel {
+        self.model
+    }
+
+    #[inline]
+    fn stats(&self) -> RankStats {
+        self.stats
+    }
+
+    #[inline]
+    fn virtual_time(&self) -> f64 {
+        self.clock
+    }
+
+    #[inline]
+    fn inflight_seconds(&self) -> f64 {
+        self.inflight_s
+    }
+
+    #[inline]
+    fn overlap_seconds(&self) -> f64 {
+        self.overlap_s
+    }
+
+    /// Records `flops` floating point operations of local computation,
+    /// advancing the virtual clock accordingly.
+    fn compute(&mut self, flops: u64) {
+        self.stats.flops += flops;
+        let dur = self.model.compute_time(flops);
+        if let Some(tr) = &mut self.tracer {
+            tr.push(TraceEvent::Compute {
+                start: self.clock,
+                dur,
+                flops,
+            });
+        }
+        self.clock += dur;
+    }
+
+    /// Advances the virtual clock by `seconds` without counting flops.
+    fn advance_time(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "cannot rewind the clock");
+        self.clock += seconds;
+    }
+
+    fn send_raw<T: Payload>(&mut self, dest: usize, tag: u64, value: T) {
+        self.send_internal(dest, tag, value);
+    }
+
+    fn recv_raw<T: Payload>(&mut self, src: usize, tag: u64) -> T {
+        self.recv_internal(src, tag)
+    }
+
+    fn next_collective_tag(&mut self) -> u64 {
+        let tag = USER_TAG_LIMIT + self.collective_seq;
+        self.collective_seq += 1;
+        tag
+    }
+
+    /// Nonblocking panel send. Identical wire behaviour to
+    /// [`CommBackend::send_panel`] — sends are buffered-eager, so the
+    /// payload is packed (into a pooled [`PanelBuf`]) and queued
+    /// immediately and the returned request is already complete. The
+    /// handle exists for MPI-call symmetry; the crossed-isend deadlock
+    /// freedom MPI only *allows* is guaranteed here.
+    fn isend_panel(&mut self, dest: usize, tag: u64, panel: bt_dense::MatRef<'_>) -> SendRequest {
+        self.send_panel(dest, tag, panel);
+        SendRequest { _private: () }
+    }
+
+    /// Posting does not advance the clock; the virtual-time charge at
+    /// completion is `max(now, avail_at)`, so message transfer time that
+    /// elapsed under compute issued between post and wait is charged as
+    /// `max(compute, comm)` rather than `compute + comm`.
+    fn irecv_panel_into(&mut self, src: usize, tag: u64, out: bt_dense::Mat) -> RecvRequest {
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} is reserved for collectives"
+        );
+        assert!(
+            src < self.size,
+            "irecv from rank {src} in a world of size {}",
+            self.size
+        );
+        self.inflight_recvs += 1;
+        if bt_obs::enabled() {
+            OBS_INFLIGHT_DEPTH.record(self.inflight_recvs as u64);
+        }
+        if let Some(tr) = &mut self.tracer {
+            tr.push(TraceEvent::IrecvPost {
+                at: self.clock,
+                src,
+                tag,
+            });
+        }
+        RecvRequest {
+            src,
+            tag,
+            posted_at: self.clock,
+            out: Some(out),
+        }
+    }
+
+    /// Always true: buffered sends complete at post time.
+    fn send_test(&mut self, _req: &SendRequest) -> bool {
+        true
+    }
+
+    /// Completes the (already complete) send.
+    fn send_wait(&mut self, _req: SendRequest) {}
+
+    /// True when the matching message has physically arrived **and** is
+    /// virtually available (`avail_at <= virtual_time()`). Does not
+    /// advance the clock or consume the message.
+    ///
+    /// Note the physical-arrival half makes a bare `while !test {}` spin
+    /// nondeterministic (and, under virtual time, potentially endless:
+    /// the clock only advances through compute/wait). Use it to
+    /// opportunistically drain, not to synchronize.
+    fn recv_test(&mut self, req: &RecvRequest) -> bool {
+        self.probe(req.src, req.tag)
+    }
+
+    fn recv_wait(&mut self, mut req: RecvRequest) -> bt_dense::Mat {
+        let mut out = req.out.take().expect("request not yet waited");
+        self.complete_irecv(&req, out.as_mut());
+        out
     }
 }

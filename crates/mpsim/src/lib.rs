@@ -1,9 +1,12 @@
-//! # bt-mpsim: SPMD message-passing runtime
+//! # bt-mpsim: SPMD message-passing runtime (the simulator backend)
 //!
 //! The MPI substitute for this reproduction (DESIGN.md §3): the paper ran
 //! on a Cray XK7 under MPI; this crate provides the same programming model
 //! — rank-based SPMD with point-to-point messages and collectives — with
-//! ranks mapped to OS threads and messages to typed channels.
+//! ranks mapped to OS threads and messages to typed channels. It is the
+//! virtual-clock implementation of the backend-neutral
+//! [`bt_comm::CommBackend`] trait; the shared-memory `bt-shm` crate is
+//! the wall-clock one.
 //!
 //! Three things make it a *measurement* substrate rather than a toy:
 //!
@@ -20,7 +23,7 @@
 //! ## Example: recursive-doubling scan
 //!
 //! ```
-//! use bt_mpsim::{run_spmd, CostModel};
+//! use bt_mpsim::{run_spmd, CommBackend, CostModel};
 //!
 //! // Inclusive prefix sum across 8 ranks in ceil(log2 8) = 3 rounds.
 //! let out = run_spmd(8, CostModel::default(), |comm| {
@@ -31,18 +34,15 @@
 //! ```
 
 pub mod calibrate;
-pub mod collectives;
 pub mod comm;
-pub mod model;
-pub mod payload;
 pub mod runner;
-pub mod stats;
 pub mod trace;
 
+pub use bt_comm::{
+    panel_pool_drain, CommBackend, CostModel, PanelBuf, Payload, PersistentWorld, RankStats,
+    SpmdBackend, SpmdOutput, WorldStats, MAX_RANKS, USER_TAG_LIMIT,
+};
 pub use calibrate::calibrate;
-pub use comm::{Comm, RecvRequest, SendRequest, USER_TAG_LIMIT};
-pub use model::CostModel;
-pub use payload::{panel_pool_drain, PanelBuf, Payload};
-pub use runner::{run_spmd, run_spmd_default, run_spmd_traced, SpmdOutput, SpmdWorld, MAX_RANKS};
-pub use stats::{RankStats, WorldStats};
+pub use comm::{Comm, RecvRequest, SendRequest};
+pub use runner::{run_spmd, run_spmd_default, run_spmd_traced, SimBackend, SpmdWorld};
 pub use trace::{Trace, TraceEvent};

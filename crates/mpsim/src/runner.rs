@@ -1,57 +1,13 @@
 //! SPMD launcher: runs the same closure on `P` ranks (one OS thread each)
 //! and collects results, counters, wall-clock time and modeled time.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
+use bt_comm::{CostModel, PersistentWorld, SpmdBackend, SpmdOutput, WorldStats, MAX_RANKS};
 use crossbeam::channel::unbounded;
 
 use crate::comm::{Comm, Envelope};
-use crate::model::CostModel;
-use crate::stats::WorldStats;
 use crate::trace::{Trace, TraceEvent};
-
-/// Hard cap on world size: ranks are OS threads that mostly block on
-/// channels, so thousands are fine, but an unbounded request is almost
-/// certainly a bug.
-pub const MAX_RANKS: usize = 4096;
-
-/// Everything produced by one SPMD run.
-#[derive(Debug)]
-pub struct SpmdOutput<T> {
-    /// Per-rank return values, indexed by rank.
-    pub results: Vec<T>,
-    /// Per-rank communication/computation counters.
-    pub stats: WorldStats,
-    /// Real elapsed wall-clock time of the whole run.
-    pub wall: Duration,
-    /// Modeled parallel runtime: the maximum final virtual clock over all
-    /// ranks, per the run's [`CostModel`].
-    pub modeled_seconds: f64,
-}
-
-impl<T> SpmdOutput<T> {
-    /// Total virtual seconds of nonblocking-receive transfer time hidden
-    /// behind compute, summed over ranks (from
-    /// `RankStats::overlap_ns`). Zero for programs using only blocking
-    /// receives; the numerator of a pipeline's overlap ratio.
-    pub fn overlap_seconds(&self) -> f64 {
-        self.stats
-            .per_rank
-            .iter()
-            .map(|r| r.overlap_ns as f64 * 1e-9)
-            .sum()
-    }
-
-    /// Maximum overlap seconds achieved by any single rank — the
-    /// critical-path counterpart of [`SpmdOutput::overlap_seconds`].
-    pub fn max_rank_overlap_seconds(&self) -> f64 {
-        self.stats
-            .per_rank
-            .iter()
-            .map(|r| r.overlap_ns as f64 * 1e-9)
-            .fold(0.0, f64::max)
-    }
-}
 
 /// Runs `f` as an SPMD program on `p` ranks under `model`.
 ///
@@ -67,7 +23,7 @@ impl<T> SpmdOutput<T> {
 /// # Examples
 ///
 /// ```
-/// use bt_mpsim::{run_spmd, CostModel};
+/// use bt_mpsim::{run_spmd, CommBackend, CostModel};
 ///
 /// let out = run_spmd(4, CostModel::default(), |comm| {
 ///     comm.allreduce(comm.rank() as u64, |a, b| a + b)
@@ -159,7 +115,7 @@ where
 
     let start = Instant::now();
     let f = &f;
-    let rank_outputs: Vec<(T, crate::stats::RankStats, f64, Option<Vec<TraceEvent>>)> =
+    let rank_outputs: Vec<(T, bt_comm::RankStats, f64, Option<Vec<TraceEvent>>)> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
@@ -238,7 +194,7 @@ type Job = Box<dyn FnOnce(&mut Comm) -> Box<dyn std::any::Any + Send> + Send>;
 enum RankDone {
     Ok {
         result: Box<dyn std::any::Any + Send>,
-        stats: crate::stats::RankStats,
+        stats: bt_comm::RankStats,
         clock: f64,
         /// This job's trace events (Some only on traced worlds).
         events: Option<Vec<TraceEvent>>,
@@ -514,5 +470,55 @@ fn panic_msg(e: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// The virtual-clock simulator as an [`SpmdBackend`]: the zero-sized
+/// selector that session/service layers use to run their rank programs
+/// on [`run_spmd`] / [`SpmdWorld`].
+pub struct SimBackend;
+
+impl SpmdBackend for SimBackend {
+    type Comm = Comm;
+    type World = SpmdWorld;
+
+    fn name() -> &'static str {
+        "sim"
+    }
+
+    fn run<T, F>(p: usize, model: CostModel, f: F) -> SpmdOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        run_spmd(p, model, f)
+    }
+
+    fn world(p: usize, model: CostModel) -> SpmdWorld {
+        SpmdWorld::new(p, model)
+    }
+}
+
+impl PersistentWorld for SpmdWorld {
+    type Comm = Comm;
+
+    fn ranks(&self) -> usize {
+        self.p
+    }
+
+    fn model(&self) -> CostModel {
+        self.model
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn run<T, F>(&mut self, f: F) -> SpmdOutput<T>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> T + Send + Sync + 'static,
+    {
+        SpmdWorld::run(self, f)
     }
 }

@@ -1,7 +1,7 @@
 //! Failure-injection tests: programming errors in SPMD programs must
 //! produce clear panics, not hangs or silent corruption.
 
-use bt_mpsim::{run_spmd, CostModel, USER_TAG_LIMIT};
+use bt_mpsim::{run_spmd, CommBackend, CostModel, USER_TAG_LIMIT};
 
 const M: CostModel = CostModel {
     latency_s: 0.0,

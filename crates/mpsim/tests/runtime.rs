@@ -2,7 +2,7 @@
 //! every collective, counters, and the virtual-time model.
 
 use bt_dense::Mat;
-use bt_mpsim::{run_spmd, CostModel, RankStats};
+use bt_mpsim::{run_spmd, CommBackend, CostModel, RankStats};
 
 const M: CostModel = CostModel {
     latency_s: 0.0,
@@ -482,12 +482,12 @@ fn irecv_delivers_panel_and_counts_nb_stats() {
         if comm.rank() == 0 {
             let p = Mat::from_fn(3, 5, |i, j| (i * 10 + j) as f64);
             let req = comm.isend_panel(1, 4, p.as_ref());
-            req.wait(comm);
+            comm.send_wait(req);
             Mat::empty()
         } else {
             let buf = Mat::zeros(3, 5);
             let req = comm.irecv_panel_into(0, 4, buf);
-            req.wait(comm)
+            comm.recv_wait(req)
         }
     });
     assert_eq!(
@@ -510,8 +510,8 @@ fn crossed_isends_do_not_deadlock() {
         let mine = Mat::from_fn(4, 4, |i, j| (comm.rank() * 100 + i * 4 + j) as f64);
         let s = comm.isend_panel(peer, 2, mine.as_ref());
         let r = comm.irecv_panel_into(peer, 2, Mat::zeros(4, 4));
-        s.wait(comm);
-        r.wait(comm)
+        comm.send_wait(s);
+        comm.recv_wait(r)
     });
     for rank in 0..2 {
         let from = 1 - rank;
@@ -539,13 +539,13 @@ fn irecv_overlap_charges_max_of_compute_and_comm() {
     let body = |pipelined: bool| {
         move |comm: &mut bt_mpsim::Comm| {
             if comm.rank() == 0 {
-                comm.isend_panel(1, 1, Mat::zeros(10, 10).as_ref())
-                    .wait(comm);
+                let s = comm.isend_panel(1, 1, Mat::zeros(10, 10).as_ref());
+                comm.send_wait(s);
                 comm.virtual_time()
             } else if pipelined {
                 let req = comm.irecv_panel_into(0, 1, Mat::zeros(10, 10));
                 comm.compute(300); // 3 s
-                let _ = req.wait(comm);
+                let _ = comm.recv_wait(req);
                 comm.virtual_time()
             } else {
                 let mut buf = Mat::zeros(10, 10);
@@ -625,8 +625,8 @@ fn request_test_reports_arrival() {
             // After the barrier the message has physically arrived and
             // (zero-cost model) is virtually available.
             comm.barrier();
-            let ready = req.test(comm);
-            let _ = req.wait(comm);
+            let ready = comm.recv_test(&req);
+            let _ = comm.recv_wait(req);
             ready
         }
     });

@@ -15,7 +15,8 @@
 //! In file mode, each file is parsed with the in-tree JSON parser and
 //! checked against the schema it self-identifies as: `bt-obs-metrics-v1`
 //! via [`bt_obs::json::validate_metrics`], `bt-bench-service-v1` via
-//! [`bt_obs::json::validate_bench_service`], `bt-bench-pipeline-v1` via
+//! [`bt_obs::json::validate_bench_service`], `bt-bench-shm-v1` via
+//! [`bt_obs::json::validate_bench_shm`], `bt-bench-pipeline-v1` via
 //! [`bt_obs::json::bench_headline`], `bt-obs-flight-v1` via
 //! [`bt_obs::json::validate_flight`], `bt-obs-snapshot-v1` via
 //! [`bt_obs::json::validate_snapshot`], anything shaped like Chrome
@@ -34,6 +35,15 @@ fn validate_file(path: &str) -> Result<String, String> {
         return Ok(format!(
             "service bench ok: {} legs, batched speedup {:.2}x at top rate",
             s.legs, s.batched_speedup
+        ));
+    }
+    if schema.starts_with("bt-bench-shm") {
+        let s = json::validate_bench_shm(&doc)?;
+        return Ok(format!(
+            "shm bench ok: {} cells, headline {:.0} RHS columns/s, calib fit error {:.1}%",
+            s.cells,
+            s.headline,
+            s.fit_error * 1e2
         ));
     }
     if schema.starts_with("bt-bench-pipeline") {

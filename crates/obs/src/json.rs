@@ -699,6 +699,118 @@ pub fn validate_snapshot(doc: &Json) -> Result<MetricsSummary, String> {
     validate_metrics(metrics)
 }
 
+/// What [`validate_bench_shm`] found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchShmSummary {
+    /// Sweep cells (one per `(p, r)` pair).
+    pub cells: usize,
+    /// RHS columns solved per wall second at the biggest `(p, r)` cell.
+    pub headline: f64,
+    /// Relative error of the calibration's alpha-beta fit at its
+    /// held-out message size.
+    pub fit_error: f64,
+}
+
+/// Validates a `bt-bench-shm-v1` document (`bench_shm` output): schema
+/// tag, run parameters, a calibration block with a finite fit error, and
+/// per-cell records whose measured-vs-modeled `ratio` is consistent with
+/// the recorded `wall_ns / modeled_ns`.
+///
+/// # Errors
+///
+/// The first violated rule, naming the offending cell.
+pub fn validate_bench_shm(doc: &Json) -> Result<BenchShmSummary, String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("bt-bench-shm-v1") => {}
+        Some(other) => return Err(format!("unknown shm bench schema '{other}'")),
+        None => return Err("shm bench document lacks a schema tag".to_string()),
+    }
+    for key in ["n", "m", "reps", "cores"] {
+        match doc.get(key).and_then(Json::as_f64) {
+            Some(v) if v >= 1.0 => {}
+            _ => return Err(format!("'{key}' is missing or not a positive number")),
+        }
+    }
+    let calib = doc
+        .get("calib")
+        .and_then(Json::as_obj)
+        .ok_or("shm bench document lacks a calib object")?;
+    let calib_num = |key: &str| {
+        calib
+            .iter()
+            .find(|(k, _)| *k == key)
+            .and_then(|(_, v)| v.as_f64())
+            .ok_or_else(|| format!("calib lacks numeric {key}"))
+    };
+    if calib_num("alpha_s")? <= 0.0 {
+        return Err("calib alpha_s is not positive".to_string());
+    }
+    if calib_num("beta_s_per_byte")? < 0.0 {
+        return Err("calib beta_s_per_byte is negative".to_string());
+    }
+    if calib_num("flop_rate")? <= 0.0 {
+        return Err("calib flop_rate is not positive".to_string());
+    }
+    let fit_error = calib_num("fit_error")?;
+    if !fit_error.is_finite() || fit_error < 0.0 {
+        return Err(format!(
+            "calib fit_error {fit_error} is not a finite non-negative number"
+        ));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("shm bench document lacks a results array")?;
+    if results.is_empty() {
+        return Err("results array is empty".to_string());
+    }
+    let mut biggest: Option<(f64, f64, f64)> = None; // (p, r, wall_ns)
+    for (i, rec) in results.iter().enumerate() {
+        let num = |key: &str| {
+            rec.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("results[{i}] lacks numeric {key}"))
+        };
+        let (p, r) = (num("p")?, num("r")?);
+        if p < 1.0 || r < 1.0 {
+            return Err(format!("results[{i}] has non-positive p or r"));
+        }
+        num("tile")?;
+        let (wall, modeled, ratio) = (num("wall_ns")?, num("modeled_ns")?, num("ratio")?);
+        if wall <= 0.0 || modeled <= 0.0 {
+            return Err(format!(
+                "results[{i}] (p={p} r={r}): wall_ns {wall} / modeled_ns {modeled} not positive"
+            ));
+        }
+        let expect = wall / modeled;
+        if ratio <= 0.0 || (ratio - expect).abs() > 0.01 * expect {
+            return Err(format!(
+                "results[{i}] (p={p} r={r}): ratio {ratio} inconsistent with \
+                 wall/modeled {expect:.4}"
+            ));
+        }
+        if biggest.is_none_or(|(bp, br, _)| (p, r) > (bp, br)) {
+            biggest = Some((p, r, wall));
+        }
+    }
+    let (_, r_big, wall_big) = biggest.expect("nonempty results");
+    let headline = doc
+        .get("headline_rhs_cols_per_s")
+        .and_then(Json::as_f64)
+        .ok_or("shm bench document lacks numeric headline_rhs_cols_per_s")?;
+    let expect = r_big / (wall_big * 1e-9);
+    if headline <= 0.0 || (headline - expect).abs() > 0.01 * expect {
+        return Err(format!(
+            "headline {headline:.1} inconsistent with biggest cell's {expect:.1} RHS columns/s"
+        ));
+    }
+    Ok(BenchShmSummary {
+        cells: results.len(),
+        headline,
+        fit_error,
+    })
+}
+
 /// What [`validate_baseline`] found: the headline figure of each
 /// document and their ratio.
 #[derive(Debug, Clone, PartialEq)]
@@ -715,7 +827,8 @@ pub struct BaselineSummary {
 
 /// Headline figure of a bench document: batched-over-unbatched
 /// throughput at the top rate for `bt-bench-service-v1`, best modeled
-/// pipeline speedup vs unpiped for `bt-bench-pipeline-v1`.
+/// pipeline speedup vs unpiped for `bt-bench-pipeline-v1`, RHS columns
+/// solved per wall second at the biggest cell for `bt-bench-shm-v1`.
 ///
 /// # Errors
 ///
@@ -729,6 +842,10 @@ pub fn bench_headline(doc: &Json) -> Result<(String, f64), String> {
         "bt-bench-service-v1" => {
             let summary = validate_bench_service(doc)?;
             Ok((schema.to_string(), summary.batched_speedup))
+        }
+        "bt-bench-shm-v1" => {
+            let summary = validate_bench_shm(doc)?;
+            Ok((schema.to_string(), summary.headline))
         }
         "bt-bench-pipeline-v1" => {
             let results = doc
@@ -991,6 +1108,56 @@ mod tests {
                 {{"r": 16, "variant": "auto", "modeled_speedup_vs_unpiped": {speedup}}}
             ]}}"#
         )
+    }
+
+    fn shm_doc(wall_ns: f64) -> String {
+        let ratio = wall_ns / 1.0e6;
+        let headline = 256.0 / (wall_ns * 1e-9);
+        format!(
+            r#"{{"schema": "bt-bench-shm-v1", "n": 64, "m": 8, "reps": 3, "cores": 4,
+                "calib": {{"alpha_s": 2e-6, "beta_s_per_byte": 4e-11,
+                           "flop_rate": 2e10, "fit_error": 0.3}},
+                "headline_rhs_cols_per_s": {headline},
+                "results": [
+                  {{"p": 2, "r": 16, "tile": 16, "wall_ns": 5e5,
+                    "modeled_ns": 2.5e5, "ratio": 2.0}},
+                  {{"p": 4, "r": 256, "tile": 64, "wall_ns": {wall_ns},
+                    "modeled_ns": 1e6, "ratio": {ratio}}}
+                ]}}"#
+        )
+    }
+
+    #[test]
+    fn shm_bench_schema_validates_and_catches_inconsistency() {
+        let good = shm_doc(3.0e6);
+        let s = validate_bench_shm(&parse(&good).unwrap()).unwrap();
+        assert_eq!(s.cells, 2);
+        assert!((s.fit_error - 0.3).abs() < 1e-12);
+        assert!((s.headline - 256.0 / 3.0e-3).abs() < 1.0);
+
+        let bad_ratio = good.replace("\"ratio\": 2.0", "\"ratio\": 7.0");
+        let err = validate_bench_shm(&parse(&bad_ratio).unwrap()).unwrap_err();
+        assert!(err.contains("inconsistent with"), "{err}");
+
+        let bad_calib = good.replace("\"alpha_s\": 2e-6", "\"alpha_s\": 0");
+        let err = validate_bench_shm(&parse(&bad_calib).unwrap()).unwrap_err();
+        assert!(err.contains("alpha_s"), "{err}");
+
+        let bad_headline = good.replace("\"headline_rhs_cols_per_s\"", "\"headline_rhs\"");
+        let err = validate_bench_shm(&parse(&bad_headline).unwrap()).unwrap_err();
+        assert!(err.contains("headline_rhs_cols_per_s"), "{err}");
+    }
+
+    #[test]
+    fn shm_bench_baseline_tracks_headline() {
+        // Fresh run 4x slower at the biggest cell -> headline 0.25x.
+        let committed = parse(&shm_doc(1.0e6)).unwrap();
+        let fresh = parse(&shm_doc(4.0e6)).unwrap();
+        let summary = validate_baseline(&committed, &fresh, 0.2).unwrap();
+        assert_eq!(summary.schema, "bt-bench-shm-v1");
+        assert!((summary.ratio - 0.25).abs() < 1e-9);
+        let err = validate_baseline(&committed, &fresh, 0.5).unwrap_err();
+        assert!(err.contains("perf regression"), "{err}");
     }
 
     #[test]

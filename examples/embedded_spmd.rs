@@ -18,7 +18,7 @@
 
 use block_tridiag_suite::ard::{ArdRankFactors, RankSystem};
 use block_tridiag_suite::blocktri::gen::{rhs_panel, ClusteredToeplitz};
-use block_tridiag_suite::mpsim::{run_spmd, CostModel};
+use block_tridiag_suite::mpsim::{run_spmd, CommBackend, CostModel};
 
 fn main() {
     let (n, m, p, r, nbatches) = (512, 8, 6, 4, 10);

@@ -2,10 +2,13 @@
 //!
 //! Re-exports the member crates so examples and integration tests can use
 //! one import root. See the individual crates for documentation:
-//! [`bt_dense`], [`bt_mpsim`], [`bt_blocktri`], [`bt_ard`], [`bt_obs`].
+//! [`bt_dense`], [`bt_comm`], [`bt_mpsim`], [`bt_shm`], [`bt_blocktri`],
+//! [`bt_ard`], [`bt_obs`].
 
 pub use bt_ard as ard;
 pub use bt_blocktri as blocktri;
+pub use bt_comm as comm;
 pub use bt_dense as dense;
 pub use bt_mpsim as mpsim;
 pub use bt_obs as obs;
+pub use bt_shm as shm;

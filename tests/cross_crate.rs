@@ -2,7 +2,7 @@
 //! every generator, cross-checked against the dense LU reference.
 
 use block_tridiag_suite::ard::driver::{
-    ard_solve_cfg, ard_solve_dist, rd_solve_dist, DriverConfig,
+    ard_solve_cfg, ard_solve_cfg_on, ard_solve_dist, rd_solve_dist, DriverConfig,
 };
 use block_tridiag_suite::ard::BoundaryMode;
 use block_tridiag_suite::blocktri::cyclic_reduction::cyclic_reduction_solve;
@@ -12,7 +12,7 @@ use block_tridiag_suite::blocktri::gen::{
 };
 use block_tridiag_suite::blocktri::{thomas_solve, BlockRowSource, BlockVec};
 use block_tridiag_suite::dense::{solve as dense_solve, Mat};
-use block_tridiag_suite::mpsim::CostModel;
+use block_tridiag_suite::mpsim::{CostModel, SimBackend};
 
 const ZERO: CostModel = CostModel {
     latency_s: 0.0,
@@ -121,11 +121,19 @@ fn modeled_time_decreases_with_ranks_until_latency_bound() {
     let src = ClusteredToeplitz::standard(256, 8, 6);
     let y = vec![random_rhs(256, 8, 8, 1)];
     let model = CostModel::hpc();
-    let t2 = ard_solve_dist(2, model, &src, &y)
+    // A virtual-clock scaling claim: pin to the simulator backend (on
+    // shm these are wall clocks and 16 ranks oversubscribe small hosts).
+    let cfg2 = DriverConfig::new(2)
+        .with_model(model)
+        .with_threads_per_rank(1);
+    let cfg16 = DriverConfig::new(16)
+        .with_model(model)
+        .with_threads_per_rank(1);
+    let t2 = ard_solve_cfg_on::<SimBackend, _>(&cfg2, &src, &y)
         .unwrap()
         .timings
         .total_modeled();
-    let t16 = ard_solve_dist(16, model, &src, &y)
+    let t16 = ard_solve_cfg_on::<SimBackend, _>(&cfg16, &src, &y)
         .unwrap()
         .timings
         .total_modeled();

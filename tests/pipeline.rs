@@ -14,7 +14,7 @@ use block_tridiag_suite::ard::state::{ArdRankFactors, RankSystem};
 use block_tridiag_suite::blocktri::gen::{rhs_panel, ClusteredToeplitz};
 use block_tridiag_suite::blocktri::BlockRowSource;
 use block_tridiag_suite::dense::Mat;
-use block_tridiag_suite::mpsim::{run_spmd, CostModel};
+use block_tridiag_suite::mpsim::{run_spmd, CommBackend, CostModel};
 use proptest::prelude::*;
 
 /// Solves one batch with the given tile width on every rank and returns
@@ -90,8 +90,8 @@ fn crossed_isends_between_two_ranks_complete() {
         let mine = Mat::from_fn(m, m, |i, j| (me * 100 + i * m + j) as f64);
         let send = comm.isend_panel(peer, 3, mine.as_ref());
         let recv = comm.irecv_panel_into(peer, 3, Mat::zeros(m, m));
-        send.wait(comm);
-        let got = recv.wait(comm);
+        comm.send_wait(send);
+        let got = comm.recv_wait(recv);
         let want = Mat::from_fn(m, m, |i, j| (peer * 100 + i * m + j) as f64);
         assert_eq!(got, want);
         comm.stats().nb_recvs
