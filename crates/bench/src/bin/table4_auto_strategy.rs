@@ -48,8 +48,11 @@ fn main() {
             match auto_solve(cfg.p, CostModel::zero(), &src, &batches) {
                 Ok(auto) => {
                     let (chosen, evidence) = match &auto.chosen {
-                        Chosen::ExactScan { boundary_condition } => (
-                            "exact-scan".to_string(),
+                        Chosen::ExactScan {
+                            boundary_condition,
+                            precision,
+                        } => (
+                            format!("exact-scan/{precision}"),
                             format!("cond {boundary_condition:.1e}"),
                         ),
                         Chosen::Windowed { reason, residual } => (

@@ -22,6 +22,7 @@ use bt_blocktri::{BlockRowSource, BlockTridiag, BlockVec, FactorError};
 use bt_mpsim::CostModel;
 
 use crate::driver::{ard_solve_cfg, pcr_solve_cfg, DistOutcome, DriverConfig};
+use crate::mixed::{Precision, MIXED_COND_MAX};
 use crate::state::BoundaryMode;
 
 /// Boundary condition estimates below this accept the exact scan
@@ -34,6 +35,21 @@ pub const RESIDUAL_ACCEPT: f64 = 1e-9;
 /// Window length used by the escalation step.
 pub const WINDOW: usize = 64;
 
+/// Precision the mixed solve path should factor at, given a measured
+/// boundary condition estimate: `f32` factors plus `f64` refinement
+/// inside the gray-zone gate ([`MIXED_COND_MAX`]), full `f64` outside
+/// it. This is the same gate [`crate::mixed::MixedRankFactors`] applies
+/// at setup; exposed here so callers that already ran the `f64` ladder
+/// can pin the cheaper precision for subsequent batches without a trial
+/// factorization.
+pub fn choose_precision(boundary_condition: f64) -> Precision {
+    if boundary_condition.is_finite() && boundary_condition <= MIXED_COND_MAX {
+        Precision::F32
+    } else {
+        Precision::F64
+    }
+}
+
 /// Which strategy [`auto_solve`] ended up using.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Chosen {
@@ -41,6 +57,11 @@ pub enum Chosen {
     ExactScan {
         /// Measured boundary condition estimate.
         boundary_condition: f64,
+        /// Precision the mixed path would factor this system at
+        /// ([`choose_precision`] of the measured estimate): `F32` means
+        /// subsequent batches can ride the half-width replay +
+        /// refinement path at equal final residual.
+        precision: Precision,
     },
     /// Windowed boundary recovery (verified by residual).
     Windowed {
@@ -89,6 +110,7 @@ pub fn auto_solve<S: BlockRowSource + Sync>(
             return Ok(AutoOutcome {
                 chosen: Chosen::ExactScan {
                     boundary_condition: outcome.boundary_condition,
+                    precision: choose_precision(outcome.boundary_condition),
                 },
                 outcome,
             });
@@ -157,8 +179,16 @@ mod tests {
         let batches = vec![random_rhs(256, 4, 2, 2)];
         let auto = auto_solve(4, ZERO, &src, &batches).unwrap();
         match &auto.chosen {
-            Chosen::ExactScan { boundary_condition } => {
+            Chosen::ExactScan {
+                boundary_condition,
+                precision,
+            } => {
                 assert!(*boundary_condition < 1e6, "cond {boundary_condition}");
+                assert_eq!(
+                    *precision,
+                    Precision::F32,
+                    "well-conditioned: mixed path applies"
+                );
             }
             other => panic!("expected exact scan, got {other:?}"),
         }

@@ -51,6 +51,7 @@ pub mod auto;
 pub mod companion;
 pub mod complexity;
 pub mod driver;
+pub mod mixed;
 pub mod pairs;
 pub mod pcr;
 pub mod refine;
@@ -66,6 +67,7 @@ pub use driver::{
     ard_solve_cfg, ard_solve_cfg_on, ard_solve_dist, pcr_solve_cfg, pcr_solve_cfg_on, rd_solve_cfg,
     rd_solve_dist, spike_solve_cfg, BackendKind, DistOutcome, DriverConfig, PhaseTimings,
 };
+pub use mixed::{MixedRankFactors, Precision, MIXED_COND_MAX};
 pub use pcr::PcrRankFactors;
 pub use refine::{ard_solve_refined, RefinedSolve};
 pub use service::{

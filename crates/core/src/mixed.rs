@@ -1,0 +1,287 @@
+//! Mixed-precision solve path: `f32` factorization and replay wrapped
+//! in `f64` iterative refinement.
+//!
+//! The replay solve is bandwidth- and GEMM-bound in `O(M^2 R)` per row,
+//! so halving the element width roughly doubles both the effective SIMD
+//! width (16-lane AVX2 `f32` FMA tiles vs 8-lane `f64`) and the wire
+//! budget (scan panels ship as `M x R x 4` bytes). The accuracy lost to
+//! `f32` factors is restored by the standard refinement iteration
+//! `x <- x + F^{-1}(y - T x)` evaluated in `f64`: each sweep contracts
+//! the error by `O(eps_f32 * kappa)`, so a couple of sweeps reach the
+//! same final residual as the pure-`f64` replay whenever
+//! `kappa << 1/eps_f32`.
+//!
+//! That proviso is the **gray zone** gate: when the Phase 1 boundary
+//! extraction reports a condition estimate above
+//! [`MIXED_COND_MAX`] — or the `f32` factorization itself breaks down
+//! on a diagonal that is singular at half precision — refinement can no
+//! longer be trusted to contract and [`MixedRankFactors::setup_with`]
+//! falls back to the pure-`f64` factors. The fallback is recorded on
+//! the flight recorder (`precision.fallback`) and counted in
+//! `bt_ard.precision.fallbacks`, so serving dashboards can see when a
+//! workload stops benefiting from the half-width path.
+
+use bt_blocktri::FactorError;
+use bt_comm::CommBackend;
+use bt_dense::Mat;
+
+use crate::refine::{halo_exchange_into, local_residual_into, sq_norm, RefinedSolve, REFINE_ITERS};
+use crate::state::{ArdRankFactors, BoundaryMode, RankSystem};
+
+/// Gray-zone gate for the `f32` factorization: above this boundary
+/// condition estimate, `eps_f32 * kappa` approaches 1 and the
+/// refinement iteration is no longer a reliable contraction
+/// (`eps_f32 ~ 1.2e-7`, so 1e6 leaves an order of magnitude of
+/// contraction headroom per sweep).
+pub const MIXED_COND_MAX: f64 = 1e6;
+
+/// Times the mixed path fell back to pure `f64` (gray zone or `f32`
+/// breakdown). Unconditional, like the service counters.
+static FALLBACKS: bt_obs::Counter = bt_obs::Counter::new("bt_ard.precision.fallbacks");
+
+/// Default refinement sweep cap for mixed solves when the caller does
+/// not ask for refinement explicitly. Inside the gray-zone gate each
+/// sweep contracts by `eps_f32 * kappa <= 1.2e-1`, so two sweeps
+/// already land at `f64` replay accuracy; four leaves slack for
+/// unlucky right-hand sides without ever costing more than a fraction
+/// of the half-width savings (the tolerance check exits early).
+pub const MIXED_DEFAULT_SWEEPS: usize = 4;
+
+/// Default relative-residual target paired with
+/// [`MIXED_DEFAULT_SWEEPS`] — the pure-`f64` replay's typical landing
+/// zone, so mixed answers are indistinguishable from classic ones.
+pub const MIXED_DEFAULT_TOL: f64 = 1e-12;
+
+/// Which element type a [`MixedRankFactors`] ended up factoring at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Half-width factors + refinement (the fast path).
+    F32,
+    /// Full-width factors (the safe path / gray-zone fallback).
+    F64,
+}
+
+impl Precision {
+    /// Stable lowercase name (`"f32"` / `"f64"`), used in cache keys,
+    /// flight events and bench records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F64 => "f64",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+enum Inner {
+    F32(ArdRankFactors<f32>),
+    F64(ArdRankFactors<f64>),
+}
+
+/// Precision-adaptive rank factors: `f32` factorization with `f64`
+/// refinement when the conditioning allows it, transparent pure-`f64`
+/// factors when it does not.
+pub struct MixedRankFactors {
+    inner: Inner,
+    fell_back: bool,
+}
+
+impl MixedRankFactors {
+    /// [`MixedRankFactors::setup_with`] with [`BoundaryMode::ExactScan`].
+    pub fn setup<C: CommBackend>(comm: &mut C, sys: &RankSystem) -> Result<Self, FactorError> {
+        Self::setup_with(comm, sys, BoundaryMode::ExactScan)
+    }
+
+    /// Attempts the `f32` factorization, falling back to `f64` when the
+    /// gray-zone gate trips. Collective; the fallback decision is
+    /// derived from allreduced quantities (the boundary condition
+    /// estimate and the coordinated factorization error), so every rank
+    /// takes the same branch without extra communication.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError`] (on every rank) if even the `f64` factorization
+    /// breaks down.
+    pub fn setup_with<C: CommBackend>(
+        comm: &mut C,
+        sys: &RankSystem,
+        mode: BoundaryMode,
+    ) -> Result<Self, FactorError> {
+        let reason = match ArdRankFactors::<f32>::setup_with(comm, sys, true, mode) {
+            Ok(factors) if factors.boundary_condition() <= MIXED_COND_MAX => {
+                return Ok(Self {
+                    inner: Inner::F32(factors),
+                    fell_back: false,
+                });
+            }
+            Ok(factors) => format!(
+                "{{\"reason\":\"gray_zone\",\"boundary_cond\":{:e},\"gate\":{MIXED_COND_MAX:e}}}",
+                factors.boundary_condition()
+            ),
+            Err(e) => format!("{{\"reason\":\"f32_breakdown\",\"row\":{}}}", e.row),
+        };
+        if comm.rank() == 0 {
+            FALLBACKS.incr();
+            bt_obs::flight::record("precision.fallback", 0, 0, 0, reason);
+        }
+        let factors = ArdRankFactors::<f64>::setup_with(comm, sys, true, mode)?;
+        Ok(Self {
+            inner: Inner::F64(factors),
+            fell_back: true,
+        })
+    }
+
+    /// The element type this instance factors and replays at.
+    pub fn precision(&self) -> Precision {
+        match self.inner {
+            Inner::F32(_) => Precision::F32,
+            Inner::F64(_) => Precision::F64,
+        }
+    }
+
+    /// True when setup wanted `f32` but the gray-zone gate (or an `f32`
+    /// breakdown) forced the `f64` path.
+    pub fn fell_back(&self) -> bool {
+        self.fell_back
+    }
+
+    /// Worst boundary-extraction condition estimate across ranks (see
+    /// [`ArdRankFactors::boundary_condition`]).
+    pub fn boundary_condition(&self) -> f64 {
+        match &self.inner {
+            Inner::F32(f) => f.boundary_condition(),
+            Inner::F64(f) => f.boundary_condition(),
+        }
+    }
+
+    /// Bytes of stored factor state — half the `f64` figure on the
+    /// `f32` path (modulo the fixed-size trace bookkeeping).
+    pub fn storage_bytes(&self) -> u64 {
+        match &self.inner {
+            Inner::F32(f) => f.storage_bytes(),
+            Inner::F64(f) => f.storage_bytes(),
+        }
+    }
+
+    /// Releases pooled solve-workspace buffers beyond `max_pooled_bytes`
+    /// (see [`ArdRankFactors::trim_workspace`]); returns bytes freed.
+    pub fn trim_workspace(&self, max_pooled_bytes: u64) -> u64 {
+        match &self.inner {
+            Inner::F32(f) => f.trim_workspace(max_pooled_bytes),
+            Inner::F64(f) => f.trim_workspace(max_pooled_bytes),
+        }
+    }
+
+    /// Refined replay solve at the selected precision: on the `f32`
+    /// path the initial solve and every correction replay run at half
+    /// width (converting `M x R` panels at the boundary), while
+    /// residuals and the solution accumulate in `f64`; on the fallback
+    /// path this is exactly [`ArdRankFactors::solve_replay_refined`].
+    /// Collective. `y_local` panels are `f64` either way.
+    pub fn solve_refined<C: CommBackend>(
+        &self,
+        comm: &mut C,
+        sys: &RankSystem,
+        y_local: &[Mat],
+        max_sweeps: usize,
+        tol: f64,
+    ) -> RefinedSolve {
+        match &self.inner {
+            Inner::F64(f) => f.solve_replay_refined(comm, sys, y_local, max_sweeps, tol),
+            Inner::F32(f) => solve_refined_f32(f, comm, sys, y_local, max_sweeps, tol),
+        }
+    }
+}
+
+/// The `f32` leg of [`MixedRankFactors::solve_refined`]: structure of
+/// [`ArdRankFactors::solve_replay_refined`], with every replay running
+/// at `f32` behind panel conversions.
+fn solve_refined_f32<C: CommBackend>(
+    factors: &ArdRankFactors<f32>,
+    comm: &mut C,
+    sys: &RankSystem,
+    y_local: &[Mat],
+    max_sweeps: usize,
+    tol: f64,
+) -> RefinedSolve {
+    let nl = y_local.len();
+    let (m, r) = y_local[0].shape();
+
+    // Initial solve at f32.
+    let y32: Vec<Mat<f32>> = y_local.iter().map(|p| p.convert::<f32>()).collect();
+    let mut lo32: Vec<Mat<f32>> = (0..nl).map(|_| Mat::zeros(m, r)).collect();
+    factors.solve_replay_into(comm, &y32, &mut lo32);
+    let mut x: Vec<Mat> = lo32.iter().map(|p| p.convert::<f64>()).collect();
+
+    let y_norm2 = comm
+        .allreduce(sq_norm(y_local), |a, b| a + b)
+        .max(f64::MIN_POSITIVE);
+
+    // Reused sweep buffers: f64 residual/correction panels, their f32
+    // mirrors, and the halo panels. Warm sweeps allocate only inside
+    // the conversions' fixed buffers.
+    let mut res: Vec<Mat> = (0..nl).map(|_| Mat::zeros(m, r)).collect();
+    let mut res32: Vec<Mat<f32>> = (0..nl).map(|_| Mat::zeros(m, r)).collect();
+    let mut halo_l = Mat::zeros(m, r);
+    let mut halo_r = Mat::zeros(m, r);
+    let mut history = Vec::with_capacity(max_sweeps + 1);
+
+    let mut residual = |comm: &mut C, x: &[Mat], res: &mut [Mat]| -> f64 {
+        halo_exchange_into(
+            comm,
+            x[0].as_ref(),
+            x[nl - 1].as_ref(),
+            halo_l.as_mut(),
+            halo_r.as_mut(),
+        );
+        local_residual_into(
+            comm,
+            sys,
+            x,
+            (halo_l.as_ref(), halo_r.as_ref()),
+            y_local,
+            res,
+        );
+        (comm.allreduce(sq_norm(res), |a, b| a + b) / y_norm2).sqrt()
+    };
+
+    let mut rel = residual(comm, &x, &mut res);
+    history.push(rel);
+
+    for sweep in 0..max_sweeps {
+        if rel <= tol {
+            break;
+        }
+        let _span = bt_obs::span_with("solver", "refine.sweep", || {
+            format!("{{\"sweep\":{sweep},\"rel_residual\":{rel:e},\"precision\":\"f32\"}}")
+        });
+        // Correction at f32: dx = F^{-1} res.
+        for (dst, src) in res32.iter_mut().zip(&res) {
+            src.convert_into(dst);
+        }
+        factors.solve_replay_into(comm, &res32, &mut lo32);
+        for (xk, dk) in x.iter_mut().zip(&lo32) {
+            xk.add_assign_converted(dk);
+        }
+        let new_rel = residual(comm, &x, &mut res);
+        if !new_rel.is_finite() || new_rel >= rel {
+            // Diverging or stagnant: undo the last correction and stop.
+            for (xk, dk) in x.iter_mut().zip(&lo32) {
+                xk.sub_assign_converted(dk);
+            }
+            break;
+        }
+        rel = new_rel;
+        history.push(rel);
+    }
+    REFINE_ITERS.record((history.len() - 1) as u64);
+    RefinedSolve {
+        x_local: x,
+        history,
+    }
+}

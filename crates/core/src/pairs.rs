@@ -17,19 +17,22 @@
 //! matrix ([`AffinePair::compose`] in setup) and replayed against fresh
 //! vectors ([`AffinePair::apply_to_vec`] per right-hand-side batch).
 
-use bt_dense::{gemm, gemm_flops, Mat, Trans};
+use bt_dense::{gemm, gemm_flops, Element, Mat, Trans};
 
 /// An affine map `t -> mat * t + vec`, with `mat` of shape `M x M` and
 /// `vec` of shape `M x R` (`R` = number of simultaneous right-hand sides).
+/// Generic over the element type: `f64` by default, `f32` on the
+/// mixed-precision solve path (the scan algebra is identical, only the
+/// arithmetic width changes).
 #[derive(Debug, Clone, PartialEq)]
-pub struct AffinePair {
+pub struct AffinePair<E: Element = f64> {
     /// The linear part.
-    pub mat: Mat,
+    pub mat: Mat<E>,
     /// The offset panel.
-    pub vec: Mat,
+    pub vec: Mat<E>,
 }
 
-impl AffinePair {
+impl<E: Element> AffinePair<E> {
     /// The identity map with an `M x R` zero offset.
     pub fn identity(m: usize, r: usize) -> Self {
         Self {
@@ -52,26 +55,26 @@ impl AffinePair {
     /// `(M_o M_i, M_o v_i + v_o)`.
     ///
     /// Costs `gemm(M,M,M) + gemm(M,M,R)` flops.
-    pub fn compose(outer: &AffinePair, inner: &AffinePair) -> AffinePair {
+    pub fn compose(outer: &AffinePair<E>, inner: &AffinePair<E>) -> AffinePair<E> {
         let m = outer.m();
         let mut mat = Mat::zeros(m, m);
         gemm(
-            1.0,
+            E::ONE,
             &outer.mat,
             Trans::No,
             &inner.mat,
             Trans::No,
-            0.0,
+            E::ZERO,
             &mut mat,
         );
         let mut vec = outer.vec.clone();
         gemm(
-            1.0,
+            E::ONE,
             &outer.mat,
             Trans::No,
             &inner.vec,
             Trans::No,
-            1.0,
+            E::ONE,
             &mut vec,
         );
         AffinePair { mat, vec }
@@ -81,15 +84,15 @@ impl AffinePair {
     /// given this pair's stored matrix and vector, computes the composed
     /// vector `mat * inner_vec + vec` — the `O(M^2 R)` part of
     /// [`AffinePair::compose`], skipping the `O(M^3)` matrix product.
-    pub fn apply_to_vec(&self, inner_vec: &Mat) -> Mat {
+    pub fn apply_to_vec(&self, inner_vec: &Mat<E>) -> Mat<E> {
         let mut out = self.vec.clone();
         gemm(
-            1.0,
+            E::ONE,
             &self.mat,
             Trans::No,
             inner_vec,
             Trans::No,
-            1.0,
+            E::ONE,
             &mut out,
         );
         out
@@ -184,7 +187,7 @@ mod tests {
 
     #[test]
     fn flop_counts() {
-        assert_eq!(AffinePair::compose_flops(4, 2), 128 + 64);
-        assert_eq!(AffinePair::apply_flops(4, 2), 64);
+        assert_eq!(AffinePair::<f64>::compose_flops(4, 2), 128 + 64);
+        assert_eq!(AffinePair::<f64>::apply_flops(4, 2), 64);
     }
 }

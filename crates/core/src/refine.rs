@@ -25,6 +25,11 @@ mod tags {
     pub const HALO_LEFT: u64 = 521; // panel travelling to rank-1
 }
 
+/// Accepted refinement sweeps per refined solve (`history.len() - 1`),
+/// across both the pure-`f64` and the mixed-precision paths. Exported
+/// as `bt_ard.refine.iters` by the Prometheus endpoint; `BT_OBS`-gated.
+pub(crate) static REFINE_ITERS: bt_obs::Histogram = bt_obs::Histogram::new("bt_ard.refine.iters");
+
 /// Exchanges boundary panels with both neighbours: sends this rank's
 /// first/last panels, returns `(x_{lo-1}, x_{hi})` (zero panels at the
 /// domain boundaries). Collective.
@@ -141,7 +146,7 @@ pub fn local_residual_into<C: CommBackend>(
 }
 
 /// Squared Frobenius norm of a panel list (local part).
-fn sq_norm(panels: &[Mat]) -> f64 {
+pub(crate) fn sq_norm(panels: &[Mat]) -> f64 {
     panels
         .iter()
         .map(|p| p.as_slice().iter().map(|v| v * v).sum::<f64>())
@@ -239,6 +244,7 @@ impl ArdRankFactors {
             rel = new_rel;
             history.push(rel);
         }
+        REFINE_ITERS.record((history.len() - 1) as u64);
         RefinedSolve {
             x_local: x,
             history,

@@ -74,6 +74,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use bt_comm::SpmdBackend;
 use bt_mpsim::SimBackend;
 
+use crate::mixed::Precision;
 use crate::session::ArdSessionOn;
 
 static OBS_CACHE_HIT: bt_obs::Counter = bt_obs::Counter::new("bt_service.cache.hit");
@@ -109,6 +110,15 @@ impl MatrixKey {
     /// Fingerprints a matrix by content. `O(N M^2)` — cheap next to the
     /// `O(M^3 N / P)` factorization it deduplicates.
     pub fn fingerprint<S: BlockRowSource + ?Sized>(src: &S) -> Self {
+        Self::fingerprint_with(src, Precision::F64)
+    }
+
+    /// [`MatrixKey::fingerprint`] with the factor precision mixed into
+    /// the key, so `f32`-factored and `f64`-factored sessions of the
+    /// same matrix coexist in one cache. `F64` keys are byte-identical
+    /// to [`MatrixKey::fingerprint`] (nothing extra is mixed), keeping
+    /// every pre-existing key stable.
+    pub fn fingerprint_with<S: BlockRowSource + ?Sized>(src: &S, precision: Precision) -> Self {
         let mut h = Self::FNV_OFFSET;
         let mut mix = |w: u64| {
             for byte in w.to_le_bytes() {
@@ -125,6 +135,9 @@ impl MatrixKey {
                     mix(v.to_bits());
                 }
             }
+        }
+        if precision == Precision::F32 {
+            mix(0x6d69_7865_645f_6633); // "mixed_f3" tag
         }
         Self(h)
     }
@@ -453,7 +466,28 @@ impl<B: SpmdBackend> ServiceOn<B> {
     /// [`ServiceError::TooFewRows`] if `src.n() < ranks`,
     /// [`ServiceError::Factorization`] if setup breaks down.
     pub fn register<S: BlockRowSource + Sync>(&self, src: &S) -> Result<MatrixKey, ServiceError> {
-        let key = MatrixKey::fingerprint(src);
+        self.register_with_precision(src, Precision::F64)
+    }
+
+    /// [`SolverService::register`] with an explicit factor precision.
+    ///
+    /// [`Precision::F64`] is exactly `register` (same key, same classic
+    /// session). [`Precision::F32`] factors through the mixed path
+    /// ([`ArdSessionOn::create_mixed`]): half-width factors + `f64`
+    /// refinement when the gray-zone gate allows it, a transparent
+    /// `f64` fallback when it does not — either way under a key distinct
+    /// from the `f64` registration, so both precisions of one matrix can
+    /// be cached and served side by side.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SolverService::register`].
+    pub fn register_with_precision<S: BlockRowSource + Sync>(
+        &self,
+        src: &S,
+        precision: Precision,
+    ) -> Result<MatrixKey, ServiceError> {
+        let key = MatrixKey::fingerprint_with(src, precision);
         {
             let mut cache = lock(&self.inner.cache);
             cache.seq += 1;
@@ -474,12 +508,25 @@ impl<B: SpmdBackend> ServiceOn<B> {
             });
         }
         let factor_start = Instant::now();
-        let session = ArdSessionOn::<B>::create(self.inner.cfg.ranks, self.inner.cfg.model, src)
-            .map_err(ServiceError::Factorization)?;
+        let session = match precision {
+            Precision::F64 => {
+                ArdSessionOn::<B>::create(self.inner.cfg.ranks, self.inner.cfg.model, src)
+            }
+            Precision::F32 => {
+                ArdSessionOn::<B>::create_mixed(self.inner.cfg.ranks, self.inner.cfg.model, src)
+            }
+        }
+        .map_err(ServiceError::Factorization)?;
         LAT_FACTOR.record_duration(factor_start.elapsed());
         session.set_world_reuse(self.inner.cfg.world_reuse);
         let bytes = session.factor_bytes();
-        bt_obs::flight::record("register", 0, 0, key.as_u64(), format!("bytes={bytes}"));
+        bt_obs::flight::record(
+            "register",
+            0,
+            0,
+            key.as_u64(),
+            format!("bytes={bytes} precision={}", session.precision()),
+        );
         let entry = Arc::new(CacheEntry {
             key,
             session,

@@ -46,11 +46,36 @@ use bt_mpsim::SimBackend;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crate::mixed::{MixedRankFactors, Precision};
 use crate::state::{ArdRankFactors, BoundaryMode, RankSystem};
+
+/// A rank's factor state: the classic full-precision factors, or the
+/// precision-adaptive mixed set (`f32` + refinement, with its own
+/// gray-zone fallback to `f64`).
+enum SessionFactors {
+    Plain(ArdRankFactors),
+    Mixed(MixedRankFactors),
+}
+
+impl SessionFactors {
+    fn storage_bytes(&self) -> u64 {
+        match self {
+            SessionFactors::Plain(f) => f.storage_bytes(),
+            SessionFactors::Mixed(f) => f.storage_bytes(),
+        }
+    }
+
+    fn trim_workspace(&self, max_pooled_bytes: u64) -> u64 {
+        match self {
+            SessionFactors::Plain(f) => f.trim_workspace(max_pooled_bytes),
+            SessionFactors::Mixed(f) => f.trim_workspace(max_pooled_bytes),
+        }
+    }
+}
 
 /// Per-rank state checked out by a solve: the rank's system slice and
 /// its recorded factors.
-type RankState = (RankSystem, ArdRankFactors);
+type RankState = (RankSystem, SessionFactors);
 
 /// The factor store a session guards.
 enum FactorStore {
@@ -94,6 +119,9 @@ pub struct ArdSessionOn<B: SpmdBackend> {
     /// Total stored factor bytes, captured at creation (so the getter
     /// never has to touch the factor lock).
     factor_bytes: u64,
+    /// Element type the factors were stored at (identical on all ranks;
+    /// `F64` for classic sessions, the gate's decision for mixed ones).
+    precision: Precision,
     /// Per-rank factors, handed out to worlds on each solve and returned
     /// afterwards. Held only for checkout/restore — never across a solve.
     state: Mutex<FactorStore>,
@@ -225,6 +253,50 @@ impl<B: SpmdBackend> ArdSessionOn<B> {
         boundary: BoundaryMode,
         src: &S,
     ) -> Result<Self, FactorError> {
+        Self::create_impl(p, model, boundary, src, move |comm, sys| {
+            Ok(SessionFactors::Plain(ArdRankFactors::setup_with(
+                comm, sys, true, boundary,
+            )?))
+        })
+    }
+
+    /// [`ArdSession::create`] through the precision-adaptive mixed path:
+    /// factors are stored in `f32` (half the bytes, half the replay wire
+    /// volume, wide-SIMD kernels) when the gray-zone gate allows it, and
+    /// transparently in `f64` when it does not (see [`crate::mixed`]).
+    /// Every solve through a mixed session runs `f64` iterative
+    /// refinement, so final residuals match the classic session's;
+    /// [`ArdSessionOn::precision`] reports the gate's decision.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError`] if even the `f64` fallback factorization breaks
+    /// down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.n() < p`.
+    pub fn create_mixed<S: BlockRowSource + Sync>(
+        p: usize,
+        model: CostModel,
+        src: &S,
+    ) -> Result<Self, FactorError> {
+        Self::create_impl(p, model, BoundaryMode::ExactScan, src, |comm, sys| {
+            Ok(SessionFactors::Mixed(MixedRankFactors::setup(comm, sys)?))
+        })
+    }
+
+    fn create_impl<S, F>(
+        p: usize,
+        model: CostModel,
+        boundary: BoundaryMode,
+        src: &S,
+        factor: F,
+    ) -> Result<Self, FactorError>
+    where
+        S: BlockRowSource + Sync,
+        F: Fn(&mut B::Comm, &RankSystem) -> Result<SessionFactors, FactorError> + Send + Sync,
+    {
         let n = src.n();
         let m = src.m();
         assert!(
@@ -238,10 +310,16 @@ impl<B: SpmdBackend> ArdSessionOn<B> {
                     RankSystem::from_source_windowed(src, p, comm.rank(), w)
                 }
             };
-            let factors = ArdRankFactors::setup_with(comm, &sys, true, boundary)?;
+            let factors = factor(comm, &sys)?;
             Ok((sys, factors))
         });
         let state: Vec<RankState> = out.results.into_iter().collect::<Result<_, _>>()?;
+        // The gray-zone gate's decision is derived from allreduced
+        // quantities, so every rank agrees; rank 0 speaks for all.
+        let precision = match &state[0].1 {
+            SessionFactors::Plain(_) => Precision::F64,
+            SessionFactors::Mixed(f) => f.precision(),
+        };
         let factor_bytes = state.iter().map(|(_, f)| f.storage_bytes()).sum();
         Ok(Self {
             p,
@@ -250,6 +328,7 @@ impl<B: SpmdBackend> ArdSessionOn<B> {
             model,
             part: RowPartition::new(n, p),
             factor_bytes,
+            precision,
             state: Mutex::new(FactorStore::Available(state)),
             state_cv: Condvar::new(),
             world: Mutex::new(None),
@@ -280,6 +359,14 @@ impl<B: SpmdBackend> ArdSessionOn<B> {
     /// Total stored factor bytes across ranks (captured at creation).
     pub fn factor_bytes(&self) -> u64 {
         self.factor_bytes
+    }
+
+    /// Element type the stored factors use: [`Precision::F64`] for
+    /// classic sessions, and for [`ArdSessionOn::create_mixed`] sessions
+    /// the gray-zone gate's decision (`F32` fast path, or `F64` when the
+    /// system's conditioning forced the fallback).
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Switches persistent-world reuse on or off. When on, solves run on
@@ -404,11 +491,30 @@ impl<B: SpmdBackend> ArdSessionOn<B> {
                 .lock()
                 .take()
                 .expect("rhs slice present");
-            let (x_local, history) = if max_sweeps == 0 {
-                (factors.solve_replay(comm, &y_local), Vec::new())
-            } else {
-                let refined = factors.solve_replay_refined(comm, &sys, &y_local, max_sweeps, tol);
-                (refined.x_local, refined.history)
+            let (x_local, history) = match &factors {
+                SessionFactors::Plain(f) => {
+                    if max_sweeps == 0 {
+                        (f.solve_replay(comm, &y_local), Vec::new())
+                    } else {
+                        let refined = f.solve_replay_refined(comm, &sys, &y_local, max_sweeps, tol);
+                        (refined.x_local, refined.history)
+                    }
+                }
+                SessionFactors::Mixed(f) => {
+                    // Mixed factors always refine: `f32` replay error
+                    // must be corrected in `f64` before anyone sees the
+                    // answer, so a plain `solve` gets the defaults.
+                    let (sweeps, tol) = if max_sweeps == 0 {
+                        (
+                            crate::mixed::MIXED_DEFAULT_SWEEPS,
+                            crate::mixed::MIXED_DEFAULT_TOL,
+                        )
+                    } else {
+                        (max_sweeps, tol)
+                    };
+                    let refined = f.solve_refined(comm, &sys, &y_local, sweeps, tol);
+                    (refined.x_local, refined.history)
+                }
             };
             *slots[comm.rank()].lock() = Some((sys, factors));
             (x_local, history)

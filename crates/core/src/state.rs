@@ -20,14 +20,15 @@ use std::cell::RefCell;
 use bt_blocktri::{BlockRow, BlockRowSource, FactorError, RowPartition};
 use bt_comm::CommBackend;
 use bt_dense::{
-    gemm, gemm_flops, lu_flops, lu_solve_flops, LuFactors, Mat, Trans, Workspace, WorkspaceStats,
+    gemm, gemm_flops, lu_flops, lu_solve_flops, Element, LuFactors, Mat, Trans, Workspace,
+    WorkspaceStats,
 };
 
 use crate::companion::{CompanionProduct, CompanionState, CompanionW};
 use crate::pairs::AffinePair;
 use crate::scans::{
-    affine_exscan_fresh, affine_exscan_replay_tiled, auto_rhs_tile, companion_exscan, Direction,
-    ScanTrace,
+    affine_exscan_fresh, affine_exscan_replay_tiled, auto_rhs_tile_for, companion_exscan,
+    Direction, ScanTrace,
 };
 
 /// Tag bases for the point-to-point scans (each scan uses `base + step`).
@@ -147,8 +148,17 @@ impl RankSystem {
 }
 
 /// Matrix-dependent state produced by setup and reused across solves.
+///
+/// Generic over the factor element type `E` (default `f64`): the source
+/// system stays `f64`, Phase 1's companion scan and boundary extraction
+/// run in `f64` (they set the accuracy envelope), and the per-row
+/// factors, prefixes and recorded scan traces are stored — and every
+/// replay runs — at `E`. `ArdRankFactors<f32>` is the mixed-precision
+/// factorization underneath [`crate::mixed`]: half the factor bytes,
+/// half the wire bytes per scan panel, and the wide-SIMD `f32` kernels,
+/// with accuracy restored by `f64` iterative refinement.
 #[derive(Debug)]
-pub struct ArdRankFactors {
+pub struct ArdRankFactors<E: Element = f64> {
     /// Owned range and sizes (copied from the [`RankSystem`]).
     pub n: usize,
     /// Block order.
@@ -158,20 +168,20 @@ pub struct ArdRankFactors {
     /// One past the last owned global row.
     pub hi: usize,
     /// LU of `D_i` for each owned row.
-    d_lu: Vec<LuFactors>,
+    d_lu: Vec<LuFactors<E>>,
     /// `F_i = -A_i D_{i-1}^{-1}` for each owned row (`F_0 = 0`).
-    f: Vec<Mat>,
+    f: Vec<Mat<E>>,
     /// `G_i = -D_i^{-1} C_i` for each owned row (`G_{N-1} = 0`).
-    g: Vec<Mat>,
+    g: Vec<Mat<E>>,
     /// Forward local prefix matrices `F_i F_{i-1} ... F_lo`.
-    fwd_prefix: Vec<Mat>,
+    fwd_prefix: Vec<Mat<E>>,
     /// Backward local prefix matrices `G_i G_{i+1} ... G_{hi-1}`.
-    bwd_prefix: Vec<Mat>,
+    bwd_prefix: Vec<Mat<E>>,
     /// Recorded cross-rank scan matrices (empty when built for classic
     /// recursive doubling, which re-scans fresh every solve).
-    fwd_trace: ScanTrace,
+    fwd_trace: ScanTrace<E>,
     /// Backward counterpart of `fwd_trace`.
-    bwd_trace: ScanTrace,
+    bwd_trace: ScanTrace<E>,
     /// Whether traces were recorded (accelerated mode).
     recorded: bool,
     /// Worst boundary-extraction 1-norm condition estimate across ranks
@@ -181,10 +191,10 @@ pub struct ArdRankFactors {
     /// paths is checked out of here, so a warm replay allocates nothing
     /// (see DESIGN.md "Memory model"). `RefCell` keeps the `&self` solve
     /// signatures; factors are owned by one rank thread, never shared.
-    ws: RefCell<Workspace>,
+    ws: RefCell<Workspace<E>>,
 }
 
-impl ArdRankFactors {
+impl<E: Element> ArdRankFactors<E> {
     /// Runs the full matrix-dependent setup: Phase 1 and the matrix
     /// components of the Phase 2/3 scans. Collective: every rank must
     /// call it together.
@@ -228,9 +238,10 @@ impl ArdRankFactors {
         let mut pending_err: Option<FactorError> = None;
         let mut total = CompanionProduct::identity(m);
         let scanning = mode == BoundaryMode::ExactScan;
-        // Setup-local buffer pool; becomes the rank-owned solve workspace
-        // at the end (already warm with M-sized buffers).
-        let mut ws = Workspace::new();
+        // Phase 1 buffer pool: the companion scan always runs in `f64`
+        // (it sets the boundary accuracy envelope), so its temporaries
+        // cannot share the element-typed solve workspace below.
+        let mut ws_p1: Workspace = Workspace::new();
         let span_companion = bt_obs::span("solver", "phase1.local_companion");
         if scanning && comm.rank() + 1 < comm.size() {
             for i in sys.lo.max(1)..sys.hi {
@@ -238,7 +249,7 @@ impl ArdRankFactors {
                 match CompanionW::from_row(row) {
                     Ok(w) => {
                         comm.compute(CompanionW::build_flops(m));
-                        total.apply_left_ws(&w, &mut ws);
+                        total.apply_left_ws(&w, &mut ws_p1);
                         comm.compute(CompanionProduct::apply_left_flops(m));
                     }
                     Err(source) => {
@@ -267,7 +278,7 @@ impl ArdRankFactors {
         let span_factor = bt_obs::span("solver", "phase1.local_factor");
         let local = match pending_err {
             Some(e) => Err(e),
-            None => Self::local_factor_pass(comm, sys, excl.as_ref(), mode, &mut ws),
+            None => Self::local_factor_pass(comm, sys, excl.as_ref(), mode, &mut ws_p1),
         };
         drop(span_factor);
 
@@ -305,19 +316,19 @@ impl ArdRankFactors {
 
         // ---- Phase 2/3 matrix components: local prefixes + scans. -------
         let span_prefixes = bt_obs::span("solver", "setup.local_prefixes");
-        let mut fwd_prefix: Vec<Mat> = Vec::with_capacity(nl);
+        let mut fwd_prefix: Vec<Mat<E>> = Vec::with_capacity(nl);
         for k in 0..nl {
             let pfx = if k == 0 {
                 f[0].clone()
             } else {
                 let mut p = Mat::zeros(m, m);
                 gemm(
-                    1.0,
+                    E::ONE,
                     &f[k],
                     Trans::No,
                     &fwd_prefix[k - 1],
                     Trans::No,
-                    0.0,
+                    E::ZERO,
                     &mut p,
                 );
                 comm.compute(gemm_flops(m, m, m));
@@ -327,19 +338,19 @@ impl ArdRankFactors {
         }
         // Built back-to-front by pushing in reverse, then reversed — no
         // placeholder sentinels.
-        let mut bwd_prefix: Vec<Mat> = Vec::with_capacity(nl);
+        let mut bwd_prefix: Vec<Mat<E>> = Vec::with_capacity(nl);
         for k in (0..nl).rev() {
             let pfx = if k == nl - 1 {
                 g[nl - 1].clone()
             } else {
                 let mut p = Mat::zeros(m, m);
                 gemm(
-                    1.0,
+                    E::ONE,
                     &g[k],
                     Trans::No,
                     bwd_prefix.last().expect("pushed above"),
                     Trans::No,
-                    0.0,
+                    E::ZERO,
                     &mut p,
                 );
                 comm.compute(gemm_flops(m, m, m));
@@ -351,8 +362,8 @@ impl ArdRankFactors {
 
         drop(span_prefixes);
 
-        let mut fwd_trace = ScanTrace::default();
-        let mut bwd_trace = ScanTrace::default();
+        let mut fwd_trace: ScanTrace<E> = ScanTrace::default();
+        let mut bwd_trace: ScanTrace<E> = ScanTrace::default();
         let _span_record = record_traces.then(|| bt_obs::span("solver", "setup.record_scans"));
         if record_traces {
             // Zero-width vectors: the scans run their full matrix work and
@@ -395,7 +406,7 @@ impl ArdRankFactors {
             bwd_trace,
             recorded: record_traces,
             boundary_cond,
-            ws: RefCell::new(ws),
+            ws: RefCell::new(Workspace::new()),
         })
     }
 
@@ -424,12 +435,12 @@ impl ArdRankFactors {
         excl: Option<&CompanionProduct>,
         mode: BoundaryMode,
         ws: &mut Workspace,
-    ) -> Result<(Vec<LuFactors>, Vec<Mat>, Vec<Mat>, f64), FactorError> {
+    ) -> Result<(Vec<LuFactors<E>>, Vec<Mat<E>>, Vec<Mat<E>>, f64), FactorError> {
         let m = sys.m;
         let nl = sys.local_len();
-        let mut d_lu: Vec<LuFactors> = Vec::with_capacity(nl);
-        let mut f: Vec<Mat> = Vec::with_capacity(nl);
-        let mut g: Vec<Mat> = Vec::with_capacity(nl);
+        let mut d_lu: Vec<LuFactors<E>> = Vec::with_capacity(nl);
+        let mut f: Vec<Mat<E>> = Vec::with_capacity(nl);
+        let mut g: Vec<Mat<E>> = Vec::with_capacity(nl);
         let mut boundary_cond = 1.0f64;
 
         // Rank 0 owns row 0: D_0 = B_0 directly, no companion needed.
@@ -463,9 +474,15 @@ impl ArdRankFactors {
                 BoundaryMode::Windowed(_) => Self::windowed_boundary(comm, sys)?,
             }
         };
+        // The boundary diagonal is recovered in `f64` above (the
+        // extraction sets the accuracy envelope); the local recurrence
+        // below runs at the factor element type. For `E = f64` the
+        // conversion is a bit-exact copy; for `E = f32` this is the
+        // single rounding step of the mixed-precision factorization.
+        let boundary_diag: Mat<E> = boundary_diag.convert::<E>();
 
         // The LU used to form F for the first owned row.
-        let mut prev_lu: LuFactors;
+        let mut prev_lu: LuFactors<E>;
         let start_k;
         if sys.lo == 0 {
             // boundary_diag IS D_0 = B_0.
@@ -491,18 +508,18 @@ impl ArdRankFactors {
             let i = sys.lo + k;
             let row = &sys.rows[k];
             // F_i = -A_i D_{i-1}^{-1}  (right division).
-            let mut f_i = prev_lu.solve_transposed_system(&row.a);
+            let mut f_i = prev_lu.solve_transposed_system(&row.a.convert::<E>());
             f_i.negate();
             comm.compute(lu_solve_flops(m, m));
             // D_i = B_i + F_i C_{i-1}.
-            let mut d_i = row.b.clone();
+            let mut d_i = row.b.convert::<E>();
             gemm(
-                1.0,
+                E::ONE,
                 &f_i,
                 Trans::No,
-                sys.c_before(i),
+                &sys.c_before(i).convert::<E>(),
                 Trans::No,
-                1.0,
+                E::ONE,
                 &mut d_i,
             );
             comm.compute(gemm_flops(m, m, m));
@@ -515,7 +532,7 @@ impl ArdRankFactors {
 
         // G_i = -D_i^{-1} C_i (automatically zero at i = N-1).
         for (lu, row) in d_lu.iter().zip(&sys.rows) {
-            let mut g_i = lu.solve(&row.c);
+            let mut g_i = lu.solve(&row.c.convert::<E>());
             g_i.negate();
             comm.compute(lu_solve_flops(m, m));
             g.push(g_i);
@@ -575,7 +592,7 @@ impl ArdRankFactors {
     /// Bytes of matrix-dependent state stored per this rank (the memory
     /// price of acceleration; Table II).
     pub fn storage_bytes(&self) -> u64 {
-        let mat_bytes = (self.m * self.m * 8) as u64;
+        let mat_bytes = (self.m * self.m * std::mem::size_of::<E>()) as u64;
         // d_lu (packed LU) + f + g per row, plus the prefix matrices if
         // they have not been shed (see `shed_prefixes`).
         let prefixes = (self.fwd_prefix.len() + self.bwd_prefix.len()) as u64;
@@ -628,11 +645,11 @@ impl ArdRankFactors {
                 .and_then(|v| v.trim().parse::<usize>().ok())
                 .filter(|&t| t > 0)
         });
-        env.unwrap_or_else(|| auto_rhs_tile(&comm.model(), m, r))
+        env.unwrap_or_else(|| auto_rhs_tile_for::<E>(&comm.model(), m, r))
     }
 
     /// Fresh `M x R` output panels matching a right-hand-side batch.
-    fn alloc_out(y_local: &[Mat]) -> Vec<Mat> {
+    fn alloc_out(y_local: &[Mat<E>]) -> Vec<Mat<E>> {
         y_local
             .iter()
             .map(|p| Mat::zeros(p.rows(), p.cols()))
@@ -649,7 +666,7 @@ impl ArdRankFactors {
     ///
     /// Panics if setup was run with `record_traces = false`, or on panel
     /// shape mismatch.
-    pub fn solve_replay<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat]) -> Vec<Mat> {
+    pub fn solve_replay<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat<E>]) -> Vec<Mat<E>> {
         let mut out = Self::alloc_out(y_local);
         self.solve_replay_into(comm, y_local, &mut out);
         out
@@ -669,8 +686,8 @@ impl ArdRankFactors {
     pub fn solve_replay_into<C: CommBackend>(
         &self,
         comm: &mut C,
-        y_local: &[Mat],
-        out: &mut [Mat],
+        y_local: &[Mat<E>],
+        out: &mut [Mat<E>],
     ) {
         let r = y_local.first().map_or(0, |p| p.cols());
         let tile = Self::resolve_rhs_tile(comm, self.m, r);
@@ -690,8 +707,8 @@ impl ArdRankFactors {
     pub fn solve_replay_into_tiled<C: CommBackend>(
         &self,
         comm: &mut C,
-        y_local: &[Mat],
-        out: &mut [Mat],
+        y_local: &[Mat<E>],
+        out: &mut [Mat<E>],
         tile: usize,
     ) {
         assert!(
@@ -704,7 +721,7 @@ impl ArdRankFactors {
     /// Solves one batch with **fresh** scans (classic recursive
     /// doubling's per-solve Phase 2/3): full pairs travel and every scan
     /// combine pays the `O(M^3)` product. Collective.
-    pub fn solve_fresh<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat]) -> Vec<Mat> {
+    pub fn solve_fresh<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat<E>]) -> Vec<Mat<E>> {
         let mut out = Self::alloc_out(y_local);
         let r = y_local.first().map_or(0, |p| p.cols());
         self.solve_into_impl(comm, y_local, &mut out, false, r.max(1));
@@ -723,7 +740,11 @@ impl ArdRankFactors {
     ///
     /// Panics if setup was run with `record_traces = false`, or on panel
     /// shape mismatch.
-    pub fn solve_replay_lean<C: CommBackend>(&self, comm: &mut C, y_local: &[Mat]) -> Vec<Mat> {
+    pub fn solve_replay_lean<C: CommBackend>(
+        &self,
+        comm: &mut C,
+        y_local: &[Mat<E>],
+    ) -> Vec<Mat<E>> {
         let mut out = Self::alloc_out(y_local);
         self.solve_replay_lean_into(comm, y_local, &mut out);
         out
@@ -740,8 +761,8 @@ impl ArdRankFactors {
     pub fn solve_replay_lean_into<C: CommBackend>(
         &self,
         comm: &mut C,
-        y_local: &[Mat],
-        out: &mut [Mat],
+        y_local: &[Mat<E>],
+        out: &mut [Mat<E>],
     ) {
         let r = y_local.first().map_or(0, |p| p.cols());
         let tile = Self::resolve_rhs_tile(comm, self.m, r);
@@ -759,8 +780,8 @@ impl ArdRankFactors {
     pub fn solve_replay_lean_into_tiled<C: CommBackend>(
         &self,
         comm: &mut C,
-        y_local: &[Mat],
-        out: &mut [Mat],
+        y_local: &[Mat<E>],
+        out: &mut [Mat<E>],
         tile: usize,
     ) {
         assert!(
@@ -785,7 +806,15 @@ impl ArdRankFactors {
                 let (done, rest) = out.split_at_mut(k);
                 let zk = &mut rest[0];
                 zk.as_mut().copy_from(y_local[k].as_ref());
-                gemm(1.0, &self.f[k], Trans::No, &done[k - 1], Trans::No, 1.0, zk);
+                gemm(
+                    E::ONE,
+                    &self.f[k],
+                    Trans::No,
+                    &done[k - 1],
+                    Trans::No,
+                    E::ONE,
+                    zk,
+                );
                 comm.compute(gemm_flops(m, m, r));
             }
             let total = ws.take_copy(out[nl - 1].as_ref());
@@ -803,7 +832,7 @@ impl ArdRankFactors {
             let mut total = ws.take_copy(y_local[0].as_ref());
             for (yk, fk) in y_local.iter().zip(&self.f).skip(1) {
                 let mut v = ws.take_copy(yk.as_ref());
-                gemm(1.0, fk, Trans::No, &total, Trans::No, 1.0, &mut v);
+                gemm(E::ONE, fk, Trans::No, &total, Trans::No, E::ONE, &mut v);
                 comm.compute(gemm_flops(m, m, r));
                 ws.put(std::mem::replace(&mut total, v));
             }
@@ -822,7 +851,7 @@ impl ArdRankFactors {
                 let zk = &mut rest[0];
                 let prev = if k == 0 { &v_excl } else { &done[k - 1] };
                 zk.as_mut().copy_from(y_local[k].as_ref());
-                gemm(1.0, &self.f[k], Trans::No, prev, Trans::No, 1.0, zk);
+                gemm(E::ONE, &self.f[k], Trans::No, prev, Trans::No, E::ONE, zk);
                 comm.compute(gemm_flops(m, m, r));
             }
             ws.put(v_excl);
@@ -846,12 +875,12 @@ impl ArdRankFactors {
             for k in (0..nl - 1).rev() {
                 let (head, tail) = out.split_at_mut(k + 1);
                 gemm(
-                    1.0,
+                    E::ONE,
                     &self.g[k],
                     Trans::No,
                     &tail[0],
                     Trans::No,
-                    1.0,
+                    E::ONE,
                     &mut head[k],
                 );
                 comm.compute(gemm_flops(m, m, r));
@@ -871,7 +900,15 @@ impl ArdRankFactors {
             let mut total = ws.take_copy(out[nl - 1].as_ref());
             for k in (0..nl - 1).rev() {
                 let mut v = ws.take_copy(out[k].as_ref());
-                gemm(1.0, &self.g[k], Trans::No, &total, Trans::No, 1.0, &mut v);
+                gemm(
+                    E::ONE,
+                    &self.g[k],
+                    Trans::No,
+                    &total,
+                    Trans::No,
+                    E::ONE,
+                    &mut v,
+                );
                 comm.compute(gemm_flops(m, m, r));
                 ws.put(std::mem::replace(&mut total, v));
             }
@@ -888,23 +925,23 @@ impl ArdRankFactors {
             for k in (0..nl).rev() {
                 if k == nl - 1 {
                     gemm(
-                        1.0,
+                        E::ONE,
                         &self.g[k],
                         Trans::No,
                         &w_excl,
                         Trans::No,
-                        1.0,
+                        E::ONE,
                         &mut out[k],
                     );
                 } else {
                     let (head, tail) = out.split_at_mut(k + 1);
                     gemm(
-                        1.0,
+                        E::ONE,
                         &self.g[k],
                         Trans::No,
                         &tail[0],
                         Trans::No,
-                        1.0,
+                        E::ONE,
                         &mut head[k],
                     );
                 }
@@ -915,7 +952,7 @@ impl ArdRankFactors {
     }
 
     /// Shared shape validation for the `_into` solves; returns `R`.
-    fn check_panels(m: usize, nl: usize, y_local: &[Mat], out: &[Mat]) -> usize {
+    fn check_panels(m: usize, nl: usize, y_local: &[Mat<E>], out: &[Mat<E>]) -> usize {
         assert_eq!(y_local.len(), nl, "rhs panel count mismatch");
         assert_eq!(out.len(), nl, "output panel count mismatch");
         let r = y_local[0].cols();
@@ -935,8 +972,8 @@ impl ArdRankFactors {
     fn solve_into_impl<C: CommBackend>(
         &self,
         comm: &mut C,
-        y_local: &[Mat],
-        out: &mut [Mat],
+        y_local: &[Mat<E>],
+        out: &mut [Mat<E>],
         replay: bool,
         tile: usize,
     ) {
@@ -955,7 +992,15 @@ impl ArdRankFactors {
             let (done, rest) = out.split_at_mut(k);
             let vk = &mut rest[0];
             vk.as_mut().copy_from(y_local[k].as_ref());
-            gemm(1.0, &self.f[k], Trans::No, &done[k - 1], Trans::No, 1.0, vk);
+            gemm(
+                E::ONE,
+                &self.f[k],
+                Trans::No,
+                &done[k - 1],
+                Trans::No,
+                E::ONE,
+                vk,
+            );
             comm.compute(gemm_flops(m, m, r));
         }
         // Cross-rank scan.
@@ -983,12 +1028,12 @@ impl ArdRankFactors {
             Some(vin) => {
                 for (k, zk) in out.iter_mut().enumerate() {
                     gemm(
-                        1.0,
+                        E::ONE,
                         &self.fwd_prefix[k],
                         Trans::No,
                         &vin,
                         Trans::No,
-                        1.0,
+                        E::ONE,
                         zk,
                     );
                     comm.compute(gemm_flops(m, m, r));
@@ -1014,12 +1059,12 @@ impl ArdRankFactors {
         for k in (0..nl - 1).rev() {
             let (head, tail) = out.split_at_mut(k + 1);
             gemm(
-                1.0,
+                E::ONE,
                 &self.g[k],
                 Trans::No,
                 &tail[0],
                 Trans::No,
-                1.0,
+                E::ONE,
                 &mut head[k],
             );
             comm.compute(gemm_flops(m, m, r));
@@ -1047,12 +1092,12 @@ impl ArdRankFactors {
             Some(win) => {
                 for (k, xk) in out.iter_mut().enumerate() {
                     gemm(
-                        1.0,
+                        E::ONE,
                         &self.bwd_prefix[k],
                         Trans::No,
                         &win,
                         Trans::No,
-                        1.0,
+                        E::ONE,
                         xk,
                     );
                     comm.compute(gemm_flops(m, m, r));
@@ -1072,11 +1117,11 @@ impl ArdRankFactors {
 /// # Errors
 ///
 /// [`FactorError`] (on every rank) if a block diagonal is singular.
-pub fn rd_solve_rank<C: CommBackend>(
+pub fn rd_solve_rank<C: CommBackend, E: Element>(
     comm: &mut C,
     sys: &RankSystem,
-    y_local: &[Mat],
-) -> Result<Vec<Mat>, FactorError> {
-    let factors = ArdRankFactors::setup(comm, sys, false)?;
+    y_local: &[Mat<E>],
+) -> Result<Vec<Mat<E>>, FactorError> {
+    let factors = ArdRankFactors::<E>::setup(comm, sys, false)?;
     Ok(factors.solve_fresh(comm, y_local))
 }

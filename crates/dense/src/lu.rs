@@ -6,9 +6,16 @@
 //! accelerated recursive doubling algorithm depends on: all
 //! matrix-dependent work happens at factorization time, and each
 //! right-hand-side panel solve is an `O(n^2 r)` triangular sweep.
+//!
+//! The factorization is generic over the element type (`f64` by default):
+//! the mixed-precision solve path factors in `f32` — half the factor
+//! storage, double the SIMD width in the elimination AXPYs — and
+//! recovers `f64` accuracy by iterative refinement in `bt-ard`.
+//! Conditioning diagnostics ([`LuFactors::det`], [`LuFactors::min_pivot`])
+//! report in `f64` at either precision.
 
+use crate::element::Element;
 use crate::mat::Mat;
-use crate::simd;
 use crate::view::{MatMut, MatRef};
 use std::fmt;
 
@@ -18,13 +25,19 @@ use std::fmt;
 static OBS_LU_PANEL_SOLVES: bt_obs::Counter = bt_obs::Counter::new("bt_dense.lu.panel_solves");
 static OBS_LU_PANEL_NS: bt_obs::Histogram = bt_obs::Histogram::new("bt_dense.lu.panel_solve_ns");
 
+/// Minimum panel width for the row-oriented sweep
+/// ([`LuFactors::solve_block_rowwise`]): one full 8-lane `f32` AVX2
+/// vector per AXPY. Narrower panels stay on the per-column sweep.
+const WIDE_SOLVE_MIN_COLS: usize = 8;
+
 /// Error returned when a factorization or solve encounters a singular (or
 /// numerically singular) matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SingularError {
     /// Elimination step at which the zero pivot appeared.
     pub step: usize,
-    /// Magnitude of the offending pivot.
+    /// Magnitude of the offending pivot (widened to `f64` for `f32`
+    /// factorizations).
     pub pivot: f64,
 }
 
@@ -51,7 +64,7 @@ impl std::error::Error for SingularError {}
 /// ```
 /// use bt_dense::{LuFactors, Mat};
 ///
-/// let a = Mat::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+/// let a: Mat = Mat::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
 /// let lu = LuFactors::factor(&a).unwrap();
 /// let b = Mat::from_rows(&[&[10.0], &[12.0]]);
 /// let x = lu.solve(&b);
@@ -60,23 +73,24 @@ impl std::error::Error for SingularError {}
 /// assert!((6.0 * x[(0, 0)] + 3.0 * x[(1, 0)] - 12.0).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone)]
-pub struct LuFactors {
-    lu: Mat,
+pub struct LuFactors<E: Element = f64> {
+    lu: Mat<E>,
     piv: Vec<usize>,
     /// +1.0 or -1.0: parity of the row permutation (used by `det`).
     sign: f64,
 }
 
-impl LuFactors {
+impl<E: Element> LuFactors<E> {
     /// Factors a square matrix with partial pivoting.
     ///
     /// Returns [`SingularError`] if a pivot is exactly zero or smaller in
-    /// magnitude than `n * eps * max|A|` (numerically singular).
+    /// magnitude than `n * eps * max|A|` (numerically singular), with
+    /// `eps` the working precision's epsilon.
     ///
     /// # Panics
     ///
     /// Panics if `a` is not square.
-    pub fn factor(a: &Mat) -> Result<Self, SingularError> {
+    pub fn factor(a: &Mat<E>) -> Result<Self, SingularError> {
         assert!(
             a.is_square(),
             "LU of non-square {}x{} matrix",
@@ -87,7 +101,7 @@ impl LuFactors {
         let mut lu = a.clone();
         let mut piv = Vec::with_capacity(n);
         let mut sign = 1.0;
-        let tiny = (n as f64) * f64::EPSILON * a.max_abs();
+        let tiny = E::from_f64(n as f64) * E::EPSILON * E::from_f64(a.max_abs());
 
         for k in 0..n {
             // Find pivot: largest |value| in column k at or below the diagonal.
@@ -104,7 +118,7 @@ impl LuFactors {
             if pmax <= tiny || !pmax.is_finite() {
                 return Err(SingularError {
                     step: k,
-                    pivot: pmax,
+                    pivot: pmax.to_f64(),
                 });
             }
             piv.push(p);
@@ -116,7 +130,7 @@ impl LuFactors {
             // Eliminate below the pivot, updating the trailing submatrix
             // column by column (column-major friendly rank-1 update).
             let pivot = lu.get(k, k);
-            let inv_pivot = 1.0 / pivot;
+            let inv_pivot = E::ONE / pivot;
             // Scale multipliers in column k.
             {
                 let colk = lu.col_mut(k);
@@ -132,12 +146,12 @@ impl LuFactors {
             for (jc, colj) in tail.chunks_exact_mut(m_rows).enumerate() {
                 let _ = jc;
                 let ukj = colj[k];
-                if ukj == 0.0 {
+                if ukj == E::ZERO {
                     continue;
                 }
                 // Rank-1 update of column j: colj[k+1..] -= ukj * mults,
                 // through the SIMD AXPY primitive.
-                simd::axpy(-ukj, mults, &mut colj[k + 1..]);
+                E::simd_axpy(-ukj, mults, &mut colj[k + 1..]);
             }
         }
 
@@ -156,15 +170,16 @@ impl LuFactors {
     }
 
     /// The packed LU storage (L strictly below diagonal, U on/above).
-    pub fn packed(&self) -> &Mat {
+    pub fn packed(&self) -> &Mat<E> {
         &self.lu
     }
 
-    /// Determinant of the original matrix.
+    /// Determinant of the original matrix (accumulated in `f64` at
+    /// either working precision).
     pub fn det(&self) -> f64 {
         let mut d = self.sign;
         for k in 0..self.order() {
-            d *= self.lu.get(k, k);
+            d *= self.lu.get(k, k).to_f64();
         }
         d
     }
@@ -172,7 +187,7 @@ impl LuFactors {
     /// Smallest |diagonal entry of U| — a cheap conditioning indicator.
     pub fn min_pivot(&self) -> f64 {
         (0..self.order())
-            .map(|k| self.lu.get(k, k).abs())
+            .map(|k| self.lu.get(k, k).abs().to_f64())
             .fold(f64::INFINITY, f64::min)
     }
 
@@ -185,7 +200,7 @@ impl LuFactors {
     /// # Panics
     ///
     /// Panics if `b.rows() != self.order()`.
-    pub fn solve_in_place<'b>(&self, b: impl Into<MatMut<'b>>) {
+    pub fn solve_in_place<'b>(&self, b: impl Into<MatMut<'b, E>>) {
         let mut b = b.into();
         let n = self.order();
         assert_eq!(b.rows(), n, "solve rhs row count mismatch");
@@ -198,7 +213,13 @@ impl LuFactors {
                 swap_rows_view(&mut b, k, p);
             }
         }
-        crate::threading::for_each_column_parallel(b, 2 * n * n, |x| self.solve_column(x));
+        if E::WIDE_PANEL_SOLVE && b.is_contiguous() && b.cols() >= WIDE_SOLVE_MIN_COLS {
+            crate::threading::for_each_column_block_parallel(b, 2 * n * n, |block, w| {
+                self.solve_block_rowwise(block, w);
+            });
+        } else {
+            crate::threading::for_each_column_parallel(b, 2 * n * n, |x| self.solve_column(x));
+        }
         if let Some(t0) = t0 {
             OBS_LU_PANEL_NS.record_duration(t0.elapsed());
         }
@@ -210,7 +231,7 @@ impl LuFactors {
     /// # Panics
     ///
     /// Panics if shapes mismatch.
-    pub fn solve_into<'b, 'o>(&self, b: impl Into<MatRef<'b>>, out: impl Into<MatMut<'o>>) {
+    pub fn solve_into<'b, 'o>(&self, b: impl Into<MatRef<'b, E>>, out: impl Into<MatMut<'o, E>>) {
         let mut out = out.into();
         out.copy_from(b.into());
         self.solve_in_place(out);
@@ -219,31 +240,89 @@ impl LuFactors {
     /// One forward + backward triangular sweep on a single permuted RHS
     /// column. Both substitutions are column-oriented AXPY updates, so
     /// they run on the SIMD dispatch path ([`crate::simd`]).
-    fn solve_column(&self, x: &mut [f64]) {
+    fn solve_column(&self, x: &mut [E]) {
         let n = self.order();
         // Forward substitution with unit lower triangular L.
         for k in 0..n {
             let xk = x[k];
-            if xk == 0.0 {
+            if xk == E::ZERO {
                 continue;
             }
             let lcol = self.lu.col(k);
-            simd::axpy(-xk, &lcol[k + 1..], &mut x[k + 1..]);
+            E::simd_axpy(-xk, &lcol[k + 1..], &mut x[k + 1..]);
         }
         // Backward substitution with U.
         for k in (0..n).rev() {
             let ucol = self.lu.col(k);
             let xk = x[k] / ucol[k];
             x[k] = xk;
-            if xk == 0.0 {
+            if xk == E::ZERO {
                 continue;
             }
-            simd::axpy(-xk, &ucol[..k], &mut x[..k]);
+            E::simd_axpy(-xk, &ucol[..k], &mut x[..k]);
+        }
+    }
+
+    /// Row-oriented multi-RHS sweep over a contiguous column-major block
+    /// of `w` permuted RHS columns. The block is transposed into
+    /// row-major scratch so every elimination step updates one *row*
+    /// across all `w` columns with a single length-`w` AXPY (instead of
+    /// `w` separate length-`<= n` column fragments), then transposed
+    /// back; the two `O(n w)` transposes are noise next to the
+    /// `O(n^2 w)` sweep. Per element the arithmetic is the same fused
+    /// multiply-add and divide sequence as [`Self::solve_column`] — the
+    /// AXPY multiplier and vector swap roles, and IEEE products commute
+    /// exactly — so the orientation is a pure layout change. Enabled per
+    /// element type via [`Element::WIDE_PANEL_SOLVE`].
+    fn solve_block_rowwise(&self, data: &mut [E], w: usize) {
+        let n = self.order();
+        debug_assert_eq!(data.len(), n * w);
+        let mut z = vec![E::ZERO; n * w];
+        for (j, col) in data.chunks_exact(n).enumerate() {
+            for (k, &v) in col.iter().enumerate() {
+                z[k * w + j] = v;
+            }
+        }
+        // Forward substitution with unit lower triangular L: row k is
+        // final once reached, rows below accumulate `-L[i,k] * row_k`.
+        for k in 0..n {
+            let lcol = self.lu.col(k);
+            let (head, tail) = z.split_at_mut((k + 1) * w);
+            let zk = &head[k * w..];
+            for (off, zi) in tail.chunks_exact_mut(w).enumerate() {
+                let lik = lcol[k + 1 + off];
+                if lik == E::ZERO {
+                    continue;
+                }
+                E::simd_axpy(-lik, zk, zi);
+            }
+        }
+        // Backward substitution with U.
+        for k in (0..n).rev() {
+            let ucol = self.lu.col(k);
+            let (head, tail) = z.split_at_mut(k * w);
+            let zk = &mut tail[..w];
+            let ukk = ucol[k];
+            for v in zk.iter_mut() {
+                *v /= ukk;
+            }
+            for (i, zi) in head.chunks_exact_mut(w).enumerate() {
+                let uik = ucol[i];
+                if uik == E::ZERO {
+                    continue;
+                }
+                E::simd_axpy(-uik, &*zk, zi);
+            }
+        }
+        for (j, col) in data.chunks_exact_mut(n).enumerate() {
+            for (k, v) in col.iter_mut().enumerate() {
+                *v = z[k * w + j];
+            }
         }
     }
 
     /// Solves `A X = B`, returning `X`.
-    pub fn solve(&self, b: &Mat) -> Mat {
+    pub fn solve(&self, b: &Mat<E>) -> Mat<E> {
         let mut x = b.clone();
         self.solve_in_place(&mut x);
         x
@@ -253,7 +332,7 @@ impl LuFactors {
     ///
     /// Implemented as `A^T X^T = B^T` using the identity
     /// `(X A)^T = A^T X^T`; costs one extra pair of transposes.
-    pub fn solve_transposed_system(&self, b: &Mat) -> Mat {
+    pub fn solve_transposed_system(&self, b: &Mat<E>) -> Mat<E> {
         let mut xt = b.transpose();
         self.solve_transpose_in_place(&mut xt);
         xt.transpose()
@@ -261,7 +340,7 @@ impl LuFactors {
 
     /// Solves `A^T X = B` in place. Multi-column panels split across the
     /// intra-rank thread budget like [`Self::solve_in_place`].
-    pub fn solve_transpose_in_place<'b>(&self, b: impl Into<MatMut<'b>>) {
+    pub fn solve_transpose_in_place<'b>(&self, b: impl Into<MatMut<'b, E>>) {
         let mut b = b.into();
         let n = self.order();
         assert_eq!(b.rows(), n, "solve rhs row count mismatch");
@@ -280,31 +359,31 @@ impl LuFactors {
     /// `A^T = (P^T L U)^T = U^T L^T P`, so solve `U^T w = b`, then
     /// `L^T v = w` (the caller applies `x = P^T v` afterwards). The
     /// inner products run on the SIMD dot-product path.
-    fn solve_transpose_column(&self, x: &mut [f64]) {
+    fn solve_transpose_column(&self, x: &mut [E]) {
         let n = self.order();
         for k in 0..n {
             let ucol = self.lu.col(k);
-            let s = x[k] - simd::dot(&x[..k], &ucol[..k]);
+            let s = x[k] - E::simd_dot(&x[..k], &ucol[..k]);
             x[k] = s / ucol[k];
         }
         for k in (0..n).rev() {
             let lcol = self.lu.col(k);
-            let s = simd::dot(&x[k + 1..], &lcol[k + 1..]);
+            let s = E::simd_dot(&x[k + 1..], &lcol[k + 1..]);
             x[k] -= s;
         }
     }
 
     /// Explicit inverse of the original matrix.
-    pub fn inverse(&self) -> Mat {
+    pub fn inverse(&self) -> Mat<E> {
         let n = self.order();
-        let mut inv = Mat::identity(n);
+        let mut inv = Mat::<E>::identity(n);
         self.solve_in_place(&mut inv);
         inv
     }
 }
 
 /// Swaps rows `i` and `j` of `m` in place.
-fn swap_rows(m: &mut Mat, i: usize, j: usize) {
+fn swap_rows<E: Element>(m: &mut Mat<E>, i: usize, j: usize) {
     if i == j {
         return;
     }
@@ -317,7 +396,7 @@ fn swap_rows(m: &mut Mat, i: usize, j: usize) {
 }
 
 /// Swaps rows `i` and `j` of a (possibly strided) view in place.
-pub(crate) fn swap_rows_view(m: &mut MatMut<'_>, i: usize, j: usize) {
+pub(crate) fn swap_rows_view<E: Element>(m: &mut MatMut<'_, E>, i: usize, j: usize) {
     if i == j {
         return;
     }
@@ -329,12 +408,12 @@ pub(crate) fn swap_rows_view(m: &mut MatMut<'_>, i: usize, j: usize) {
 /// Convenience: factors `a` and solves `a x = b` in one call.
 ///
 /// Prefer holding on to [`LuFactors`] when the same matrix is reused.
-pub fn solve(a: &Mat, b: &Mat) -> Result<Mat, SingularError> {
+pub fn solve<E: Element>(a: &Mat<E>, b: &Mat<E>) -> Result<Mat<E>, SingularError> {
     Ok(LuFactors::factor(a)?.solve(b))
 }
 
 /// Convenience: explicit inverse of `a`.
-pub fn invert(a: &Mat) -> Result<Mat, SingularError> {
+pub fn invert<E: Element>(a: &Mat<E>) -> Result<Mat<E>, SingularError> {
     Ok(LuFactors::factor(a)?.inverse())
 }
 
@@ -381,6 +460,25 @@ mod tests {
     }
 
     #[test]
+    fn f32_factor_solve_roundtrip() {
+        // The same elimination and triangular sweeps at f32, checked at
+        // single-precision tolerance against the f64 reference problem.
+        for n in [1, 3, 8, 17, 40] {
+            let a = test_mat(n, 0.4);
+            let a32 = a.convert::<f32>();
+            let lu = LuFactors::factor(&a32).unwrap();
+            let b = Mat::from_fn(n, 3, |i, j| (i + 2 * j) as f64);
+            let x = lu.solve(&b.convert::<f32>());
+            let r = matmul(&a, &x.convert::<f64>()).sub(&b);
+            assert!(
+                r.max_abs() < 1e-3 * n as f64,
+                "n={n} f32 residual {}",
+                r.max_abs()
+            );
+        }
+    }
+
+    #[test]
     fn inverse_times_original_is_identity() {
         let a = test_mat(12, 1.1);
         let inv = invert(&a).unwrap();
@@ -402,9 +500,12 @@ mod tests {
     fn singular_matrix_rejected() {
         let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
         assert!(LuFactors::factor(&a).is_err());
-        let z = Mat::zeros(3, 3);
+        let z: Mat = Mat::zeros(3, 3);
         let err = LuFactors::factor(&z).unwrap_err();
         assert_eq!(err.step, 0);
+        // f32 singularity detection uses f32's epsilon in the threshold.
+        let z32 = Mat::<f32>::zeros(2, 2);
+        assert!(LuFactors::factor(&z32).is_err());
     }
 
     #[test]
@@ -413,7 +514,7 @@ mod tests {
         let lu = LuFactors::factor(&a).unwrap();
         assert!((lu.det() - (-2.0)).abs() < 1e-14);
 
-        let i5 = Mat::identity(5);
+        let i5: Mat = Mat::identity(5);
         assert!((LuFactors::factor(&i5).unwrap().det() - 1.0).abs() < 1e-15);
 
         // Permutation matrix: det = -1.
@@ -448,6 +549,37 @@ mod tests {
             let mut b1 = b.clone();
             with_thread_budget(1, || lu.solve_transpose_in_place(&mut b1));
             assert_eq!(b1, bt, "budget {t} changed the transpose-solve bits");
+        }
+    }
+
+    #[test]
+    fn f32_wide_panel_solve_matches_column_sweep_exactly() {
+        // The row-oriented sweep is a pure layout change: per element it
+        // performs the same FMA/divide sequence as the per-column sweep,
+        // so the results agree bitwise. A strided output window forces
+        // the legacy per-column path for the reference.
+        for (n, r) in [(5, 8), (8, 24), (13, 24), (17, 9), (40, 16)] {
+            let a32 = test_mat(n, 0.6).convert::<f32>();
+            let lu = LuFactors::factor(&a32).unwrap();
+            let b = Mat::from_fn(n, r, |i, j| ((i * r + j) as f64 * 0.37).sin()).convert::<f32>();
+            let wide = lu.solve(&b);
+            let mut scratch = Mat::<f32>::zeros(n + 3, r + 2);
+            lu.solve_into(&b, scratch.submatrix_mut(1, 1, n, r));
+            assert_eq!(scratch.block(1, 1, n, r), wide, "n={n} r={r}");
+        }
+    }
+
+    #[test]
+    fn f32_wide_panel_solve_bitwise_identical_across_thread_budgets() {
+        use crate::threading::with_thread_budget;
+        let n = 60;
+        let a32 = test_mat(n, 1.7).convert::<f32>();
+        let lu = LuFactors::factor(&a32).unwrap();
+        let b = Mat::from_fn(n, 24, |i, j| ((i * 24 + j) as f64 * 0.13).cos()).convert::<f32>();
+        let x1 = with_thread_budget(1, || lu.solve(&b));
+        for t in [2, 4, 7] {
+            let xt = with_thread_budget(t, || lu.solve(&b));
+            assert_eq!(x1, xt, "budget {t} changed the f32 wide-solve bits");
         }
     }
 

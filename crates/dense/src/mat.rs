@@ -1,16 +1,20 @@
 //! Column-major dense matrix type.
 //!
 //! [`Mat`] is the single owned matrix type used throughout the suite. It is
-//! deliberately simple: an `f64` buffer in column-major (Fortran) order with
-//! explicit dimensions. Column-major order matches the access pattern of the
-//! blocked GEMM and LU kernels in this crate and makes multi-right-hand-side
-//! panels (`M x R`) contiguous per right-hand side.
+//! deliberately simple: an element buffer in column-major (Fortran) order
+//! with explicit dimensions, generic over the scalar type ([`Element`]:
+//! `f64` or `f32`) with `f64` as the default — bare `Mat` everywhere means
+//! `Mat<f64>`, while the mixed-precision solve path works on `Mat<f32>`.
+//! Column-major order matches the access pattern of the blocked GEMM and
+//! LU kernels in this crate and makes multi-right-hand-side panels
+//! (`M x R`) contiguous per right-hand side.
 
+use crate::element::Element;
 use crate::view::{MatMut, MatRef};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-/// Owned dense `rows x cols` matrix of `f64` in column-major order.
+/// Owned dense `rows x cols` matrix of `E` in column-major order.
 ///
 /// Element `(i, j)` lives at buffer offset `i + j * rows`.
 ///
@@ -25,19 +29,19 @@ use std::ops::{Index, IndexMut};
 /// assert_eq!(a.trace(), 3.0);
 /// ```
 #[derive(Clone, PartialEq)]
-pub struct Mat {
+pub struct Mat<E: Element = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<E>,
 }
 
-impl Mat {
+impl<E: Element> Mat<E> {
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![E::ZERO; rows * cols],
         }
     }
 
@@ -74,7 +78,7 @@ impl Mat {
     }
 
     /// Creates a matrix filled with `value`.
-    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+    pub fn filled(rows: usize, cols: usize, value: E) -> Self {
         Self {
             rows,
             cols,
@@ -86,13 +90,13 @@ impl Mat {
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = 1.0;
+            m[(i, i)] = E::ONE;
         }
         m
     }
 
     /// Creates an `n x n` diagonal matrix from `diag`.
-    pub fn from_diag(diag: &[f64]) -> Self {
+    pub fn from_diag(diag: &[E]) -> Self {
         let n = diag.len();
         let mut m = Self::zeros(n, n);
         for (i, &d) in diag.iter().enumerate() {
@@ -106,7 +110,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if `data.len() != rows * cols`.
-    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<E>) -> Self {
         assert_eq!(
             data.len(),
             rows * cols,
@@ -122,7 +126,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if the rows are ragged.
-    pub fn from_rows(rows: &[&[f64]]) -> Self {
+    pub fn from_rows(rows: &[&[E]]) -> Self {
         let r = rows.len();
         let c = if r == 0 { 0 } else { rows[0].len() };
         let mut m = Self::zeros(r, c);
@@ -136,7 +140,7 @@ impl Mat {
     }
 
     /// Builds a matrix element-wise from a function of `(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> E) -> Self {
         let mut m = Self::zeros(rows, cols);
         for j in 0..cols {
             for i in 0..rows {
@@ -172,25 +176,25 @@ impl Mat {
 
     /// Immutable view of the column-major buffer.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[E] {
         &self.data
     }
 
     /// Mutable view of the column-major buffer.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
         &mut self.data
     }
 
     /// Consumes the matrix, returning the column-major buffer.
-    pub fn into_vec(self) -> Vec<f64> {
+    pub fn into_vec(self) -> Vec<E> {
         self.data
     }
 
     /// Borrows the whole matrix as an immutable [`MatRef`] view.
     #[allow(clippy::should_implement_trait)] // matrix view, not AsRef<T>
     #[inline]
-    pub fn as_ref(&self) -> MatRef<'_> {
+    pub fn as_ref(&self) -> MatRef<'_, E> {
         MatRef {
             data: &self.data,
             rows: self.rows,
@@ -202,7 +206,7 @@ impl Mat {
     /// Borrows the whole matrix as a mutable [`MatMut`] view.
     #[allow(clippy::should_implement_trait)] // matrix view, not AsMut<T>
     #[inline]
-    pub fn as_mut(&mut self) -> MatMut<'_> {
+    pub fn as_mut(&mut self) -> MatMut<'_, E> {
         MatMut {
             data: &mut self.data,
             rows: self.rows,
@@ -217,7 +221,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if the window exceeds the matrix bounds.
-    pub fn submatrix(&self, r0: usize, c0: usize, br: usize, bc: usize) -> MatRef<'_> {
+    pub fn submatrix(&self, r0: usize, c0: usize, br: usize, bc: usize) -> MatRef<'_, E> {
         self.as_ref().submatrix(r0, c0, br, bc)
     }
 
@@ -226,45 +230,45 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if the window exceeds the matrix bounds.
-    pub fn submatrix_mut(&mut self, r0: usize, c0: usize, br: usize, bc: usize) -> MatMut<'_> {
+    pub fn submatrix_mut(&mut self, r0: usize, c0: usize, br: usize, bc: usize) -> MatMut<'_, E> {
         self.as_mut().submatrix_mut(r0, c0, br, bc)
     }
 
     /// Immutable view of column `j`.
     #[inline]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[E] {
         debug_assert!(j < self.cols);
         &self.data[j * self.rows..(j + 1) * self.rows]
     }
 
     /// Mutable view of column `j`.
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [E] {
         debug_assert!(j < self.cols);
         &mut self.data[j * self.rows..(j + 1) * self.rows]
     }
 
     /// Unchecked-in-release element read (bounds checked in debug builds).
     #[inline(always)]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> E {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i + j * self.rows]
     }
 
     /// Unchecked-in-release element write (bounds checked in debug builds).
     #[inline(always)]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: E) {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i + j * self.rows] = v;
     }
 
     /// Sets every element to zero, retaining the allocation.
     pub fn fill_zero(&mut self) {
-        self.data.fill(0.0);
+        self.data.fill(E::ZERO);
     }
 
     /// Sets every element to `v`, retaining the allocation.
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: E) {
         self.data.fill(v);
     }
 
@@ -273,13 +277,64 @@ impl Mat {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn copy_from(&mut self, src: &Mat) {
+    pub fn copy_from(&mut self, src: &Mat<E>) {
         assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
         self.data.copy_from_slice(&src.data);
     }
 
+    /// Element-wise conversion to another precision: rounds when
+    /// narrowing (`f64 -> f32`), exact when widening (`f32 -> f64`),
+    /// and the identity for `E -> E`.
+    pub fn convert<F: Element>(&self) -> Mat<F> {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| F::from_f64(v.to_f64())).collect(),
+        }
+    }
+
+    /// [`Mat::convert`] into an existing matrix, reusing its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn convert_into<F: Element>(&self, out: &mut Mat<F>) {
+        assert_eq!(self.shape(), out.shape(), "convert_into shape mismatch");
+        for (dst, &src) in out.data.iter_mut().zip(&self.data) {
+            *dst = F::from_f64(src.to_f64());
+        }
+    }
+
+    /// In-place `self += other` with element-wise widening/narrowing
+    /// through `f64` — the accumulation step of mixed-precision
+    /// refinement (`x_f64 += dx_f32`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign_converted<F: Element>(&mut self, other: &Mat<F>) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += E::from_f64(b.to_f64());
+        }
+    }
+
+    /// In-place `self -= other` across precisions; inverse of
+    /// [`Mat::add_assign_converted`] (used to undo a rejected
+    /// refinement correction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub_assign_converted<F: Element>(&mut self, other: &Mat<F>) {
+        assert_eq!(self.shape(), other.shape(), "sub_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a -= E::from_f64(b.to_f64());
+        }
+    }
+
     /// Returns the transpose as a new matrix.
-    pub fn transpose(&self) -> Mat {
+    pub fn transpose(&self) -> Mat<E> {
         let mut t = Mat::zeros(self.cols, self.rows);
         for j in 0..self.cols {
             for i in 0..self.rows {
@@ -294,7 +349,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if the matrix is not square.
-    pub fn trace(&self) -> f64 {
+    pub fn trace(&self) -> E {
         assert!(self.is_square(), "trace of non-square matrix");
         (0..self.rows).map(|i| self.get(i, i)).sum()
     }
@@ -304,7 +359,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if the requested block exceeds the matrix bounds.
-    pub fn block(&self, r0: usize, c0: usize, br: usize, bc: usize) -> Mat {
+    pub fn block(&self, r0: usize, c0: usize, br: usize, bc: usize) -> Mat<E> {
         assert!(
             r0 + br <= self.rows && c0 + bc <= self.cols,
             "block out of bounds"
@@ -322,7 +377,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if the block exceeds the matrix bounds.
-    pub fn set_block(&mut self, r0: usize, c0: usize, blk: &Mat) {
+    pub fn set_block(&mut self, r0: usize, c0: usize, blk: &Mat<E>) {
         assert!(
             r0 + blk.rows <= self.rows && c0 + blk.cols <= self.cols,
             "set_block out of bounds"
@@ -334,19 +389,19 @@ impl Mat {
     }
 
     /// Extracts columns `c0..c0 + k` as a new `rows x k` matrix.
-    pub fn columns(&self, c0: usize, k: usize) -> Mat {
+    pub fn columns(&self, c0: usize, k: usize) -> Mat<E> {
         self.block(0, c0, self.rows, k)
     }
 
     /// In-place scale: `self *= s`.
-    pub fn scale(&mut self, s: f64) {
+    pub fn scale(&mut self, s: E) {
         for v in &mut self.data {
             *v *= s;
         }
     }
 
     /// Returns `self * s` as a new matrix.
-    pub fn scaled(&self, s: f64) -> Mat {
+    pub fn scaled(&self, s: E) -> Mat<E> {
         let mut out = self.clone();
         out.scale(s);
         out
@@ -364,7 +419,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn add_assign(&mut self, other: &Mat) {
+    pub fn add_assign(&mut self, other: &Mat<E>) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += *b;
@@ -376,7 +431,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn sub_assign(&mut self, other: &Mat) {
+    pub fn sub_assign(&mut self, other: &Mat<E>) {
         assert_eq!(self.shape(), other.shape(), "sub_assign shape mismatch");
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a -= *b;
@@ -388,7 +443,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn axpy(&mut self, s: f64, other: &Mat) {
+    pub fn axpy(&mut self, s: E, other: &Mat<E>) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += s * *b;
@@ -396,22 +451,23 @@ impl Mat {
     }
 
     /// Returns `self + other`.
-    pub fn add(&self, other: &Mat) -> Mat {
+    pub fn add(&self, other: &Mat<E>) -> Mat<E> {
         let mut out = self.clone();
         out.add_assign(other);
         out
     }
 
     /// Returns `self - other`.
-    pub fn sub(&self, other: &Mat) -> Mat {
+    pub fn sub(&self, other: &Mat<E>) -> Mat<E> {
         let mut out = self.clone();
         out.sub_assign(other);
         out
     }
 
-    /// Largest absolute entry (`max |a_ij|`); 0 for empty matrices.
+    /// Largest absolute entry (`max |a_ij|`) as `f64`; 0 for empty
+    /// matrices.
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
+        self.data.iter().fold(0.0, |m, &v| m.max(v.abs().to_f64()))
     }
 
     /// True if every entry is finite.
@@ -424,7 +480,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if column counts differ.
-    pub fn vstack(top: &Mat, bottom: &Mat) -> Mat {
+    pub fn vstack(top: &Mat<E>, bottom: &Mat<E>) -> Mat<E> {
         assert_eq!(top.cols, bottom.cols, "vstack column mismatch");
         let mut out = Mat::zeros(top.rows + bottom.rows, top.cols);
         out.set_block(0, 0, top);
@@ -437,7 +493,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if row counts differ.
-    pub fn hstack(left: &Mat, right: &Mat) -> Mat {
+    pub fn hstack(left: &Mat<E>, right: &Mat<E>) -> Mat<E> {
         assert_eq!(left.rows, right.rows, "hstack row mismatch");
         let mut out = Mat::zeros(left.rows, left.cols + right.cols);
         out.set_block(0, 0, left);
@@ -446,11 +502,11 @@ impl Mat {
     }
 }
 
-impl Index<(usize, usize)> for Mat {
-    type Output = f64;
+impl<E: Element> Index<(usize, usize)> for Mat<E> {
+    type Output = E;
 
     #[inline(always)]
-    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+    fn index(&self, (i, j): (usize, usize)) -> &E {
         assert!(
             i < self.rows && j < self.cols,
             "index ({i},{j}) out of {}x{}",
@@ -461,9 +517,9 @@ impl Index<(usize, usize)> for Mat {
     }
 }
 
-impl IndexMut<(usize, usize)> for Mat {
+impl<E: Element> IndexMut<(usize, usize)> for Mat<E> {
     #[inline(always)]
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut E {
         assert!(
             i < self.rows && j < self.cols,
             "index ({i},{j}) out of {}x{}",
@@ -474,9 +530,9 @@ impl IndexMut<(usize, usize)> for Mat {
     }
 }
 
-impl fmt::Debug for Mat {
+impl<E: Element> fmt::Debug for Mat<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        writeln!(f, "Mat<{}> {}x{} [", E::NAME, self.rows, self.cols)?;
         let max_show = 8;
         for i in 0..self.rows.min(max_show) {
             write!(f, "  ")?;
@@ -501,14 +557,14 @@ mod tests {
 
     #[test]
     fn zeros_shape_and_content() {
-        let m = Mat::zeros(3, 5);
+        let m: Mat = Mat::zeros(3, 5);
         assert_eq!(m.shape(), (3, 5));
         assert!(m.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]
     fn identity_diag() {
-        let m = Mat::identity(4);
+        let m: Mat = Mat::identity(4);
         for i in 0..4 {
             for j in 0..4 {
                 assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
@@ -561,7 +617,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "block out of bounds")]
     fn block_out_of_bounds_panics() {
-        let m = Mat::zeros(3, 3);
+        let m: Mat = Mat::zeros(3, 3);
         let _ = m.block(2, 2, 2, 2);
     }
 
@@ -620,13 +676,13 @@ mod tests {
 
     #[test]
     fn empty_and_zero_width() {
-        let e = Mat::empty();
+        let e: Mat = Mat::empty();
         assert_eq!(e.shape(), (0, 0));
         assert!(e.is_empty());
-        let z = Mat::zero_width(3);
+        let z: Mat = Mat::zero_width(3);
         assert_eq!(z.shape(), (3, 0));
         assert!(z.is_empty());
-        assert!(!Mat::zeros(1, 1).is_empty());
+        assert!(!Mat::<f64>::zeros(1, 1).is_empty());
         // hstack accumulation with a zero-width identity element.
         let a = Mat::identity(3);
         assert_eq!(Mat::hstack(&z, &a), a);
@@ -642,5 +698,19 @@ mod tests {
         assert_eq!(m, src);
         m.fill_zero();
         assert_eq!(m, Mat::zeros(2, 2));
+    }
+
+    #[test]
+    fn f32_matrices_and_conversion() {
+        let a = Mat::from_rows(&[&[1.0, 0.1], &[-2.5, 4.0]]);
+        let s: Mat<f32> = a.convert();
+        assert_eq!(s[(1, 0)], -2.5f32);
+        // 0.1 is not exactly representable: narrowing rounds...
+        assert_ne!(s[(0, 1)].to_f64(), a[(0, 1)]);
+        // ...and widening back is exact (identity for exact values).
+        let back: Mat = s.convert();
+        assert_eq!(back[(1, 1)], 4.0);
+        assert_eq!(a.convert::<f64>(), a);
+        assert_eq!(s.max_abs(), 4.0);
     }
 }

@@ -5,14 +5,24 @@
 //! `gemm_axpy`/`gemv`/the LU and Cholesky sweeps, the dot product of the
 //! transpose/backward sweeps, and the whole-block small-M GEMM
 //! specializations. This module provides one explicitly vectorized
-//! implementation of each, selected **at runtime** from the CPU:
+//! implementation of each — at **both element widths**, `f64` and `f32`
+//! — selected **at runtime** from the CPU:
 //!
-//! * **x86_64** — AVX2 + FMA (`_mm256_fmadd_pd`, 4 lanes of `f64`),
-//!   detected with `is_x86_feature_detected!`;
-//! * **aarch64** — NEON (`vfmaq_f64`, 2 lanes), always present on
-//!   aarch64 but still routed through the same dispatch point;
+//! * **x86_64** — AVX2 + FMA (`_mm256_fmadd_pd`, 4 lanes of `f64`;
+//!   `_mm256_fmadd_ps`, 8 lanes of `f32`), detected with
+//!   `is_x86_feature_detected!`;
+//! * **aarch64** — NEON (`vfmaq_f64`, 2 lanes; `vfmaq_f32`, 4 lanes),
+//!   always present on aarch64 but still routed through the same
+//!   dispatch point;
 //! * **fallback** — portable scalar loops with hoisted bounds checks,
 //!   identical in summation order to the pre-SIMD kernels.
+//!
+//! The f32 kernels are the flop half of the mixed-precision solve path:
+//! twice the lanes per vector means the 16 x 4 f32 microkernel tile
+//! retires twice the flops per FMA of the 8 x 4 f64 tile, using the same
+//! register budget (two vectors of A per column). Both widths share one
+//! dispatch decision — there is exactly one [`active`] ISA per process,
+//! and `BT_DENSE_SIMD=0` forces the scalar path for every element type.
 //!
 //! The decision is made once, cached in an atomic, and exposed as
 //! [`active`]. The `BT_DENSE_SIMD` environment variable overrides it:
@@ -45,9 +55,17 @@
 //! fixed, so results remain bitwise deterministic across repeat runs and
 //! thread budgets.
 
-use crate::gemm::{MR, NR};
+use crate::element::Element;
 use crate::view::{MatMut, MatRef};
 use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+
+/// f64 microkernel tile height/width — `<f64 as Element>::MR` / `NR`.
+pub(crate) const MR: usize = 8;
+pub(crate) const NR: usize = 4;
+/// f32 microkernel tile height/width — `<f32 as Element>::MR` / `NR`.
+/// Same two-vectors-of-A register plan as f64, at 8 lanes per vector.
+pub(crate) const MR32: usize = 16;
+pub(crate) const NR32: usize = 4;
 
 /// Instruction set the dense kernels dispatch to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,9 +73,9 @@ use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
 pub enum Isa {
     /// Portable scalar loops (also the `BT_DENSE_SIMD=0` path).
     Scalar = 0,
-    /// AVX2 + FMA on x86_64 (4 x f64 per vector).
+    /// AVX2 + FMA on x86_64 (4 x f64 / 8 x f32 per vector).
     Avx2Fma = 1,
-    /// NEON on aarch64 (2 x f64 per vector).
+    /// NEON on aarch64 (2 x f64 / 4 x f32 per vector).
     Neon = 2,
 }
 
@@ -181,6 +199,31 @@ pub fn axpy(w: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+/// `y += w * x` over `f32` slices — the 8-lane AVX2 / 4-lane NEON
+/// counterpart of [`axpy`], same dispatch point and same non-finite
+/// propagation contract.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub(crate) fn axpy_f32(w: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma implies runtime-detected AVX2+FMA; lengths equal.
+        Isa::Avx2Fma => unsafe { x86::axpy_f32(w, x, y) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: Neon implies runtime-detected NEON; lengths equal.
+        Isa::Neon => unsafe { neon::axpy_f32(w, x, y) },
+        _ => {
+            for (yi, xi) in y.iter_mut().zip(x) {
+                *yi += w * *xi;
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // DOT: sum_i x[i] * y[i]
 // ---------------------------------------------------------------------
@@ -210,6 +253,26 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     }
 }
 
+/// Dot product over `f32` slices (see [`dot`] for the reassociation
+/// contract).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub(crate) fn dot_f32(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma implies runtime-detected AVX2+FMA; lengths equal.
+        Isa::Avx2Fma => unsafe { x86::dot_f32(x, y) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: Neon implies runtime-detected NEON; lengths equal.
+        Isa::Neon => unsafe { neon::dot_f32(x, y) },
+        _ => x.iter().zip(y).map(|(a, b)| a * b).sum(),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Packed MR x NR microkernel
 // ---------------------------------------------------------------------
@@ -223,11 +286,13 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if a panel is shorter than `kb` full micro-rows.
+/// Panics if a panel is shorter than `kb` full micro-rows or `acc` is
+/// smaller than the `MR * NR` tile.
 #[inline]
-pub(crate) fn microkernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MR * NR]) {
+pub(crate) fn microkernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64]) {
     assert!(pa.len() >= kb * MR, "packed A panel too short");
     assert!(pb.len() >= kb * NR, "packed B panel too short");
+    assert!(acc.len() >= MR * NR, "accumulator tile too short");
     match active() {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: Avx2Fma implies runtime-detected AVX2+FMA; the panel
@@ -236,24 +301,53 @@ pub(crate) fn microkernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MR 
         #[cfg(target_arch = "aarch64")]
         // SAFETY: Neon implies runtime-detected NEON; lengths asserted.
         Isa::Neon => unsafe { neon::microkernel(kb, pa, pb, acc) },
-        _ => microkernel_scalar(kb, pa, pb, acc),
+        _ => microkernel_scalar::<f64, MR, NR>(kb, pa, pb, acc),
     }
 }
 
-/// Portable microkernel: same summation order as the SIMD tiles, array
-/// conversions hoisted out of the inner loops (`chunks_exact` hands the
-/// compiler fixed-length panels, so the `jj`/`ii` loops are
-/// bounds-check-free and autovectorize).
-fn microkernel_scalar(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MR * NR]) {
-    let pa = &pa[..kb * MR];
-    let pb = &pb[..kb * NR];
-    for (ap, bp) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)) {
-        let ap: &[f64; MR] = ap.try_into().expect("MR panel stripe");
-        let bp: &[f64; NR] = bp.try_into().expect("NR panel stripe");
-        for jj in 0..NR {
+/// The `MR32 x NR32` packed `f32` microkernel (see [`microkernel`]).
+///
+/// # Panics
+///
+/// Panics if a panel is shorter than `kb` full micro-rows or `acc` is
+/// smaller than the `MR32 * NR32` tile.
+#[inline]
+pub(crate) fn microkernel_f32(kb: usize, pa: &[f32], pb: &[f32], acc: &mut [f32]) {
+    assert!(pa.len() >= kb * MR32, "packed A panel too short");
+    assert!(pb.len() >= kb * NR32, "packed B panel too short");
+    assert!(acc.len() >= MR32 * NR32, "accumulator tile too short");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma implies runtime-detected AVX2+FMA; lengths
+        // asserted above.
+        Isa::Avx2Fma => unsafe { x86::microkernel_f32(kb, pa, pb, acc) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: Neon implies runtime-detected NEON; lengths asserted.
+        Isa::Neon => unsafe { neon::microkernel_f32(kb, pa, pb, acc) },
+        _ => microkernel_scalar::<f32, MR32, NR32>(kb, pa, pb, acc),
+    }
+}
+
+/// Portable microkernel, generic over the element type and tile shape:
+/// same summation order as the SIMD tiles, array conversions hoisted out
+/// of the inner loops (`chunks_exact` hands the compiler fixed-length
+/// panels, so the `jj`/`ii` loops are bounds-check-free and
+/// autovectorize).
+fn microkernel_scalar<E: Element, const MRC: usize, const NRC: usize>(
+    kb: usize,
+    pa: &[E],
+    pb: &[E],
+    acc: &mut [E],
+) {
+    let pa = &pa[..kb * MRC];
+    let pb = &pb[..kb * NRC];
+    for (ap, bp) in pa.chunks_exact(MRC).zip(pb.chunks_exact(NRC)) {
+        let ap: &[E; MRC] = ap.try_into().expect("MR panel stripe");
+        let bp: &[E; NRC] = bp.try_into().expect("NR panel stripe");
+        for jj in 0..NRC {
             let bv = bp[jj];
-            for ii in 0..MR {
-                acc[jj * MR + ii] += ap[ii] * bv;
+            for ii in 0..MRC {
+                acc[jj * MRC + ii] += ap[ii] * bv;
             }
         }
     }
@@ -299,9 +393,52 @@ pub(crate) fn gemm_small(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: &mut MatMu
             }
         },
         _ => match m {
-            4 => small_scalar::<4>(alpha, a, b, c),
-            8 => small_scalar::<8>(alpha, a, b, c),
-            _ => small_scalar::<16>(alpha, a, b, c),
+            4 => small_scalar::<f64, 4>(alpha, a, b, c),
+            8 => small_scalar::<f64, 8>(alpha, a, b, c),
+            _ => small_scalar::<f64, 16>(alpha, a, b, c),
+        },
+    }
+    true
+}
+
+/// The `f32` whole-block kernel dispatcher (see [`gemm_small`]). The
+/// `M = 4` block fits a single SSE vector on x86, so it gets a dedicated
+/// 128-bit kernel; 8 and 16 use full-width AVX2 vectors.
+pub(crate) fn gemm_small_f32(
+    alpha: f32,
+    a: MatRef<'_, f32>,
+    b: MatRef<'_, f32>,
+    c: &mut MatMut<'_, f32>,
+) -> bool {
+    let m = a.rows();
+    if !SMALL_DIMS.contains(&m) || a.cols() != m || b.shape() != (m, m) || c.shape() != (m, m) {
+        return false;
+    }
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma implies runtime-detected AVX2+FMA (which
+        // subsumes the SSE + FMA used by the M = 4 kernel); the shape
+        // check guarantees M-long columns with M = 8 * NV (or exactly 4).
+        Isa::Avx2Fma => unsafe {
+            match m {
+                4 => x86::small4_f32(alpha, a, b, c),
+                8 => x86::small_f32::<8, 1>(alpha, a, b, c),
+                _ => x86::small_f32::<16, 2>(alpha, a, b, c),
+            }
+        },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: Neon implies runtime-detected NEON; M = 4 * NV.
+        Isa::Neon => unsafe {
+            match m {
+                4 => neon::small_f32::<4, 1>(alpha, a, b, c),
+                8 => neon::small_f32::<8, 2>(alpha, a, b, c),
+                _ => neon::small_f32::<16, 4>(alpha, a, b, c),
+            }
+        },
+        _ => match m {
+            4 => small_scalar::<f32, 4>(alpha, a, b, c),
+            8 => small_scalar::<f32, 8>(alpha, a, b, c),
+            _ => small_scalar::<f32, 16>(alpha, a, b, c),
         },
     }
     true
@@ -310,17 +447,22 @@ pub(crate) fn gemm_small(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: &mut MatMu
 /// Portable whole-block kernel: fixed-size array views make every loop
 /// bound a compile-time constant, so the body fully unrolls and
 /// autovectorizes without bounds checks.
-fn small_scalar<const M: usize>(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: &mut MatMut<'_>) {
+fn small_scalar<E: Element, const M: usize>(
+    alpha: E,
+    a: MatRef<'_, E>,
+    b: MatRef<'_, E>,
+    c: &mut MatMut<'_, E>,
+) {
     for j in 0..M {
-        let bcol: &[f64; M] = b.col(j).try_into().expect("B column");
-        let mut acc = [0.0f64; M];
+        let bcol: &[E; M] = b.col(j).try_into().expect("B column");
+        let mut acc = [E::ZERO; M];
         for (k, &bkj) in bcol.iter().enumerate() {
-            let acol: &[f64; M] = a.col(k).try_into().expect("A column");
+            let acol: &[E; M] = a.col(k).try_into().expect("A column");
             for i in 0..M {
                 acc[i] += acol[i] * bkj;
             }
         }
-        let ccol: &mut [f64; M] = c.col_mut(j).try_into().expect("C column");
+        let ccol: &mut [E; M] = c.col_mut(j).try_into().expect("C column");
         for i in 0..M {
             ccol[i] += alpha * acc[i];
         }
@@ -333,14 +475,18 @@ fn small_scalar<const M: usize>(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: &mu
 
 #[cfg(target_arch = "x86_64")]
 mod x86 {
-    use super::{MatMut, MatRef, MR, NR};
+    use super::{MatMut, MatRef, MR, MR32, NR, NR32};
     use core::arch::x86_64::{
-        __m256d, _mm256_add_pd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_set1_pd,
-        _mm256_setzero_pd, _mm256_storeu_pd,
+        __m256, __m256d, _mm256_add_pd, _mm256_add_ps, _mm256_fmadd_pd, _mm256_fmadd_ps,
+        _mm256_loadu_pd, _mm256_loadu_ps, _mm256_set1_pd, _mm256_set1_ps, _mm256_setzero_pd,
+        _mm256_setzero_ps, _mm256_storeu_pd, _mm256_storeu_ps, _mm_fmadd_ps, _mm_loadu_ps,
+        _mm_set1_ps, _mm_setzero_ps, _mm_storeu_ps,
     };
 
-    /// Lanes per vector.
+    /// f64 lanes per vector.
     const V: usize = 4;
+    /// f32 lanes per vector.
+    const VS: usize = 8;
 
     /// `MR x NR` packed microkernel: the 8 x 4 accumulator tile lives in
     /// eight YMM registers (two per output column), fed by two A loads
@@ -349,10 +495,11 @@ mod x86 {
     ///
     /// # Safety
     ///
-    /// Requires AVX2 + FMA, `pa.len() >= kb * MR` and `pb.len() >= kb * NR`.
+    /// Requires AVX2 + FMA, `pa.len() >= kb * MR`, `pb.len() >= kb * NR`
+    /// and `acc.len() >= MR * NR`.
     #[target_feature(enable = "avx2", enable = "fma")]
-    pub(super) unsafe fn microkernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MR * NR]) {
-        debug_assert!(pa.len() >= kb * MR && pb.len() >= kb * NR);
+    pub(super) unsafe fn microkernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64]) {
+        debug_assert!(pa.len() >= kb * MR && pb.len() >= kb * NR && acc.len() >= MR * NR);
         let mut c00 = _mm256_setzero_pd();
         let mut c10 = _mm256_setzero_pd();
         let mut c01 = _mm256_setzero_pd();
@@ -392,6 +539,57 @@ mod x86 {
         _mm256_storeu_pd(out.add(3 * MR + V), c13);
     }
 
+    /// `MR32 x NR32` packed `f32` microkernel: the same two-A-loads /
+    /// four-B-broadcasts register plan as the f64 tile, but each of the
+    /// eight YMM accumulators now holds 8 single-precision lanes — 64
+    /// flops per `kb` step, double the f64 rate.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA, `pa.len() >= kb * MR32`, `pb.len() >= kb *
+    /// NR32` and `acc.len() >= MR32 * NR32`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn microkernel_f32(kb: usize, pa: &[f32], pb: &[f32], acc: &mut [f32]) {
+        debug_assert!(pa.len() >= kb * MR32 && pb.len() >= kb * NR32 && acc.len() >= MR32 * NR32);
+        let mut c00 = _mm256_setzero_ps();
+        let mut c10 = _mm256_setzero_ps();
+        let mut c01 = _mm256_setzero_ps();
+        let mut c11 = _mm256_setzero_ps();
+        let mut c02 = _mm256_setzero_ps();
+        let mut c12 = _mm256_setzero_ps();
+        let mut c03 = _mm256_setzero_ps();
+        let mut c13 = _mm256_setzero_ps();
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        for _ in 0..kb {
+            let a0 = _mm256_loadu_ps(ap);
+            let a1 = _mm256_loadu_ps(ap.add(VS));
+            let b0 = _mm256_set1_ps(*bp);
+            c00 = _mm256_fmadd_ps(a0, b0, c00);
+            c10 = _mm256_fmadd_ps(a1, b0, c10);
+            let b1 = _mm256_set1_ps(*bp.add(1));
+            c01 = _mm256_fmadd_ps(a0, b1, c01);
+            c11 = _mm256_fmadd_ps(a1, b1, c11);
+            let b2 = _mm256_set1_ps(*bp.add(2));
+            c02 = _mm256_fmadd_ps(a0, b2, c02);
+            c12 = _mm256_fmadd_ps(a1, b2, c12);
+            let b3 = _mm256_set1_ps(*bp.add(3));
+            c03 = _mm256_fmadd_ps(a0, b3, c03);
+            c13 = _mm256_fmadd_ps(a1, b3, c13);
+            ap = ap.add(MR32);
+            bp = bp.add(NR32);
+        }
+        let out = acc.as_mut_ptr();
+        _mm256_storeu_ps(out, c00);
+        _mm256_storeu_ps(out.add(VS), c10);
+        _mm256_storeu_ps(out.add(MR32), c01);
+        _mm256_storeu_ps(out.add(MR32 + VS), c11);
+        _mm256_storeu_ps(out.add(2 * MR32), c02);
+        _mm256_storeu_ps(out.add(2 * MR32 + VS), c12);
+        _mm256_storeu_ps(out.add(3 * MR32), c03);
+        _mm256_storeu_ps(out.add(3 * MR32 + VS), c13);
+    }
+
     /// `y += w * x` with one fused multiply-add per element.
     ///
     /// # Safety
@@ -420,6 +618,42 @@ mod x86 {
             let y0 = _mm256_fmadd_pd(wv, _mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)));
             _mm256_storeu_pd(yp.add(i), y0);
             i += V;
+        }
+        while i < n {
+            // Scalar fused tail: same one-rounding semantics as the lanes.
+            *yp.add(i) = w.mul_add(*xp.add(i), *yp.add(i));
+            i += 1;
+        }
+    }
+
+    /// `y += w * x` over `f32`, 8 lanes per fused multiply-add.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA and `x.len() == y.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn axpy_f32(w: f32, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = y.len();
+        let wv = _mm256_set1_ps(w);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let mut i = 0;
+        while i + 2 * VS <= n {
+            let y0 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+            let y1 = _mm256_fmadd_ps(
+                wv,
+                _mm256_loadu_ps(xp.add(i + VS)),
+                _mm256_loadu_ps(yp.add(i + VS)),
+            );
+            _mm256_storeu_ps(yp.add(i), y0);
+            _mm256_storeu_ps(yp.add(i + VS), y1);
+            i += 2 * VS;
+        }
+        if i + VS <= n {
+            let y0 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+            _mm256_storeu_ps(yp.add(i), y0);
+            i += VS;
         }
         while i < n {
             // Scalar fused tail: same one-rounding semantics as the lanes.
@@ -466,6 +700,44 @@ mod x86 {
         s
     }
 
+    /// `f32` dot product with two independent lane accumulators.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA and `x.len() == y.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn dot_f32(x: &[f32], y: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 2 * VS <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(xp.add(i + VS)),
+                _mm256_loadu_ps(yp.add(i + VS)),
+                acc1,
+            );
+            i += 2 * VS;
+        }
+        if i + VS <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)), acc0);
+            i += VS;
+        }
+        let mut lanes = [0.0f32; VS];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), _mm256_add_ps(acc0, acc1));
+        let mut s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+            + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+        while i < n {
+            s = (*xp.add(i)).mul_add(*yp.add(i), s);
+            i += 1;
+        }
+        s
+    }
+
     /// Whole-block `C += alpha * A * B` for `M x M` operands, `M = 4 * NV`.
     /// One output column is accumulated in `NV` YMM registers while the
     /// `M` rank-1 terms stream through broadcasts of B — no packing, no
@@ -501,6 +773,68 @@ mod x86 {
             }
         }
     }
+
+    /// `f32` whole-block kernel for `M x M` operands, `M = 8 * NV`
+    /// (M = 8 and 16; M = 4 has its own 128-bit kernel below).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA; `a`, `b`, `c` must be `M x M` views.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn small_f32<const M: usize, const NV: usize>(
+        alpha: f32,
+        a: MatRef<'_, f32>,
+        b: MatRef<'_, f32>,
+        c: &mut MatMut<'_, f32>,
+    ) {
+        debug_assert!(M == 8 * NV && a.shape() == (M, M));
+        let alphav = _mm256_set1_ps(alpha);
+        for j in 0..M {
+            let bcol = b.col(j);
+            let mut acc = [_mm256_setzero_ps(); NV];
+            for (k, bkj) in bcol.iter().enumerate() {
+                let ap = a.col(k).as_ptr();
+                let bv = _mm256_set1_ps(*bkj);
+                for (v, accv) in acc.iter_mut().enumerate() {
+                    *accv = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(VS * v)), bv, *accv);
+                }
+            }
+            let cp = c.col_mut(j).as_mut_ptr();
+            for (v, &accv) in acc.iter().enumerate() {
+                let cv: __m256 = _mm256_loadu_ps(cp.add(VS * v));
+                _mm256_storeu_ps(cp.add(VS * v), _mm256_fmadd_ps(alphav, accv, cv));
+            }
+        }
+    }
+
+    /// `f32` whole-block kernel for the 4 x 4 case: one 128-bit vector
+    /// holds a full column, so the accumulator is a single XMM register.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA (FMA covers the 128-bit `_mm_fmadd_ps`);
+    /// `a`, `b`, `c` must be `4 x 4` views.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn small4_f32(
+        alpha: f32,
+        a: MatRef<'_, f32>,
+        b: MatRef<'_, f32>,
+        c: &mut MatMut<'_, f32>,
+    ) {
+        debug_assert!(a.shape() == (4, 4));
+        let alphav = _mm_set1_ps(alpha);
+        for j in 0..4 {
+            let bcol = b.col(j);
+            let mut acc = _mm_setzero_ps();
+            for (k, bkj) in bcol.iter().enumerate() {
+                let ap = a.col(k).as_ptr();
+                acc = _mm_fmadd_ps(_mm_loadu_ps(ap), _mm_set1_ps(*bkj), acc);
+            }
+            let cp = c.col_mut(j).as_mut_ptr();
+            let cv = _mm_loadu_ps(cp);
+            _mm_storeu_ps(cp, _mm_fmadd_ps(alphav, acc, cv));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -509,21 +843,27 @@ mod x86 {
 
 #[cfg(target_arch = "aarch64")]
 mod neon {
-    use super::{MatMut, MatRef, MR, NR};
-    use core::arch::aarch64::{vaddq_f64, vdupq_n_f64, vfmaq_f64, vld1q_f64, vst1q_f64};
+    use super::{MatMut, MatRef, MR, MR32, NR, NR32};
+    use core::arch::aarch64::{
+        vaddq_f32, vaddq_f64, vdupq_n_f32, vdupq_n_f64, vfmaq_f32, vfmaq_f64, vld1q_f32, vld1q_f64,
+        vst1q_f32, vst1q_f64,
+    };
 
-    /// Lanes per vector.
+    /// f64 lanes per vector.
     const V: usize = 2;
+    /// f32 lanes per vector.
+    const VS: usize = 4;
 
     /// `MR x NR` packed microkernel: 16 two-lane accumulators (four per
     /// output column).
     ///
     /// # Safety
     ///
-    /// Requires NEON, `pa.len() >= kb * MR` and `pb.len() >= kb * NR`.
+    /// Requires NEON, `pa.len() >= kb * MR`, `pb.len() >= kb * NR` and
+    /// `acc.len() >= MR * NR`.
     #[target_feature(enable = "neon")]
-    pub(super) unsafe fn microkernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64; MR * NR]) {
-        debug_assert!(pa.len() >= kb * MR && pb.len() >= kb * NR);
+    pub(super) unsafe fn microkernel(kb: usize, pa: &[f64], pb: &[f64], acc: &mut [f64]) {
+        debug_assert!(pa.len() >= kb * MR && pb.len() >= kb * NR && acc.len() >= MR * NR);
         let mut tile = [[vdupq_n_f64(0.0); MR / V]; NR];
         let mut ap = pa.as_ptr();
         let mut bp = pb.as_ptr();
@@ -547,6 +887,45 @@ mod neon {
         for (jj, col) in tile.iter().enumerate() {
             for (v, &accv) in col.iter().enumerate() {
                 vst1q_f64(out.add(jj * MR + v * V), accv);
+            }
+        }
+    }
+
+    /// `MR32 x NR32` packed `f32` microkernel: 16 four-lane accumulators
+    /// (four per output column), the register plan of the f64 tile at
+    /// twice the lanes. aarch64's 32 vector registers hold the tile, the
+    /// four A vectors and the B broadcast without spilling.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON, `pa.len() >= kb * MR32`, `pb.len() >= kb * NR32`
+    /// and `acc.len() >= MR32 * NR32`.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn microkernel_f32(kb: usize, pa: &[f32], pb: &[f32], acc: &mut [f32]) {
+        debug_assert!(pa.len() >= kb * MR32 && pb.len() >= kb * NR32 && acc.len() >= MR32 * NR32);
+        let mut tile = [[vdupq_n_f32(0.0); MR32 / VS]; NR32];
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        for _ in 0..kb {
+            let a = [
+                vld1q_f32(ap),
+                vld1q_f32(ap.add(VS)),
+                vld1q_f32(ap.add(2 * VS)),
+                vld1q_f32(ap.add(3 * VS)),
+            ];
+            for (jj, col) in tile.iter_mut().enumerate() {
+                let bv = vdupq_n_f32(*bp.add(jj));
+                for (v, accv) in col.iter_mut().enumerate() {
+                    *accv = vfmaq_f32(*accv, a[v], bv);
+                }
+            }
+            ap = ap.add(MR32);
+            bp = bp.add(NR32);
+        }
+        let out = acc.as_mut_ptr();
+        for (jj, col) in tile.iter().enumerate() {
+            for (v, &accv) in col.iter().enumerate() {
+                vst1q_f32(out.add(jj * MR32 + v * VS), accv);
             }
         }
     }
@@ -575,6 +954,37 @@ mod neon {
             let y0 = vfmaq_f64(vld1q_f64(yp.add(i)), vld1q_f64(xp.add(i)), wv);
             vst1q_f64(yp.add(i), y0);
             i += V;
+        }
+        while i < n {
+            *yp.add(i) = w.mul_add(*xp.add(i), *yp.add(i));
+            i += 1;
+        }
+    }
+
+    /// `y += w * x` over `f32`, 4 lanes per fused multiply-add.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON and `x.len() == y.len()`.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn axpy_f32(w: f32, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = y.len();
+        let wv = vdupq_n_f32(w);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let mut i = 0;
+        while i + 2 * VS <= n {
+            let y0 = vfmaq_f32(vld1q_f32(yp.add(i)), vld1q_f32(xp.add(i)), wv);
+            let y1 = vfmaq_f32(vld1q_f32(yp.add(i + VS)), vld1q_f32(xp.add(i + VS)), wv);
+            vst1q_f32(yp.add(i), y0);
+            vst1q_f32(yp.add(i + VS), y1);
+            i += 2 * VS;
+        }
+        if i + VS <= n {
+            let y0 = vfmaq_f32(vld1q_f32(yp.add(i)), vld1q_f32(xp.add(i)), wv);
+            vst1q_f32(yp.add(i), y0);
+            i += VS;
         }
         while i < n {
             *yp.add(i) = w.mul_add(*xp.add(i), *yp.add(i));
@@ -616,6 +1026,39 @@ mod neon {
         s
     }
 
+    /// `f32` dot product with two independent lane accumulators.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON and `x.len() == y.len()`.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot_f32(x: &[f32], y: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i + 2 * VS <= n {
+            acc0 = vfmaq_f32(acc0, vld1q_f32(xp.add(i)), vld1q_f32(yp.add(i)));
+            acc1 = vfmaq_f32(acc1, vld1q_f32(xp.add(i + VS)), vld1q_f32(yp.add(i + VS)));
+            i += 2 * VS;
+        }
+        if i + VS <= n {
+            acc0 = vfmaq_f32(acc0, vld1q_f32(xp.add(i)), vld1q_f32(yp.add(i)));
+            i += VS;
+        }
+        let mut lanes = [0.0f32; VS];
+        vst1q_f32(lanes.as_mut_ptr(), vaddq_f32(acc0, acc1));
+        let mut s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        while i < n {
+            s = (*xp.add(i)).mul_add(*yp.add(i), s);
+            i += 1;
+        }
+        s
+    }
+
     /// Whole-block `C += alpha * A * B` for `M x M` operands, `M = 2 * NV`.
     ///
     /// # Safety
@@ -647,6 +1090,38 @@ mod neon {
             }
         }
     }
+
+    /// `f32` whole-block kernel for `M x M` operands, `M = 4 * NV`.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON; `a`, `b`, `c` must be `M x M` views.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn small_f32<const M: usize, const NV: usize>(
+        alpha: f32,
+        a: MatRef<'_, f32>,
+        b: MatRef<'_, f32>,
+        c: &mut MatMut<'_, f32>,
+    ) {
+        debug_assert!(M == 4 * NV && a.shape() == (M, M));
+        let alphav = vdupq_n_f32(alpha);
+        for j in 0..M {
+            let bcol = b.col(j);
+            let mut acc = [vdupq_n_f32(0.0); NV];
+            for (k, bkj) in bcol.iter().enumerate() {
+                let ap = a.col(k).as_ptr();
+                let bv = vdupq_n_f32(*bkj);
+                for (v, accv) in acc.iter_mut().enumerate() {
+                    *accv = vfmaq_f32(*accv, vld1q_f32(ap.add(VS * v)), bv);
+                }
+            }
+            let cp = c.col_mut(j).as_mut_ptr();
+            for (v, &accv) in acc.iter().enumerate() {
+                let cv = vld1q_f32(cp.add(VS * v));
+                vst1q_f32(cp.add(VS * v), vfmaq_f32(cv, alphav, accv));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -670,6 +1145,14 @@ mod tests {
     }
     fn pin(isa: Isa) -> IsaGuard {
         IsaGuard(force(Some(isa)))
+    }
+
+    #[test]
+    fn tile_constants_match_the_element_trait() {
+        assert_eq!(MR, <f64 as Element>::MR);
+        assert_eq!(NR, <f64 as Element>::NR);
+        assert_eq!(MR32, <f32 as Element>::MR);
+        assert_eq!(NR32, <f32 as Element>::NR);
     }
 
     #[test]
@@ -703,11 +1186,40 @@ mod tests {
     }
 
     #[test]
+    fn axpy_f32_matches_scalar_reference() {
+        let _l = lock();
+        for n in [0usize, 1, 3, 7, 8, 15, 16, 17, 31, 64, 100] {
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+            let y0: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).cos()).collect();
+            let w = -1.75f32;
+            let mut expect = y0.clone();
+            for (e, xv) in expect.iter_mut().zip(&x) {
+                *e += w * xv;
+            }
+            let mut got = y0.clone();
+            axpy_f32(w, &x, &mut got);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((g - e).abs() <= 1e-6 * e.abs().max(1.0), "n={n}");
+            }
+        }
+    }
+
+    #[test]
     fn axpy_propagates_zero_times_nan() {
         let _l = lock();
         let x = [f64::NAN, f64::INFINITY, 1.0];
         let mut y = [0.0; 3];
         axpy(0.0, &x, &mut y);
+        assert!(y[0].is_nan() && y[1].is_nan());
+        assert_eq!(y[2], 0.0);
+    }
+
+    #[test]
+    fn axpy_f32_propagates_zero_times_nan() {
+        let _l = lock();
+        let x = [f32::NAN, f32::INFINITY, 1.0];
+        let mut y = [0.0f32; 3];
+        axpy_f32(0.0, &x, &mut y);
         assert!(y[0].is_nan() && y[1].is_nan());
         assert_eq!(y[2], 0.0);
     }
@@ -728,6 +1240,22 @@ mod tests {
     }
 
     #[test]
+    fn dot_f32_matches_scalar_reference() {
+        let _l = lock();
+        for n in [0usize, 1, 2, 5, 8, 15, 16, 17, 33, 100] {
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).sin()).collect();
+            let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.23).cos()).collect();
+            let expect: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let got = dot_f32(&x, &y);
+            // f32 reassociation error grows with n; scale the tolerance.
+            assert!(
+                (got - expect).abs() <= 1e-6 * (n as f32 + 1.0),
+                "n={n}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
     fn microkernel_paths_agree() {
         let _l = lock();
         let kb = 37;
@@ -742,6 +1270,24 @@ mod tests {
         microkernel(kb, &pa, &pb, &mut active_path);
         for (s, v) in scalar.iter().zip(&active_path) {
             assert!((s - v).abs() <= 1e-13 * s.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn microkernel_f32_paths_agree() {
+        let _l = lock();
+        let kb = 37;
+        let pa: Vec<f32> = (0..kb * MR32).map(|i| (i as f32 * 0.17).sin()).collect();
+        let pb: Vec<f32> = (0..kb * NR32).map(|i| (i as f32 * 0.29).cos()).collect();
+        let mut scalar = [0.0f32; MR32 * NR32];
+        {
+            let _g = pin(Isa::Scalar);
+            microkernel_f32(kb, &pa, &pb, &mut scalar);
+        }
+        let mut active_path = [0.0f32; MR32 * NR32];
+        microkernel_f32(kb, &pa, &pb, &mut active_path);
+        for (s, v) in scalar.iter().zip(&active_path) {
+            assert!((s - v).abs() <= 1e-6 * (kb as f32), "{s} vs {v}");
         }
     }
 
@@ -777,6 +1323,37 @@ mod tests {
     }
 
     #[test]
+    fn small_f32_kernel_paths_agree_and_respect_alpha() {
+        let _l = lock();
+        for m in SMALL_DIMS {
+            let a = Mat::<f32>::from_fn(m, m, |i, j| ((i * m + j) as f32 * 0.31).sin());
+            let b = Mat::<f32>::from_fn(m, m, |i, j| ((i + 2 * j) as f32 * 0.17).cos());
+            let c0 = Mat::<f32>::from_fn(m, m, |i, j| (i as f32 - j as f32) * 0.05);
+            let mut scalar = c0.clone();
+            {
+                let _g = pin(Isa::Scalar);
+                assert!(gemm_small_f32(
+                    -1.5,
+                    a.as_ref(),
+                    b.as_ref(),
+                    &mut scalar.as_mut()
+                ));
+            }
+            let mut active_path = c0.clone();
+            assert!(gemm_small_f32(
+                -1.5,
+                a.as_ref(),
+                b.as_ref(),
+                &mut active_path.as_mut()
+            ));
+            assert!(
+                scalar.sub(&active_path).max_abs() <= 1e-5 * m as f64,
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
     fn small_kernel_rejects_unsupported_shapes() {
         let _l = lock();
         let a = Mat::zeros(5, 5);
@@ -791,6 +1368,15 @@ mod tests {
             a8.as_ref(),
             b84.as_ref(),
             &mut c84.as_mut()
+        ));
+        let a5 = Mat::<f32>::zeros(5, 5);
+        let b5 = Mat::<f32>::zeros(5, 5);
+        let mut c5 = Mat::<f32>::zeros(5, 5);
+        assert!(!gemm_small_f32(
+            1.0,
+            a5.as_ref(),
+            b5.as_ref(),
+            &mut c5.as_mut()
         ));
     }
 }

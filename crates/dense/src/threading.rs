@@ -69,10 +69,10 @@ const PANEL_PAR_MIN_FLOPS: usize = 50_000;
 /// multi-column and `flops_per_col * cols` clears the spawn-overhead
 /// threshold. Columns are fully independent, so the result is identical
 /// (bitwise) to the sequential sweep for any thread count.
-pub(crate) fn for_each_column_parallel(
-    mut b: MatMut<'_>,
+pub(crate) fn for_each_column_parallel<E: crate::element::Element>(
+    mut b: MatMut<'_, E>,
     flops_per_col: usize,
-    f: impl Fn(&mut [f64]) + Sync,
+    f: impl Fn(&mut [E]) + Sync,
 ) {
     let n = b.rows();
     let r = b.cols();
@@ -99,6 +99,39 @@ pub(crate) fn for_each_column_parallel(
         for j in 0..r {
             f(b.col_mut(j));
         }
+    }
+}
+
+/// Applies `f` to contiguous multi-column *blocks* of the panel, one
+/// block per thread: `f` receives `(block, ncols)` where `block` is
+/// `ncols` back-to-back columns of `b.rows()` elements each. Requires a
+/// contiguous view (callers check [`MatMut::is_contiguous`]). As with
+/// [`for_each_column_parallel`], `f`'s per-element arithmetic must not
+/// depend on the block width, so results stay bitwise identical for any
+/// thread count.
+pub(crate) fn for_each_column_block_parallel<E: crate::element::Element>(
+    b: MatMut<'_, E>,
+    flops_per_col: usize,
+    f: impl Fn(&mut [E], usize) + Sync,
+) {
+    let n = b.rows();
+    let r = b.cols();
+    if n == 0 || r == 0 {
+        return;
+    }
+    debug_assert!(b.is_contiguous(), "block split needs packed columns");
+    let data = &mut b.data[..n * r];
+    let t = current_threads().min(r);
+    if t > 1 && flops_per_col.saturating_mul(r) >= PANEL_PAR_MIN_FLOPS {
+        let cols_per = r.div_ceil(t);
+        let f = &f;
+        rayon::scope(|s| {
+            for chunk in data.chunks_mut(cols_per * n) {
+                s.spawn(move |_| f(chunk, chunk.len() / n));
+            }
+        });
+    } else {
+        f(data, r);
     }
 }
 

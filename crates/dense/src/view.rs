@@ -1,12 +1,16 @@
 //! Borrowed column-major matrix views: [`MatRef`] / [`MatMut`].
 //!
-//! A view is `(data, rows, cols, col_stride)` over an `f64` buffer in
+//! A view is `(data, rows, cols, col_stride)` over an element buffer in
 //! column-major order: element `(i, j)` lives at `i + j * col_stride`.
 //! With `col_stride == rows` the view is *contiguous* (identical layout
 //! to [`Mat`]); with `col_stride > rows` it addresses a column-aligned
 //! window of a larger matrix. Columns are always contiguous slices
 //! either way, which is the access pattern every kernel in this crate
 //! relies on.
+//!
+//! Like [`Mat`], views are generic over the scalar type with `f64` as
+//! the default: `MatRef<'a>` means `MatRef<'a, f64>`, and `MatRef<'a,
+//! f32>` is the half-width view used by the mixed-precision path.
 //!
 //! Views exist so hot paths can operate on submatrices and
 //! [`crate::workspace::Workspace`]-pooled buffers without materializing
@@ -15,6 +19,7 @@
 //! `&mut Mat` callers keep working unchanged while allocation-free
 //! callers pass views (DESIGN.md §"Memory model").
 
+use crate::element::Element;
 use crate::mat::Mat;
 use std::fmt;
 
@@ -30,21 +35,21 @@ pub(crate) fn required_len(rows: usize, cols: usize, col_stride: usize) -> usize
 
 /// Immutable borrowed view of a column-major matrix.
 #[derive(Clone, Copy)]
-pub struct MatRef<'a> {
-    pub(crate) data: &'a [f64],
+pub struct MatRef<'a, E: Element = f64> {
+    pub(crate) data: &'a [E],
     pub(crate) rows: usize,
     pub(crate) cols: usize,
     pub(crate) col_stride: usize,
 }
 
-impl<'a> MatRef<'a> {
+impl<'a, E: Element> MatRef<'a, E> {
     /// Builds a view over `data` with an explicit column stride.
     ///
     /// # Panics
     ///
     /// Panics if `col_stride < rows` or `data` is too short for the
     /// requested shape.
-    pub fn from_parts(data: &'a [f64], rows: usize, cols: usize, col_stride: usize) -> Self {
+    pub fn from_parts(data: &'a [E], rows: usize, cols: usize, col_stride: usize) -> Self {
         assert!(col_stride >= rows, "col_stride {col_stride} < rows {rows}");
         assert!(
             data.len() >= required_len(rows, cols, col_stride),
@@ -92,14 +97,14 @@ impl<'a> MatRef<'a> {
     /// Column `j` as a contiguous slice (borrowing the backing buffer,
     /// not the view).
     #[inline]
-    pub fn col(&self, j: usize) -> &'a [f64] {
+    pub fn col(&self, j: usize) -> &'a [E] {
         debug_assert!(j < self.cols);
         &self.data[j * self.col_stride..j * self.col_stride + self.rows]
     }
 
     /// Element read (bounds checked in debug builds).
     #[inline(always)]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> E {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i + j * self.col_stride]
     }
@@ -109,7 +114,7 @@ impl<'a> MatRef<'a> {
     /// # Panics
     ///
     /// Panics if the window exceeds the view bounds.
-    pub fn submatrix(&self, r0: usize, c0: usize, br: usize, bc: usize) -> MatRef<'a> {
+    pub fn submatrix(&self, r0: usize, c0: usize, br: usize, bc: usize) -> MatRef<'a, E> {
         assert!(
             r0 + br <= self.rows && c0 + bc <= self.cols,
             "submatrix out of bounds"
@@ -125,7 +130,7 @@ impl<'a> MatRef<'a> {
     }
 
     /// Copies the view into a freshly allocated [`Mat`].
-    pub fn to_mat(&self) -> Mat {
+    pub fn to_mat(&self) -> Mat<E> {
         let mut out = Mat::zeros(self.rows, self.cols);
         for j in 0..self.cols {
             out.col_mut(j).copy_from_slice(self.col(j));
@@ -135,21 +140,21 @@ impl<'a> MatRef<'a> {
 }
 
 /// Mutable borrowed view of a column-major matrix.
-pub struct MatMut<'a> {
-    pub(crate) data: &'a mut [f64],
+pub struct MatMut<'a, E: Element = f64> {
+    pub(crate) data: &'a mut [E],
     pub(crate) rows: usize,
     pub(crate) cols: usize,
     pub(crate) col_stride: usize,
 }
 
-impl<'a> MatMut<'a> {
+impl<'a, E: Element> MatMut<'a, E> {
     /// Builds a mutable view over `data` with an explicit column stride.
     ///
     /// # Panics
     ///
     /// Panics if `col_stride < rows` or `data` is too short for the
     /// requested shape.
-    pub fn from_parts(data: &'a mut [f64], rows: usize, cols: usize, col_stride: usize) -> Self {
+    pub fn from_parts(data: &'a mut [E], rows: usize, cols: usize, col_stride: usize) -> Self {
         assert!(col_stride >= rows, "col_stride {col_stride} < rows {rows}");
         assert!(
             data.len() >= required_len(rows, cols, col_stride),
@@ -196,7 +201,7 @@ impl<'a> MatMut<'a> {
 
     /// Immutable reborrow of this view.
     #[inline]
-    pub fn rb(&self) -> MatRef<'_> {
+    pub fn rb(&self) -> MatRef<'_, E> {
         MatRef {
             data: self.data,
             rows: self.rows,
@@ -208,7 +213,7 @@ impl<'a> MatMut<'a> {
     /// Mutable reborrow: a shorter-lived `MatMut` over the same window,
     /// so a view can be passed to a consuming kernel and used again.
     #[inline]
-    pub fn rb_mut(&mut self) -> MatMut<'_> {
+    pub fn rb_mut(&mut self) -> MatMut<'_, E> {
         MatMut {
             data: self.data,
             rows: self.rows,
@@ -219,28 +224,28 @@ impl<'a> MatMut<'a> {
 
     /// Column `j` as a contiguous slice.
     #[inline]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[E] {
         debug_assert!(j < self.cols);
         &self.data[j * self.col_stride..j * self.col_stride + self.rows]
     }
 
     /// Mutable column `j`.
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [E] {
         debug_assert!(j < self.cols);
         &mut self.data[j * self.col_stride..j * self.col_stride + self.rows]
     }
 
     /// Element read (bounds checked in debug builds).
     #[inline(always)]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> E {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i + j * self.col_stride]
     }
 
     /// Element write (bounds checked in debug builds).
     #[inline(always)]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: E) {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i + j * self.col_stride] = v;
     }
@@ -249,19 +254,19 @@ impl<'a> MatMut<'a> {
     /// backing buffer are untouched).
     pub fn fill_zero(&mut self) {
         for j in 0..self.cols {
-            self.col_mut(j).fill(0.0);
+            self.col_mut(j).fill(E::ZERO);
         }
     }
 
     /// Sets every element of the window to `v`.
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: E) {
         for j in 0..self.cols {
             self.col_mut(j).fill(v);
         }
     }
 
     /// Scales every element of the window by `s`.
-    pub fn scale(&mut self, s: f64) {
+    pub fn scale(&mut self, s: E) {
         for j in 0..self.cols {
             for v in self.col_mut(j) {
                 *v *= s;
@@ -274,7 +279,7 @@ impl<'a> MatMut<'a> {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn copy_from(&mut self, src: MatRef<'_>) {
+    pub fn copy_from(&mut self, src: MatRef<'_, E>) {
         assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
         for j in 0..self.cols {
             self.col_mut(j).copy_from_slice(src.col(j));
@@ -287,7 +292,7 @@ impl<'a> MatMut<'a> {
     /// # Panics
     ///
     /// Panics if the window exceeds the view bounds.
-    pub fn submatrix_mut(self, r0: usize, c0: usize, br: usize, bc: usize) -> MatMut<'a> {
+    pub fn submatrix_mut(self, r0: usize, c0: usize, br: usize, bc: usize) -> MatMut<'a, E> {
         assert!(
             r0 + br <= self.rows && c0 + bc <= self.cols,
             "submatrix out of bounds"
@@ -303,54 +308,60 @@ impl<'a> MatMut<'a> {
     }
 }
 
-impl<'a> From<&'a Mat> for MatRef<'a> {
-    fn from(m: &'a Mat) -> Self {
+impl<'a, E: Element> From<&'a Mat<E>> for MatRef<'a, E> {
+    fn from(m: &'a Mat<E>) -> Self {
         m.as_ref()
     }
 }
 
-impl<'a> From<&'a mut Mat> for MatRef<'a> {
-    fn from(m: &'a mut Mat) -> Self {
+impl<'a, E: Element> From<&'a mut Mat<E>> for MatRef<'a, E> {
+    fn from(m: &'a mut Mat<E>) -> Self {
         m.as_ref()
     }
 }
 
-impl<'a> From<&'a mut Mat> for MatMut<'a> {
-    fn from(m: &'a mut Mat) -> Self {
+impl<'a, E: Element> From<&'a mut Mat<E>> for MatMut<'a, E> {
+    fn from(m: &'a mut Mat<E>) -> Self {
         m.as_mut()
     }
 }
 
-impl<'short, 'long: 'short> From<&'short MatMut<'long>> for MatRef<'short> {
-    fn from(m: &'short MatMut<'long>) -> Self {
+impl<'short, 'long: 'short, E: Element> From<&'short MatMut<'long, E>> for MatRef<'short, E> {
+    fn from(m: &'short MatMut<'long, E>) -> Self {
         m.rb()
     }
 }
 
-impl<'short, 'long: 'short> From<&'short mut MatMut<'long>> for MatMut<'short> {
-    fn from(m: &'short mut MatMut<'long>) -> Self {
+impl<'short, 'long: 'short, E: Element> From<&'short mut MatMut<'long, E>> for MatMut<'short, E> {
+    fn from(m: &'short mut MatMut<'long, E>) -> Self {
         m.rb_mut()
     }
 }
 
 // Debug prints shape + stride, not contents — views over large
 // workspaces would otherwise dump megabytes.
-impl fmt::Debug for MatRef<'_> {
+impl<E: Element> fmt::Debug for MatRef<'_, E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "MatRef {}x{} (col_stride {})",
-            self.rows, self.cols, self.col_stride
+            "MatRef<{}> {}x{} (col_stride {})",
+            E::NAME,
+            self.rows,
+            self.cols,
+            self.col_stride
         )
     }
 }
 
-impl fmt::Debug for MatMut<'_> {
+impl<E: Element> fmt::Debug for MatMut<'_, E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "MatMut {}x{} (col_stride {})",
-            self.rows, self.cols, self.col_stride
+            "MatMut<{}> {}x{} (col_stride {})",
+            E::NAME,
+            self.rows,
+            self.cols,
+            self.col_stride
         )
     }
 }
@@ -428,6 +439,15 @@ mod tests {
         assert_eq!(v.rb().get(2, 2), 1.0);
         v.set(0, 0, 9.0);
         assert_eq!(m.get(0, 0), 9.0);
+    }
+
+    #[test]
+    fn f32_views_share_the_kernel_access_pattern() {
+        let m = Mat::<f32>::from_fn(4, 4, |i, j| (i * 100 + j) as f32);
+        let v = m.submatrix(1, 1, 2, 2);
+        assert_eq!(v.get(1, 1), 202.0f32);
+        assert_eq!(v.col_stride(), 4);
+        assert_eq!(v.to_mat(), m.block(1, 1, 2, 2));
     }
 
     #[test]

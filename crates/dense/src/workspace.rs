@@ -1,5 +1,5 @@
-//! [`Workspace`]: a pool of reusable `f64` buffers for allocation-free
-//! hot paths.
+//! [`Workspace`]: a pool of reusable element buffers for
+//! allocation-free hot paths.
 //!
 //! The solver's replay loop needs many short-lived `Mat` temporaries
 //! per step. Allocating them fresh each call makes the `O(M^2)` replay
@@ -10,6 +10,11 @@
 //! allocate nothing — the invariant `tests/workspace.rs` asserts via
 //! [`WorkspaceStats::checkouts`] deltas.
 //!
+//! Like [`Mat`], the pool is generic over the element type with `f64`
+//! as the default; byte accounting follows `size_of::<E>()`, so an
+//! `f32` workspace reports half the bytes of an `f64` one for the same
+//! shapes. A pool only ever holds buffers of its own element type.
+//!
 //! A `Workspace` is deliberately *not* thread-safe: each rank (and each
 //! worker thread that wants reuse) owns its own. `checkouts` counts
 //! pool *misses* (a fresh heap allocation was required), `reuses`
@@ -18,6 +23,7 @@
 //! outstanding+pooled footprint on the `bt_dense.ws.bytes_high_water`
 //! gauge.
 
+use crate::element::Element;
 use crate::mat::Mat;
 use crate::view::MatRef;
 
@@ -47,47 +53,55 @@ pub struct WorkspaceStats {
     pub trimmed_bytes: u64,
 }
 
-/// A pool of reusable column-major `f64` buffers.
+/// A pool of reusable column-major element buffers.
 ///
 /// `take` hands out a correctly shaped, zeroed [`Mat`]; `put` returns
 /// its backing buffer to the pool for the next `take` of any shape that
 /// fits. Buffers are matched on *capacity*, not shape, so one pool
 /// serves temporaries of mixed sizes.
 #[derive(Debug, Default)]
-pub struct Workspace {
-    free: Vec<Vec<f64>>,
+pub struct Workspace<E: Element = f64> {
+    free: Vec<Vec<E>>,
     bytes_out: u64,
     bytes_pooled: u64,
     stats: WorkspaceStats,
 }
 
-impl Workspace {
+impl<E: Element> Workspace<E> {
+    /// Bytes per pooled element.
+    const ELEM_BYTES: u64 = std::mem::size_of::<E>() as u64;
+
     /// An empty pool. The first pass through a hot path populates it.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            free: Vec::new(),
+            bytes_out: 0,
+            bytes_pooled: 0,
+            stats: WorkspaceStats::default(),
+        }
     }
 
     /// Checks out a zeroed `rows x cols` matrix, recycling a pooled
     /// buffer when one is large enough.
-    pub fn take(&mut self, rows: usize, cols: usize) -> Mat {
+    pub fn take(&mut self, rows: usize, cols: usize) -> Mat<E> {
         let need = rows * cols;
         let mut buf = self.pick(need);
         buf.clear();
-        buf.resize(need, 0.0);
-        self.note_out(buf.capacity() as u64 * 8);
+        buf.resize(need, E::ZERO);
+        self.note_out(buf.capacity() as u64 * Self::ELEM_BYTES);
         Mat::from_col_major(rows, cols, buf)
     }
 
     /// Checks out a copy of `src` (same recycling as [`Workspace::take`],
     /// but filled by copying columns instead of a zero pass).
-    pub fn take_copy(&mut self, src: MatRef<'_>) -> Mat {
+    pub fn take_copy(&mut self, src: MatRef<'_, E>) -> Mat<E> {
         let (rows, cols) = src.shape();
         let mut buf = self.pick(rows * cols);
         buf.clear();
         for j in 0..cols {
             buf.extend_from_slice(src.col(j));
         }
-        self.note_out(buf.capacity() as u64 * 8);
+        self.note_out(buf.capacity() as u64 * Self::ELEM_BYTES);
         Mat::from_col_major(rows, cols, buf)
     }
 
@@ -96,9 +110,9 @@ impl Workspace {
     /// Accepts any `Mat`, including ones this workspace never handed
     /// out — "foreign" buffers are simply adopted, which lets a caller
     /// seed the pool. Zero-capacity buffers are dropped.
-    pub fn put(&mut self, m: Mat) {
+    pub fn put(&mut self, m: Mat<E>) {
         let buf = m.into_vec();
-        let cap_bytes = buf.capacity() as u64 * 8;
+        let cap_bytes = buf.capacity() as u64 * Self::ELEM_BYTES;
         self.bytes_out = self.bytes_out.saturating_sub(cap_bytes);
         if buf.capacity() > 0 {
             self.bytes_pooled += cap_bytes;
@@ -140,7 +154,7 @@ impl Workspace {
                 .map(|(i, _)| i)
                 .expect("pool non-empty");
             let buf = self.free.swap_remove(largest);
-            let cap_bytes = buf.capacity() as u64 * 8;
+            let cap_bytes = buf.capacity() as u64 * Self::ELEM_BYTES;
             self.bytes_pooled -= cap_bytes;
             released += cap_bytes;
         }
@@ -165,7 +179,7 @@ impl Workspace {
 
     /// Smallest pooled buffer with capacity >= `need`, else a fresh
     /// allocation. Linear scan: pools hold a handful of buffers.
-    fn pick(&mut self, need: usize) -> Vec<f64> {
+    fn pick(&mut self, need: usize) -> Vec<E> {
         let mut best: Option<usize> = None;
         for (i, buf) in self.free.iter().enumerate() {
             if buf.capacity() >= need
@@ -177,7 +191,7 @@ impl Workspace {
         match best {
             Some(i) => {
                 let buf = self.free.swap_remove(i);
-                self.bytes_pooled -= buf.capacity() as u64 * 8;
+                self.bytes_pooled -= buf.capacity() as u64 * Self::ELEM_BYTES;
                 self.stats.reuses += 1;
                 OBS_WS_REUSES.incr();
                 buf
@@ -213,7 +227,7 @@ mod tests {
 
     #[test]
     fn take_put_take_reuses() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         let a = ws.take(4, 3);
         assert_eq!(a.shape(), (4, 3));
         assert_eq!(ws.stats().checkouts, 1);
@@ -234,7 +248,7 @@ mod tests {
 
     #[test]
     fn take_is_zeroed_after_reuse() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         let mut a = ws.take(2, 2);
         a.fill(5.0);
         ws.put(a);
@@ -244,7 +258,7 @@ mod tests {
 
     #[test]
     fn take_copy_matches_source() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         let src = Mat::from_fn(3, 2, |i, j| (i + 10 * j) as f64);
         let c = ws.take_copy(src.as_ref());
         assert_eq!(c, src);
@@ -258,7 +272,7 @@ mod tests {
 
     #[test]
     fn smallest_adequate_buffer_wins() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         let big = ws.take(10, 10);
         let small = ws.take(2, 2);
         ws.put(big);
@@ -275,7 +289,7 @@ mod tests {
 
     #[test]
     fn reset_drops_pool_but_keeps_stats() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         let a = ws.take(3, 3);
         ws.put(a);
         ws.reset();
@@ -286,7 +300,7 @@ mod tests {
 
     #[test]
     fn adopts_foreign_buffers() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         ws.put(Mat::zeros(5, 5));
         let a = ws.take(5, 5);
         assert_eq!(ws.stats().checkouts, 0);
@@ -296,14 +310,14 @@ mod tests {
 
     #[test]
     fn empty_mats_are_not_pooled() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         ws.put(Mat::empty());
         assert_eq!(ws.pooled(), 0);
     }
 
     #[test]
     fn trim_drops_largest_buffers_first() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         let huge = ws.take(100, 100); // 80_000 B
         let mid = ws.take(10, 10); // 800 B
         let small = ws.take(2, 2); // 32 B
@@ -327,7 +341,7 @@ mod tests {
 
     #[test]
     fn trim_under_budget_is_a_noop() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         let a = ws.take(4, 4);
         ws.put(a);
         assert_eq!(ws.trim_to(u64::MAX), 0);
@@ -340,7 +354,7 @@ mod tests {
         // The bytes-high-water pin: after an oversized pass and a trim,
         // a small pass cannot re-reach the oversized footprint — the peak
         // stays a one-off, not a permanent floor.
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         let oversized = ws.take(64, 4096); // one huge replay batch
         ws.put(oversized);
         let peak = ws.stats().bytes_high_water;
@@ -361,7 +375,7 @@ mod tests {
 
     #[test]
     fn reset_counts_trimmed_bytes() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         let a = ws.take(8, 8);
         ws.put(a);
         let pooled = ws.pooled_bytes();
@@ -372,7 +386,7 @@ mod tests {
 
     #[test]
     fn warm_loop_is_allocation_free() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace = Workspace::new();
         // Warm-up pass.
         let (a, b) = (ws.take(4, 4), ws.take(4, 1));
         ws.put(a);
@@ -385,5 +399,21 @@ mod tests {
         }
         assert_eq!(ws.stats().checkouts, cold);
         assert_eq!(ws.stats().reuses, 200);
+    }
+
+    #[test]
+    fn f32_pool_charges_half_the_bytes() {
+        let mut w64: Workspace<f64> = Workspace::new();
+        let mut w32: Workspace<f32> = Workspace::new();
+        let a = w64.take(6, 2);
+        let b = w32.take(6, 2);
+        w64.put(a);
+        w32.put(b);
+        assert_eq!(w64.pooled_bytes(), 12 * 8);
+        assert_eq!(w32.pooled_bytes(), 12 * 4);
+        assert_eq!(
+            w32.stats().bytes_high_water * 2,
+            w64.stats().bytes_high_water
+        );
     }
 }
